@@ -1,0 +1,97 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Scaling note: the paper's experiments run up to 10⁸ vertices on clusters;
+the benches default to laptop-friendly scales (a few thousand vertices).
+Every scale constant lives here so a larger machine can turn them up in one
+place; the *shapes* the benches assert and print are stable across scales
+(the paper's own Fig. 6 shows that for these families).
+"""
+
+from repro.core import AdaptiveConfig, run_to_convergence
+from repro.datasets import build_dataset
+from repro.partitioning import balanced_capacities, make_partitioner
+from repro.utils import mean_and_error
+
+# One knob for overall bench heaviness.
+SCALE = 0.06           # fraction of published |V| for catalog datasets
+MIN_VERTICES = 1500    # floor: k=9 needs room for meaningful partitions
+MAX_VERTICES = 6000    # hard cap per dataset
+PARTITIONS = 9         # the paper's k
+REPEATS = 3            # paper uses n=10; 3 keeps the suite fast
+MAX_ITERATIONS = 600
+
+
+def scaled_dataset(name, seed=0):
+    """Catalog dataset at bench scale (clamped to [MIN, MAX] vertices)."""
+    from repro.datasets import CATALOG
+
+    spec = CATALOG[name]
+    target = min(
+        MAX_VERTICES,
+        max(MIN_VERTICES, round(spec.paper_vertices * SCALE)),
+    )
+    scale = target / spec.paper_vertices
+    return build_dataset(name, scale=scale, seed=seed, max_vertices=MAX_VERTICES)
+
+
+def initial_state(graph, strategy, seed=0, k=PARTITIONS, slack=1.10):
+    """Initial partitioning via a named strategy with paper capacities."""
+    caps = balanced_capacities(graph.num_vertices, k, slack)
+    return make_partitioner(strategy, seed=seed).partition(graph, k, list(caps))
+
+
+def converge(graph, state, seed=0, willingness=0.5, quiet_window=30,
+             max_iterations=MAX_ITERATIONS):
+    """Run the adaptive algorithm to convergence; returns (runner, timeline)."""
+    config = AdaptiveConfig(
+        willingness=willingness, seed=seed, quiet_window=quiet_window
+    )
+    return run_to_convergence(
+        graph, state, config, max_iterations=max_iterations
+    )
+
+
+def repeated_convergence(dataset, strategy, repeats=REPEATS, willingness=0.5,
+                         quiet_window=30, max_iterations=MAX_ITERATIONS):
+    """Repeat (build → initial partition → converge); returns summary dict.
+
+    Mirrors the paper's "mean of n repetitions ... errors ... estimated
+    error in the mean" reporting.
+    """
+    initial_ratios = []
+    final_ratios = []
+    convergence_times = []
+    for rep in range(repeats):
+        graph = scaled_dataset(dataset, seed=rep)
+        state = initial_state(graph, strategy, seed=rep)
+        initial_ratios.append(state.cut_ratio())
+        runner, _ = converge(
+            graph, state, seed=rep, willingness=willingness,
+            quiet_window=quiet_window, max_iterations=max_iterations,
+        )
+        final_ratios.append(state.cut_ratio())
+        convergence_times.append(
+            runner.convergence_time
+            if runner.convergence_time is not None
+            else max_iterations
+        )
+    initial_mean, initial_err = mean_and_error(initial_ratios)
+    final_mean, final_err = mean_and_error(final_ratios)
+    conv_mean, conv_err = mean_and_error(convergence_times)
+    return {
+        "dataset": dataset,
+        "strategy": strategy,
+        "initial_cut_ratio": initial_mean,
+        "initial_err": initial_err,
+        "final_cut_ratio": final_mean,
+        "final_err": final_err,
+        "convergence_time": conv_mean,
+        "convergence_err": conv_err,
+    }
+
+
+def metis_reference(dataset, seed=0, k=PARTITIONS):
+    """Cut ratio of the centralised multilevel partitioner (the METIS line)."""
+    graph = scaled_dataset(dataset, seed=seed)
+    state = make_partitioner("METIS", seed=seed).partition(graph, k)
+    return state.cut_ratio()

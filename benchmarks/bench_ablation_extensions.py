@@ -1,0 +1,148 @@
+"""Ablation benches for design choices and the paper's future-work
+extensions (DESIGN.md §5).
+
+Not a paper figure — these quantify: (1) the migration-heuristic choice the
+paper says it made after evaluating "multiple heuristics"; (2) the
+edge-balance extension (§6 future work); (3) hot-spot-aware capacities
+(§6 future work).
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    AdaptiveConfig,
+    EdgeBalance,
+    HotspotBalance,
+    VertexBalance,
+    run_to_convergence,
+)
+from repro.core.heuristic import HEURISTICS, make_heuristic
+from repro.generators import mesh_3d, powerlaw_cluster_graph
+from repro.partitioning import HashPartitioner, balanced_capacities
+
+K = 9
+
+
+def _hash_state(graph, slack=1.10):
+    caps = balanced_capacities(graph.num_vertices, K, slack)
+    return HashPartitioner().partition(graph, K, list(caps))
+
+
+def _heuristic_ablation():
+    rows = []
+    for name in sorted(HEURISTICS):
+        graph = mesh_3d(12)
+        state = _hash_state(graph)
+        config = AdaptiveConfig(
+            seed=0, heuristic=make_heuristic(name), quiet_window=30
+        )
+        runner, timeline = run_to_convergence(
+            graph, state, config, max_iterations=500
+        )
+        rows.append(
+            [
+                name,
+                state.cut_ratio(),
+                runner.convergence_time
+                if runner.convergence_time is not None
+                else 500,
+                timeline.total_migrations(),
+            ]
+        )
+    return rows
+
+
+def _balance_ablation():
+    rows = []
+    for policy_name, policy in (
+        ("vertex", VertexBalance()),
+        ("edge", EdgeBalance()),
+    ):
+        graph = powerlaw_cluster_graph(2500, m=3, seed=0)
+        caps = policy.capacities(graph, K)
+        state = HashPartitioner().partition(graph, K, list(caps))
+        config = AdaptiveConfig(seed=0, balance=policy, quiet_window=30)
+        runner, _ = run_to_convergence(graph, state, config, max_iterations=400)
+        loads = runner.loads
+        sizes = state.sizes
+        edge_loads = [0.0] * K
+        for v, pid in state.assignment_items():
+            edge_loads[pid] += graph.degree(v)
+        mean_edge = sum(edge_loads) / K
+        rows.append(
+            [
+                policy_name,
+                state.cut_ratio(),
+                max(sizes) / (sum(sizes) / K),
+                max(edge_loads) / mean_edge,
+            ]
+        )
+    return rows
+
+
+def _hotspot_ablation():
+    # A hot worker (10x activity) should shed vertices under HotspotBalance.
+    graph = mesh_3d(10)
+    policy = HotspotBalance(max_shrink=0.3)
+    caps = policy.capacities(graph, K)
+    state = HashPartitioner().partition(graph, K, list(caps))
+    hot_worker = 0
+    activity = [10.0 if pid == hot_worker else 1.0 for pid in range(K)]
+    policy.observe_activity(activity)
+    size_before = state.size(hot_worker)
+    config = AdaptiveConfig(seed=0, balance=policy, quiet_window=30)
+    run_to_convergence(graph, state, config, max_iterations=300)
+    return {
+        "before": size_before,
+        "after": state.size(hot_worker),
+        "mean_after": sum(state.sizes) / K,
+    }
+
+
+def test_ablation_heuristics(run_once, capsys):
+    rows = run_once(_heuristic_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["heuristic", "final cut ratio", "convergence time",
+                 "total migrations"],
+                rows,
+                title="Ablation: migration heuristic (64k-scaled mesh, HSH "
+                "start)",
+            )
+        )
+    by_name = {r[0]: r for r in rows}
+    # the paper's greedy rule is at least as good as the alternatives on cuts
+    greedy_cut = by_name["greedy"][1]
+    for name, row in by_name.items():
+        assert greedy_cut <= row[1] + 0.08, name
+
+
+def test_ablation_balance_policies(run_once, capsys):
+    rows = run_once(_balance_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["policy", "cut ratio", "vertex imbalance", "edge imbalance"],
+                rows,
+                title="Ablation: balance policy on a power-law graph",
+            )
+        )
+    by_name = {r[0]: r for r in rows}
+    # edge balancing gives a more even edge distribution than vertex balancing
+    assert by_name["edge"][3] <= by_name["vertex"][3] + 0.05
+
+
+def test_ablation_hotspot(run_once, capsys):
+    result = run_once(_hotspot_ablation)
+    with capsys.disabled():
+        print()
+        print(
+            "Ablation: hot-spot balancing — hot worker size "
+            f"{result['before']} -> {result['after']} "
+            f"(fleet mean {result['mean_after']:.1f})"
+        )
+    # the hot worker sheds load relative to the fleet mean
+    assert result["after"] <= result["before"]
+    assert result["after"] <= result["mean_after"] * 1.05

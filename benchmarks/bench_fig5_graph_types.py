@@ -1,0 +1,76 @@
+"""Figure 5 — final cut ratio per graph after the iterative heuristic over
+four initial strategies (eight graphs from Table 1).
+
+Paper shape: FEM graphs end with clearly lower cut ratios than dense
+synthetic power-law graphs (plc*, which even METIS struggles with), and the
+final quality is largely insensitive to the initial strategy.
+"""
+
+from repro.analysis import format_table
+
+from benchmarks._harness import repeated_convergence
+
+DATASETS = [
+    "1e4", "3elt", "4elt", "64kcube",
+    "plc1000", "plc10000", "epinion", "wikivote",
+]
+FEM = {"1e4", "3elt", "4elt", "64kcube"}
+DENSE_PLC = {"plc1000", "plc10000"}
+STRATEGIES = ["DGR", "HSH", "MNN", "RND"]
+
+
+def _experiment():
+    results = {}
+    for dataset in DATASETS:
+        finals = {}
+        initials = {}
+        for strategy in STRATEGIES:
+            summary = repeated_convergence(dataset, strategy, repeats=2)
+            finals[strategy] = summary["final_cut_ratio"]
+            initials[strategy] = summary["initial_cut_ratio"]
+        results[dataset] = {"finals": finals, "initials": initials}
+    return results
+
+
+def test_fig5_graph_types(run_once, capsys):
+    results = run_once(_experiment)
+    rows = [
+        [dataset] + [results[dataset]["finals"][s] for s in STRATEGIES]
+        for dataset in DATASETS
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["graph"] + STRATEGIES,
+                rows,
+                title="Figure 5: iterative-algorithm cut ratio per graph "
+                "and initial strategy",
+            )
+        )
+    fem_means = [
+        sum(results[d]["finals"].values()) / len(STRATEGIES)
+        for d in DATASETS
+        if d in FEM
+    ]
+    plc_means = [
+        sum(results[d]["finals"].values()) / len(STRATEGIES)
+        for d in DATASETS
+        if d in DENSE_PLC
+    ]
+    # FEMs partition better than the dense power-law family
+    assert max(fem_means) < min(plc_means)
+    # the heuristic "can improve the partitioning quality of a wide range
+    # of graphs": never worse than the start, for every pair
+    for dataset in DATASETS:
+        for strategy in STRATEGIES:
+            initial = results[dataset]["initials"][strategy]
+            final = results[dataset]["finals"][strategy]
+            assert final <= initial + 0.02, (dataset, strategy)
+    # the two unstructured random-ish starts (HSH, RND) land close together
+    # (MNN is deliberately adversarial and may settle in worse local optima
+    # on small 2-D grids; DGR starts lower — the paper's Fig. 5 bars spread
+    # likewise)
+    for dataset in DATASETS:
+        finals = results[dataset]["finals"]
+        assert abs(finals["HSH"] - finals["RND"]) < 0.25, dataset

@@ -1,0 +1,73 @@
+"""Figure 6 — cut ratio and convergence time vs graph size, for a family of
+meshes and a family of power-law graphs (9 partitions, s = 0.5).
+
+Paper shape: mesh convergence time grows slowly (O(log N)-ish) while its
+cut ratio holds or slightly improves with size; power-law convergence time
+grows more slowly still and its cut ratio stays almost constant (slightly
+degrading).  Sizes here are scaled down from the paper's 1e3–3e5 range.
+"""
+
+import math
+
+from repro.analysis import format_table
+from repro.generators import mesh_with_vertex_count, powerlaw_cluster_graph
+from repro.partitioning import HashPartitioner, balanced_capacities
+
+from benchmarks._harness import PARTITIONS, converge
+
+SIZES = [1000, 2000, 4000, 8000, 16000]
+
+
+def _run_family(make_graph):
+    rows = []
+    for size in SIZES:
+        graph = make_graph(size)
+        caps = balanced_capacities(graph.num_vertices, PARTITIONS)
+        state = HashPartitioner().partition(graph, PARTITIONS, list(caps))
+        runner, _ = converge(graph, state, seed=0, max_iterations=800)
+        conv = runner.convergence_time
+        rows.append(
+            [
+                graph.num_vertices,
+                state.cut_ratio(),
+                conv if conv is not None else 800,
+            ]
+        )
+    return rows
+
+
+def _experiment():
+    mesh_rows = _run_family(mesh_with_vertex_count)
+    plaw_rows = _run_family(
+        lambda n: powerlaw_cluster_graph(
+            n, m=max(1, round(math.log(n) / 2)), seed=0
+        )
+    )
+    return {"mesh": mesh_rows, "plaw": plaw_rows}
+
+
+def test_fig6_scalability(run_once, capsys):
+    results = run_once(_experiment)
+    with capsys.disabled():
+        for family, rows in results.items():
+            print()
+            print(
+                format_table(
+                    ["|V|", "cut ratio", "convergence time"],
+                    rows,
+                    title=f"Figure 6 ({family} family): scalability",
+                )
+            )
+    for family, rows in results.items():
+        sizes = [r[0] for r in rows]
+        ratios = [r[1] for r in rows]
+        times = [r[2] for r in rows]
+        # convergence time grows sub-linearly: a 16x size increase must not
+        # produce a 16x time increase (paper reports O(log N) for meshes)
+        growth = times[-1] / max(times[0], 1)
+        assert growth < (sizes[-1] / sizes[0]) / 2, family
+        # cut quality does not collapse with size
+        assert max(ratios) - min(ratios) < 0.25, family
+    # power-law graphs stay harder to cut than meshes at every size
+    for mesh_row, plaw_row in zip(results["mesh"], results["plaw"]):
+        assert mesh_row[1] < plaw_row[1]

@@ -1,0 +1,48 @@
+"""Table 1 — summary of the datasets employed in this work.
+
+Builds every catalog dataset (at bench scale) and prints published vs built
+statistics side by side.  The substitution contract (DESIGN.md §4) is that
+built graphs match family and average degree; the huge entries (1e6, 1e8,
+uk-2007) are listed but not built here.
+"""
+
+from repro.analysis import format_table
+from repro.datasets import table1_rows
+
+from benchmarks._harness import MAX_VERTICES, SCALE
+
+
+def _build_rows():
+    return table1_rows(scale=SCALE, max_vertices=MAX_VERTICES)
+
+
+def test_table1_dataset_summary(run_once, capsys):
+    rows = run_once(_build_rows)
+    printable = [
+        [
+            name,
+            paper_v,
+            paper_e,
+            family,
+            built_v if built_v is not None else "(skipped)",
+            built_e if built_e is not None else "",
+            avg_deg if avg_deg is not None else "",
+        ]
+        for name, paper_v, paper_e, family, built_v, built_e, avg_deg in rows
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            format_table(
+                ["name", "paper |V|", "paper |E|", "type",
+                 "built |V|", "built |E|", "built avg deg"],
+                printable,
+                title="Table 1: datasets (built at bench scale "
+                f"{SCALE}, cap {MAX_VERTICES})",
+            )
+        )
+    built = [r for r in rows if r[4] is not None]
+    assert len(built) >= 9
+    for name, paper_v, paper_e, family, built_v, built_e, avg_deg in built:
+        paper_avg = 2 * paper_e / paper_v
+        assert abs(avg_deg - paper_avg) < max(0.5 * paper_avg, 2.0), name

@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Every bench reproduces one table or figure: it runs the experiment once
+under ``benchmark.pedantic`` (the experiment *is* the measured workload —
+re-running it dozens of times for timing statistics would multiply the
+suite's runtime for no extra fidelity) and prints the paper-style rows or
+series to stdout.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The printed output is the reproduction evidence recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark fixture, return its result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                                  iterations=1)
+
+    return runner

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Mobile network use case (paper §4.3, Fig. 9): maximal-clique mining over
+a month of call-detail records with weekly churn (8 % subscriber additions,
+4 % removals per week), comparing a dynamic (adaptive) cluster against a
+static hash one.
+
+The clique computation freezes the topology, so each week's changes are
+buffered and applied as one batch — the paper's hardest adaptation regime.
+
+Run:  python examples/cdr_cliques.py [weeks]
+"""
+
+import sys
+
+from repro import PregelConfig, PregelSystem
+from repro.analysis import CostModel
+from repro.apps import MaximalCliqueFinder
+from repro.apps.maximal_clique import MAX_CLIQUE_AGGREGATOR
+from repro.generators import CdrStreamConfig, generate_cdr_stream
+from repro.graph import Graph
+from repro.pregel import MaxAggregator
+
+SUPERSTEPS_PER_WEEK = 36
+
+
+def run_cluster(adaptive, stream, boundaries):
+    system = PregelSystem(
+        Graph(),
+        MaximalCliqueFinder(),
+        PregelConfig(num_workers=9, adaptive=adaptive, seed=0),
+    )
+    system.aggregators.register(MAX_CLIQUE_AGGREGATOR, MaxAggregator)
+    model = CostModel()
+    weekly = []
+    previous = 0.0
+    for boundary in boundaries[1:] + [stream.end_time + 1.0]:
+        system.inject_events(stream.events_between(previous, boundary))
+        reports = system.run(SUPERSTEPS_PER_WEEK)
+        tail = reports[-8:]
+        weekly.append(
+            {
+                "cuts": reports[-1].cut_ratio,
+                "time": sum(model.time_of(r.traffic) for r in tail) / len(tail),
+                "clique": system.aggregators.previous(MAX_CLIQUE_AGGREGATOR),
+                "vertices": system.graph.num_vertices,
+            }
+        )
+        previous = boundary
+    return weekly
+
+
+def main(weeks=4):
+    stream, boundaries = generate_cdr_stream(
+        CdrStreamConfig(initial_subscribers=1500, num_weeks=weeks, seed=0)
+    )
+    print(
+        f"CDR stream: {len(stream)} events, {weeks} weeks, "
+        "8%/4% weekly add/remove churn"
+    )
+
+    dynamic = run_cluster(True, stream, boundaries)
+    static = run_cluster(False, stream, boundaries)
+
+    print(
+        f"\n{'week':>5}  {'|V|':>6}  {'cuts dyn':>8}  {'cuts sta':>8}  "
+        f"{'time dyn':>9}  {'time sta':>9}  {'max clique':>10}"
+    )
+    for week, (dyn, sta) in enumerate(zip(dynamic, static), start=1):
+        print(
+            f"{week:>5}  {dyn['vertices']:>6}  {dyn['cuts']:>8.3f}  "
+            f"{sta['cuts']:>8.3f}  {dyn['time']:>9.0f}  {sta['time']:>9.0f}  "
+            f"{dyn['clique']:>10}"
+        )
+
+    total_dyn = sum(w["time"] for w in dynamic)
+    total_sta = sum(w["time"] for w in static)
+    print(
+        f"\ndynamic cluster iteration time: {total_dyn / total_sta:.2f}x the "
+        f"static cluster's ({total_sta / total_dyn:.1f}x faster)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

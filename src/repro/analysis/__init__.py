@@ -1,0 +1,33 @@
+"""Performance modelling and experiment reporting.
+
+The paper reports *time per iteration* measured on real clusters.  Our
+substrate is a simulated cluster (DESIGN.md §4), so times come from an
+explicit, calibratable cost model over the honest traffic counts the
+simulation records — remote messages dominate, as the paper measures
+(">80 % of the time" in both heavy use cases).
+
+* :mod:`cost_model` — linear model: counts → modelled seconds, plus a
+  calibration helper that fits the compute weight to a measured
+  compute-time fraction;
+* :mod:`report` — fixed-width text tables and series for the benchmark
+  harnesses (the repo's stand-in for the paper's plots).
+"""
+
+from repro.analysis.cost_model import (
+    CostModel,
+    calibrate_compute_weight,
+    normalise_series,
+)
+from repro.analysis.decay import DecayFit, fit_exponential_decay, half_life
+from repro.analysis.report import format_series, format_table
+
+__all__ = [
+    "CostModel",
+    "DecayFit",
+    "calibrate_compute_weight",
+    "fit_exponential_decay",
+    "format_series",
+    "format_table",
+    "half_life",
+    "normalise_series",
+]

@@ -1,0 +1,93 @@
+"""Exponential-decay analysis of migration series.
+
+The paper asserts that "the number of migrations decreases exponentially
+with the number of iterations" and that the post-peak time-per-iteration
+"quickly starts to decay exponentially" (Fig. 7).  This module makes that
+claim checkable: a log-linear least-squares fit over the positive samples
+of a decaying series, returning the rate and the goodness of fit.
+"""
+
+import math
+
+__all__ = ["DecayFit", "fit_exponential_decay", "half_life"]
+
+
+class DecayFit:
+    """Result of fitting ``y ≈ a · exp(−rate · x)``.
+
+    ``r_squared`` is computed in log space (where the fit is linear); a
+    genuinely exponential series scores close to 1.0.
+    """
+
+    __slots__ = ("amplitude", "rate", "r_squared", "num_points")
+
+    def __init__(self, amplitude, rate, r_squared, num_points):
+        self.amplitude = amplitude
+        self.rate = rate
+        self.r_squared = r_squared
+        self.num_points = num_points
+
+    def predict(self, x):
+        """Fitted value at ``x``."""
+        return self.amplitude * math.exp(-self.rate * x)
+
+    def __repr__(self):
+        return (
+            f"DecayFit(amplitude={self.amplitude:.4g}, rate={self.rate:.4g}, "
+            f"r_squared={self.r_squared:.3f}, n={self.num_points})"
+        )
+
+
+def fit_exponential_decay(series, xs=None):
+    """Fit ``y = a·exp(−rate·x)`` to the positive samples of ``series``.
+
+    Zero samples (the converged tail) carry no log-space information and
+    are skipped; at least three positive samples are required.  Returns a
+    :class:`DecayFit`.
+
+    >>> fit = fit_exponential_decay([100, 50, 25, 12.5, 6.25])
+    >>> round(fit.rate, 3) == round(math.log(2), 3)
+    True
+    >>> fit.r_squared > 0.999
+    True
+    """
+    if xs is None:
+        xs = range(len(series))
+    points = [
+        (float(x), math.log(y))
+        for x, y in zip(xs, series)
+        if y > 0
+    ]
+    if len(points) < 3:
+        raise ValueError(
+            f"need at least 3 positive samples, got {len(points)}"
+        )
+    n = len(points)
+    sum_x = sum(x for x, _ in points)
+    sum_y = sum(y for _, y in points)
+    mean_x = sum_x / n
+    mean_y = sum_y / n
+    sxx = sum((x - mean_x) ** 2 for x, _ in points)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    if sxx == 0:
+        raise ValueError("all samples at the same x; cannot fit")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_total = sum((y - mean_y) ** 2 for _, y in points)
+    ss_residual = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in points
+    )
+    r_squared = 1.0 if ss_total == 0 else 1.0 - ss_residual / ss_total
+    return DecayFit(
+        amplitude=math.exp(intercept),
+        rate=-slope,
+        r_squared=r_squared,
+        num_points=n,
+    )
+
+
+def half_life(fit):
+    """Iterations for the fitted series to halve (∞ for non-decaying fits)."""
+    if fit.rate <= 0:
+        return math.inf
+    return math.log(2) / fit.rate

@@ -1,0 +1,58 @@
+"""Fixed-width text rendering for benchmark output.
+
+The benches print paper-style tables and series to stdout (and the harness
+tees them into EXPERIMENTS.md evidence files); no plotting dependency is
+available offline, so these renderings *are* the figures.
+"""
+
+__all__ = ["format_series", "format_table"]
+
+
+def _format_cell(value, precision):
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers, rows, precision=3, title=None):
+    """Render an aligned text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]], precision=1))
+    a  b
+    -  ---
+    1  2.5
+    """
+    rendered = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(name, xs, ys, precision=3, max_points=40):
+    """Render an (x, y) series compactly, downsampling long series evenly."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    n = len(xs)
+    if n > max_points:
+        stride = max(1, n // max_points)
+        indices = list(range(0, n, stride))
+        if indices[-1] != n - 1:
+            indices.append(n - 1)
+    else:
+        indices = range(n)
+    pairs = ", ".join(
+        f"({_format_cell(xs[i], precision)}, {_format_cell(ys[i], precision)})"
+        for i in indices
+    )
+    return f"{name}: {pairs}"

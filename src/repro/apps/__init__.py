@@ -1,0 +1,31 @@
+"""Graph applications on the Pregel substrate.
+
+The paper drives its evaluation with three workloads, all reproduced here,
+plus two textbook algorithms used by our integration tests:
+
+* :mod:`fem_simulation` — the biomedical cardiac-tissue kernel (Fig. 7):
+  an excitable-media reaction–diffusion model with a heavy per-vertex CPU
+  cost standing in for the 32-ODE Ten Tusscher cell model;
+* :mod:`tunkrank` — TunkRank influence over a Twitter mention graph
+  (Fig. 8), "a Twitter analog to PageRank";
+* :mod:`maximal_clique` — the neighbour-list-exchange clique computation of
+  the CDR use case (Fig. 9), deliberately message-heavy;
+* :mod:`pagerank`, :mod:`connected_components`, :mod:`sssp` — validation
+  workloads with known answers.
+"""
+
+from repro.apps.connected_components import ConnectedComponents
+from repro.apps.fem_simulation import CardiacFemSimulation
+from repro.apps.maximal_clique import MaximalCliqueFinder
+from repro.apps.pagerank import PageRank
+from repro.apps.sssp import SingleSourceShortestPaths
+from repro.apps.tunkrank import TunkRank
+
+__all__ = [
+    "CardiacFemSimulation",
+    "ConnectedComponents",
+    "MaximalCliqueFinder",
+    "PageRank",
+    "SingleSourceShortestPaths",
+    "TunkRank",
+]

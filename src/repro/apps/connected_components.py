@@ -1,0 +1,40 @@
+"""Connected components by minimum-label propagation.
+
+Validation workload with an exact answer (``Graph.connected_components``).
+Every vertex adopts the smallest label it has heard of and gossips it on;
+quiescence ⇒ per-component constant labels.
+"""
+
+from repro.pregel.vertex import VertexProgram
+
+__all__ = ["ConnectedComponents"]
+
+
+def min_combiner(a, b):
+    return a if a <= b else b
+
+
+class ConnectedComponents(VertexProgram):
+    """Min-label flood; vertex values end as component representatives.
+
+    Vertex ids must be orderable within a graph (ints or strs, unmixed).
+    """
+
+    name = "connected-components"
+
+    def initial_value(self, vertex_id, graph):
+        return vertex_id
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 1:
+            ctx.send_to_neighbors(ctx.value)
+            ctx.vote_to_halt()
+            return
+        best = min(messages) if messages else ctx.value
+        if best < ctx.value:
+            ctx.value = best
+            ctx.send_to_neighbors(best)
+        ctx.vote_to_halt()
+
+    def combiner(self):
+        return min_combiner

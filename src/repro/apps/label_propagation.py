@@ -1,0 +1,56 @@
+"""Label propagation community detection (Raghavan et al. [29]).
+
+Included as the related-work comparator the paper discusses: community
+detection finds densely connected groups but "do[es] not focus on finding
+balanced partitions", and small graph changes can flip many labels.  The
+integration tests use it to demonstrate exactly that contrast against the
+capacity-bounded adaptive partitioner.
+
+Each vertex adopts the most frequent label among its neighbours (ties
+broken deterministically by label order), gossiping until labels stop
+changing.
+"""
+
+from repro.pregel.vertex import VertexProgram
+
+__all__ = ["LabelPropagation"]
+
+
+class LabelPropagation(VertexProgram):
+    """Synchronous label propagation; value = current community label."""
+
+    name = "label-propagation"
+
+    def __init__(self, max_rounds=50):
+        self.max_rounds = max_rounds
+
+    def initial_value(self, vertex_id, graph):
+        return vertex_id
+
+    def compute(self, ctx, messages):
+        if ctx.superstep == 1:
+            ctx.send_to_neighbors(ctx.value)
+            ctx.vote_to_halt()
+            return
+        if ctx.superstep > self.max_rounds:
+            ctx.vote_to_halt()
+            return
+        if messages:
+            counts = {}
+            for label in messages:
+                counts[label] = counts.get(label, 0) + 1
+            best = min(
+                counts, key=lambda lab: (-counts[lab], str(lab))
+            )
+            if best != ctx.value and counts[best] >= counts.get(ctx.value, 0):
+                ctx.value = best
+                ctx.send_to_neighbors(best)
+        ctx.vote_to_halt()
+
+    @staticmethod
+    def communities(values):
+        """Group vertices by final label: {label: set(vertices)}."""
+        groups = {}
+        for vertex, label in values.items():
+            groups.setdefault(label, set()).add(vertex)
+        return groups

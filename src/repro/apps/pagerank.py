@@ -1,0 +1,40 @@
+"""PageRank on the undirected graph (degree-normalised random walk).
+
+Included as a validation workload: the stationary distribution of a random
+walk on a connected undirected graph is proportional to vertex degree, so
+the tests have a closed-form answer to converge against.  Also the paper's
+motivating example for edge-balanced partitioning (its cost ∝ edges).
+"""
+
+from repro.pregel.messages import sum_combiner
+from repro.pregel.vertex import VertexProgram
+
+__all__ = ["PageRank"]
+
+
+class PageRank(VertexProgram):
+    """Classic damped PageRank; messages are rank shares, combined by sum."""
+
+    name = "pagerank"
+
+    def __init__(self, damping=0.85):
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+
+    def initial_value(self, vertex_id, graph):
+        n = max(graph.num_vertices, 1)
+        return 1.0 / n
+
+    def compute(self, ctx, messages):
+        n = max(ctx.num_vertices, 1)
+        if ctx.superstep > 1:
+            incoming = sum(messages)
+            ctx.value = (1.0 - self.damping) / n + self.damping * incoming
+        degree = ctx.degree()
+        if degree:
+            ctx.send_to_neighbors(ctx.value / degree)
+        ctx.vote_to_halt()
+
+    def combiner(self):
+        return sum_combiner

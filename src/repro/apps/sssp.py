@@ -1,0 +1,41 @@
+"""Single-source shortest paths (unit edge weights).
+
+Validation workload: breadth-first distance from a source vertex, checked
+against a sequential BFS in the tests.
+"""
+
+import math
+
+from repro.pregel.vertex import VertexProgram
+
+__all__ = ["SingleSourceShortestPaths"]
+
+
+def min_combiner(a, b):
+    return a if a <= b else b
+
+
+class SingleSourceShortestPaths(VertexProgram):
+    """Pregel's canonical example, unit weights."""
+
+    name = "sssp"
+
+    def __init__(self, source):
+        self.source = source
+
+    def initial_value(self, vertex_id, graph):
+        return 0.0 if vertex_id == self.source else math.inf
+
+    def compute(self, ctx, messages):
+        best = min(messages) if messages else math.inf
+        if ctx.superstep == 1 and ctx.vertex_id == self.source:
+            best = 0.0
+        if best < ctx.value or (
+            ctx.superstep == 1 and ctx.vertex_id == self.source
+        ):
+            ctx.value = min(ctx.value, best)
+            ctx.send_to_neighbors(ctx.value + 1.0)
+        ctx.vote_to_halt()
+
+    def combiner(self):
+        return min_combiner

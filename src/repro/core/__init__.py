@@ -1,0 +1,65 @@
+"""The adaptive iterative partitioner — the paper's primary contribution.
+
+The algorithm (§2) in one paragraph: starting from any initial placement,
+every iteration each vertex inspects only where its own neighbours live and
+greedily wants to be in the partition holding the most of them (preferring
+to stay on ties).  Per-iteration migration quotas
+``Q_t(i, j) = C_t(j) / (k - 1)`` guarantee capacities are never exceeded
+even though decisions are uncoordinated, and a random willingness-to-move
+``s`` breaks the symmetric "neighbour chasing" oscillation.  Convergence is
+declared after 30 consecutive migration-free iterations.  Because the loop
+never stops conceptually, graph mutations simply re-activate the affected
+vertices and the partitioning adapts.
+
+Package layout:
+
+* :mod:`heuristic` — migration decision rules (the paper's greedy rule plus
+  ablation variants);
+* :mod:`capacity` — the quota table enforcing worst-case capacity safety;
+* :mod:`balance` — pluggable balance policies: vertex-count (paper),
+  edge-count and hot-spot aware (the paper's §6 future work, implemented);
+* :mod:`convergence` — the quiet-window convergence detector;
+* :mod:`metrics` — per-iteration statistics records and timelines;
+* :mod:`runner` — :class:`AdaptiveRunner`, the synchronous-round execution
+  engine used by the algorithmic experiments (Figs. 1, 4, 5, 6).
+
+The distributed execution of the same heuristic lives in
+:mod:`repro.pregel` (deferred migration, capacity messaging).
+"""
+
+from repro.core.balance import (
+    BalancePolicy,
+    EdgeBalance,
+    HotspotBalance,
+    VertexBalance,
+)
+from repro.core.capacity import QuotaTable
+from repro.core.convergence import ConvergenceDetector
+from repro.core.heuristic import (
+    CapacityWeightedGreedy,
+    GreedyMaxNeighbours,
+    HEURISTICS,
+    MigrationHeuristic,
+    make_heuristic,
+)
+from repro.core.metrics import IterationStats, Timeline
+from repro.core.runner import AdaptiveConfig, AdaptiveRunner, run_to_convergence
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveRunner",
+    "BalancePolicy",
+    "CapacityWeightedGreedy",
+    "ConvergenceDetector",
+    "EdgeBalance",
+    "GreedyMaxNeighbours",
+    "HEURISTICS",
+    "HotspotBalance",
+    "IterationStats",
+    "MigrationHeuristic",
+    "QuotaTable",
+    "Timeline",
+    "VertexBalance",
+    "make_heuristic",
+    "run_to_convergence",
+]

@@ -1,0 +1,65 @@
+"""Convergence detection.
+
+§2.3: "We assumed full convergence when the number of vertex migrations was
+zero for more than 30 consecutive iterations."  The detector is a trivial
+counter, kept as its own class because both execution engines (the logical
+runner and the Pregel background program) share it and the tests pin its
+exact off-by-one semantics.
+"""
+
+__all__ = ["ConvergenceDetector"]
+
+PAPER_QUIET_WINDOW = 30
+
+
+class ConvergenceDetector:
+    """Declare convergence after ``quiet_window`` migration-free iterations.
+
+    >>> d = ConvergenceDetector(quiet_window=2)
+    >>> d.observe(5)
+    False
+    >>> d.observe(0)
+    False
+    >>> d.observe(0)
+    True
+    >>> d.converged
+    True
+    """
+
+    def __init__(self, quiet_window=PAPER_QUIET_WINDOW):
+        if quiet_window < 1:
+            raise ValueError("quiet_window must be >= 1")
+        self.quiet_window = quiet_window
+        self.quiet_iterations = 0
+        self.total_iterations = 0
+
+    def observe(self, num_migrations):
+        """Record one iteration's migration count; returns ``converged``."""
+        if num_migrations < 0:
+            raise ValueError("migration count cannot be negative")
+        self.total_iterations += 1
+        if num_migrations == 0:
+            self.quiet_iterations += 1
+        else:
+            self.quiet_iterations = 0
+        return self.converged
+
+    @property
+    def converged(self):
+        """True once the quiet window has been filled."""
+        return self.quiet_iterations >= self.quiet_window
+
+    def reset(self):
+        """Restart the quiet window (used when graph mutations arrive)."""
+        self.quiet_iterations = 0
+
+    @property
+    def convergence_time(self):
+        """Iterations until the quiet window *started* (the paper's metric).
+
+        Only meaningful once converged; the trailing quiet window is not
+        counted as useful work.
+        """
+        if not self.converged:
+            return None
+        return max(0, self.total_iterations - self.quiet_iterations)

@@ -1,0 +1,96 @@
+"""Per-iteration statistics and experiment timelines.
+
+Every experiment in the paper reports some slice of the same quantities per
+iteration: migrations executed, cut edges, cut ratio, partition sizes and —
+for the system experiments — modelled time.  :class:`IterationStats` is the
+immutable per-iteration record; :class:`Timeline` collects them and offers
+the summarisations the benchmark harnesses print.
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = ["IterationStats", "Timeline"]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """One iteration's observable state.
+
+    ``wanted_migrations`` counts vertices that *desired* to move this
+    iteration (before the willingness draw and quota gate);
+    ``blocked_migrations`` counts desires admitted by willingness but denied
+    by quota.  ``migrations`` is what actually moved — the quantity driving
+    convergence detection and migration overhead.
+    """
+
+    iteration: int
+    migrations: int
+    wanted_migrations: int
+    blocked_migrations: int
+    cut_edges: int
+    cut_ratio: float
+    max_partition_size: int
+    min_partition_size: int
+    imbalance: float
+    active_vertices: int = 0
+    time_cost: float = 0.0
+    extras: dict = field(default_factory=dict, compare=False)
+
+
+class Timeline:
+    """An append-only sequence of :class:`IterationStats` with summaries."""
+
+    def __init__(self):
+        self._stats = []
+
+    def append(self, stats):
+        self._stats.append(stats)
+
+    def __len__(self):
+        return len(self._stats)
+
+    def __iter__(self):
+        return iter(self._stats)
+
+    def __getitem__(self, index):
+        return self._stats[index]
+
+    @property
+    def last(self):
+        """Most recent record (None when empty)."""
+        return self._stats[-1] if self._stats else None
+
+    def series(self, attribute):
+        """Extract one column, e.g. ``timeline.series("cut_ratio")``."""
+        return [getattr(s, attribute) for s in self._stats]
+
+    def total_migrations(self):
+        """Sum of executed migrations over the whole run."""
+        return sum(s.migrations for s in self._stats)
+
+    def final_cut_ratio(self):
+        """Cut ratio at the end of the run (None when empty)."""
+        return self._stats[-1].cut_ratio if self._stats else None
+
+    def peak(self, attribute):
+        """Maximum of a column and the iteration where it occurred.
+
+        Returns ``(value, iteration)`` or ``(None, None)`` when empty.
+        """
+        if not self._stats:
+            return None, None
+        best = max(self._stats, key=lambda s: getattr(s, attribute))
+        return getattr(best, attribute), best.iteration
+
+    def downsample(self, stride):
+        """Every ``stride``-th record (plus the last), for compact printing."""
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        sampled = self._stats[::stride]
+        if self._stats and (len(self._stats) - 1) % stride != 0:
+            sampled.append(self._stats[-1])
+        return sampled
+
+    def to_rows(self, attributes):
+        """List-of-tuples view for table rendering."""
+        return [tuple(getattr(s, a) for a in attributes) for s in self._stats]

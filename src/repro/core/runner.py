@@ -1,0 +1,310 @@
+"""Synchronous-round execution of the adaptive heuristic.
+
+:class:`AdaptiveRunner` drives the paper's algorithm the way §2 defines it
+logically: at every iteration each vertex decides against the *start-of-
+iteration* state (decisions in a round never see each other), willingness
+``s`` gates each attempted migration, the quota table meters admissions, and
+all admitted moves apply together at the end of the round.
+
+The runner is also the adaptation entry point: :meth:`apply_events` feeds
+graph mutations (from any :mod:`repro.graph.stream` source), which
+re-activate the affected vertices and reset the convergence window, after
+which stepping resumes — the paper's "background algorithm" behaviour
+without the distributed machinery (that lives in :mod:`repro.pregel`).
+
+An exact *active-set* optimisation keeps long converged phases cheap: the
+paper's greedy rule depends only on a vertex's neighbour locations, so a
+vertex that chose to stay cannot change its mind until a neighbour moves or
+the graph mutates around it.  Heuristics that consult capacities opt out via
+``uses_capacity`` and fall back to full sweeps.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.balance import VertexBalance
+from repro.core.capacity import QuotaTable
+from repro.core.convergence import PAPER_QUIET_WINDOW, ConvergenceDetector
+from repro.core.heuristic import GreedyMaxNeighbours, MigrationHeuristic, make_heuristic
+from repro.core.metrics import IterationStats, Timeline
+from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.partitioning.hashing import HashPartitioner
+from repro.utils import make_rng
+
+__all__ = ["AdaptiveConfig", "AdaptiveRunner", "run_to_convergence"]
+
+DEFAULT_WILLINGNESS = 0.5
+
+
+@dataclass
+class AdaptiveConfig:
+    """Tunables of the adaptive algorithm.
+
+    ``willingness`` is the paper's ``s`` (migrate with probability s when a
+    better partition exists; the paper recommends 0.5); ``quiet_window`` is
+    the convergence criterion (30); ``heuristic`` may be a name from
+    :data:`repro.core.heuristic.HEURISTICS` or an instance; ``balance``
+    is a :class:`~repro.core.balance.BalancePolicy`.
+    """
+
+    willingness: float = DEFAULT_WILLINGNESS
+    quiet_window: int = PAPER_QUIET_WINDOW
+    seed: int = 0
+    heuristic: object = field(default_factory=GreedyMaxNeighbours)
+    balance: object = field(default_factory=VertexBalance)
+    placement: object = field(default_factory=HashPartitioner)
+    track_active: bool = True
+
+    def __post_init__(self):
+        if not 0.0 <= self.willingness <= 1.0:
+            raise ValueError("willingness s must be in [0, 1]")
+        if isinstance(self.heuristic, str):
+            self.heuristic = make_heuristic(self.heuristic)
+        if not isinstance(self.heuristic, MigrationHeuristic):
+            raise TypeError("heuristic must be a MigrationHeuristic or name")
+
+
+class AdaptiveRunner:
+    """Iterates the adaptive heuristic over a graph + partition state."""
+
+    def __init__(self, graph, state, config=None):
+        self.graph = graph
+        self.state = state
+        self.config = config or AdaptiveConfig()
+        self._rng = make_rng(self.config.seed, "adaptive_runner")
+        self.detector = ConvergenceDetector(self.config.quiet_window)
+        self.timeline = Timeline()
+        self.iteration = 0
+        self._loads = None
+        self._capacities = None
+        self._active = None
+        self._refresh_balance(full=True)
+        self._activate_all()
+
+    # ------------------------------------------------------------------
+    # Balance bookkeeping
+    # ------------------------------------------------------------------
+
+    def _refresh_balance(self, full=False):
+        """Recompute capacities (and optionally loads) from the live graph.
+
+        The balance policy is the single source of truth for capacities —
+        ``state.capacities`` is kept in sync so no stale vector set by an
+        initial partitioner can disagree with the quotas.
+        """
+        balance = self.config.balance
+        self._capacities = list(
+            balance.capacities(self.graph, self.state.num_partitions)
+        )
+        self.state.capacities = list(self._capacities)
+        if full:
+            loads = [0.0] * self.state.num_partitions
+            for v, pid in self.state.assignment_items():
+                loads[pid] += balance.load_of(self.graph, v)
+            self._loads = loads
+
+    @property
+    def loads(self):
+        """Copy of the per-partition load vector (in balance-policy units)."""
+        return list(self._loads)
+
+    @property
+    def capacities(self):
+        """Copy of the per-partition capacity vector."""
+        return list(self._capacities)
+
+    def remaining_capacities(self):
+        """``C_t(i)`` vector: capacity minus current load, per partition."""
+        return [c - l for c, l in zip(self._capacities, self._loads)]
+
+    # ------------------------------------------------------------------
+    # Active-set maintenance
+    # ------------------------------------------------------------------
+
+    def _tracking_active(self):
+        return self.config.track_active and not getattr(
+            self.config.heuristic, "uses_capacity", False
+        )
+
+    def _activate_all(self):
+        self._active = set(self.graph.vertices())
+
+    def _activate(self, vertex):
+        if vertex in self.graph:
+            self._active.add(vertex)
+
+    def _activate_neighbourhood(self, vertex):
+        self._activate(vertex)
+        if vertex in self.graph:
+            for w in self.graph.neighbors(vertex):
+                self._active.add(w)
+
+    @property
+    def active_count(self):
+        """Number of vertices that will be evaluated next iteration."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # One iteration
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Run one synchronous iteration; returns its :class:`IterationStats`."""
+        state = self.state
+        config = self.config
+        remaining = self.remaining_capacities()
+        quotas = QuotaTable(remaining, state.num_partitions)
+        candidates = (
+            list(self._active)
+            if self._tracking_active()
+            else list(self.graph.vertices())
+        )
+        # Random evaluation order so quota contention is unbiased.
+        self._rng.shuffle(candidates)
+
+        admitted_moves = []
+        wanted = 0
+        blocked = 0
+        kept_active = set()
+        for v in candidates:
+            current = state.partition_of_or_none(v)
+            if current is None:
+                continue
+            counts = state.neighbour_partition_counts(v)
+            desired = config.heuristic.desired_partition(current, counts, remaining)
+            if desired == current:
+                continue  # settled: drops out of the active set
+            wanted += 1
+            kept_active.add(v)  # still unhappy until the move lands
+            if self._rng.random() >= config.willingness:
+                continue  # willingness coin says wait this iteration
+            load = config.balance.load_of(self.graph, v)
+            if not quotas.try_consume(current, desired, load):
+                blocked += 1
+                continue
+            admitted_moves.append((v, current, desired, load))
+
+        # Apply all admitted moves together (synchronous semantics: no
+        # decision above saw any of these relocations).
+        for v, old_pid, new_pid, load in admitted_moves:
+            state.move(v, new_pid)
+            self._loads[old_pid] -= load
+            self._loads[new_pid] += load
+
+        if self._tracking_active():
+            self._active = kept_active
+            for v, _, __, ___ in admitted_moves:
+                self._activate_neighbourhood(v)
+
+        self.iteration += 1
+        sizes = state.sizes
+        stats = IterationStats(
+            iteration=self.iteration,
+            migrations=len(admitted_moves),
+            wanted_migrations=wanted,
+            blocked_migrations=blocked,
+            cut_edges=state.cut_edges,
+            cut_ratio=state.cut_ratio(),
+            max_partition_size=max(sizes),
+            min_partition_size=min(sizes),
+            imbalance=state.imbalance(),
+            active_vertices=len(candidates),
+        )
+        self.timeline.append(stats)
+        self.detector.observe(stats.migrations)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Convergence loop
+    # ------------------------------------------------------------------
+
+    @property
+    def converged(self):
+        return self.detector.converged
+
+    @property
+    def convergence_time(self):
+        """Iterations of useful work before the quiet window (paper metric)."""
+        return self.detector.convergence_time
+
+    def run_until_convergence(self, max_iterations=10000):
+        """Step until the quiet window fills or ``max_iterations`` elapse.
+
+        Returns the timeline (also kept on the runner).
+        """
+        while not self.detector.converged and self.iteration < max_iterations:
+            self.step()
+        return self.timeline
+
+    # ------------------------------------------------------------------
+    # Dynamic adaptation
+    # ------------------------------------------------------------------
+
+    def apply_events(self, events):
+        """Apply graph mutations and re-arm the algorithm around them.
+
+        New vertices are placed by the configured placement strategy (hash
+        by default, as in the paper's streaming system); removed vertices
+        leave their partition; every touched neighbourhood re-enters the
+        active set and the convergence window resets.
+
+        Returns the number of events that changed the graph.
+        """
+        changed = 0
+        for event in events:
+            if self._apply_one(event):
+                changed += 1
+        if changed:
+            self.detector.reset()
+            self._refresh_balance(full=True)
+        return changed
+
+    def _apply_one(self, event):
+        graph = self.graph
+        state = self.state
+        if isinstance(event, AddVertex):
+            if event.vertex in graph:
+                return False
+            graph.add_vertex(event.vertex)
+            self.config.placement.place(state, event.vertex)
+            self._activate(event.vertex)
+            return True
+        if isinstance(event, RemoveVertex):
+            if event.vertex not in graph:
+                return False
+            neighbours = list(graph.neighbors(event.vertex))
+            state.remove_vertex(event.vertex)  # before edges disappear
+            graph.remove_vertex(event.vertex)
+            self._active.discard(event.vertex)
+            for w in neighbours:
+                self._activate(w)
+            return True
+        if isinstance(event, AddEdge):
+            for endpoint in (event.u, event.v):
+                if endpoint not in graph:
+                    graph.add_vertex(endpoint)
+                    self.config.placement.place(state, endpoint)
+            if not graph.add_edge(event.u, event.v):
+                return False
+            state.on_edge_added(event.u, event.v)
+            self._activate(event.u)
+            self._activate(event.v)
+            return True
+        if isinstance(event, RemoveEdge):
+            if not graph.remove_edge(event.u, event.v):
+                return False
+            state.on_edge_removed(event.u, event.v)
+            self._activate(event.u)
+            self._activate(event.v)
+            return True
+        raise TypeError(f"unknown graph event {event!r}")
+
+
+def run_to_convergence(graph, state, config=None, max_iterations=10000):
+    """One-shot convenience: run the adaptive algorithm to convergence.
+
+    Returns ``(runner, timeline)``; the runner exposes ``convergence_time``
+    and the final state remains bound to ``state``.
+    """
+    runner = AdaptiveRunner(graph, state, config)
+    timeline = runner.run_until_convergence(max_iterations=max_iterations)
+    return runner, timeline

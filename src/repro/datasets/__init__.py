@@ -1,0 +1,23 @@
+"""The Table-1 dataset catalog.
+
+Every graph named in the paper's Table 1 is buildable from here, at the
+published size or scaled down for laptop runs (the real downloads — SNAP,
+LAW, Walshaw archive — are replaced by matched-moment synthetic builders;
+DESIGN.md §4 records each substitution).
+"""
+
+from repro.datasets.catalog import (
+    CATALOG,
+    DatasetSpec,
+    build_dataset,
+    dataset_names,
+    table1_rows,
+)
+
+__all__ = [
+    "CATALOG",
+    "DatasetSpec",
+    "build_dataset",
+    "dataset_names",
+    "table1_rows",
+]

@@ -1,0 +1,51 @@
+"""Synthetic graph and stream generators.
+
+Everything the paper's evaluation feeds the partitioner is reproducible from
+this package:
+
+* :mod:`mesh` — 3-D regular cubic FEM meshes (the cardiac-tissue graphs) and
+  2-D grids;
+* :mod:`powerlaw` — Holme–Kim power-law-cluster graphs, the paper's synthetic
+  "plc" family (average degree ``log |V|``, rewiring/triad probability 0.1);
+* :mod:`random_graphs` — Erdős–Rényi and preferential-attachment graphs used
+  as stand-ins for the real power-law datasets (wiki-Vote, Epinions);
+* :mod:`forest_fire` — the forest-fire expansion model used to grow a graph
+  by a burst of new vertices (the Fig. 7(b) load peak);
+* :mod:`social` — a diurnal synthetic Twitter mention stream (Fig. 8);
+* :mod:`cdr` — a synthetic telco call-detail-record stream with weekly
+  add/remove churn (Fig. 9).
+"""
+
+from repro.generators.cdr import CdrStreamConfig, generate_cdr_stream
+from repro.generators.forest_fire import forest_fire_expansion, forest_fire_graph
+from repro.generators.mesh import (
+    grid_2d,
+    mesh_3d,
+    mesh_with_vertex_count,
+    triangulated_grid_2d,
+)
+from repro.generators.powerlaw import (
+    paper_average_degree,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+)
+from repro.generators.random_graphs import erdos_renyi_graph, ring_lattice
+from repro.generators.social import TweetStreamConfig, generate_tweet_stream
+
+__all__ = [
+    "CdrStreamConfig",
+    "TweetStreamConfig",
+    "erdos_renyi_graph",
+    "forest_fire_expansion",
+    "forest_fire_graph",
+    "generate_cdr_stream",
+    "generate_tweet_stream",
+    "grid_2d",
+    "mesh_3d",
+    "mesh_with_vertex_count",
+    "paper_average_degree",
+    "powerlaw_cluster_graph",
+    "preferential_attachment_graph",
+    "ring_lattice",
+    "triangulated_grid_2d",
+]

@@ -1,0 +1,144 @@
+"""Graph mutation events.
+
+The streaming use cases (Twitter mentions, telco CDR, forest-fire bursts) all
+speak the same four-verb vocabulary.  Events are small immutable records so
+streams can be generated once and replayed against many system configurations
+(e.g. the paper's paired clusters: adaptive vs static hash).
+"""
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "AddEdge",
+    "AddVertex",
+    "EventKind",
+    "GraphEvent",
+    "RemoveEdge",
+    "RemoveVertex",
+    "apply_event",
+    "apply_events",
+    "invert_event",
+]
+
+
+class EventKind(enum.Enum):
+    """Discriminator for the four mutation verbs."""
+
+    ADD_VERTEX = "add_vertex"
+    REMOVE_VERTEX = "remove_vertex"
+    ADD_EDGE = "add_edge"
+    REMOVE_EDGE = "remove_edge"
+
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """Base class for mutation events; use the concrete subclasses."""
+
+    @property
+    def kind(self):
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddVertex(GraphEvent):
+    """Inject a new (isolated) vertex."""
+
+    vertex: object
+
+    @property
+    def kind(self):
+        return EventKind.ADD_VERTEX
+
+
+@dataclass(frozen=True)
+class RemoveVertex(GraphEvent):
+    """Remove a vertex and all its incident edges."""
+
+    vertex: object
+
+    @property
+    def kind(self):
+        return EventKind.REMOVE_VERTEX
+
+
+@dataclass(frozen=True)
+class AddEdge(GraphEvent):
+    """Inject an undirected edge (endpoints are created if absent)."""
+
+    u: object
+    v: object
+
+    @property
+    def kind(self):
+        return EventKind.ADD_EDGE
+
+
+@dataclass(frozen=True)
+class RemoveEdge(GraphEvent):
+    """Remove an undirected edge (endpoints stay)."""
+
+    u: object
+    v: object
+
+    @property
+    def kind(self):
+        return EventKind.REMOVE_EDGE
+
+
+def apply_event(graph, event):
+    """Apply one event to ``graph``; returns True when it changed the graph."""
+    if isinstance(event, AddVertex):
+        return graph.add_vertex(event.vertex)
+    if isinstance(event, RemoveVertex):
+        return graph.remove_vertex(event.vertex)
+    if isinstance(event, AddEdge):
+        return graph.add_edge(event.u, event.v)
+    if isinstance(event, RemoveEdge):
+        return graph.remove_edge(event.u, event.v)
+    raise TypeError(f"unknown graph event {event!r}")
+
+
+def apply_events(graph, events):
+    """Apply a sequence of events; returns the count that changed the graph."""
+    changed = 0
+    for event in events:
+        if apply_event(graph, event):
+            changed += 1
+    return changed
+
+
+def invert_event(event, graph):
+    """Return the events that undo ``event`` against the *current* ``graph``.
+
+    Must be called *before* applying the event.  Removing a vertex expands to
+    re-adding the vertex plus its incident edges, so the inverse is a list.
+    Events that would not change the graph invert to an empty list.
+    """
+    if isinstance(event, AddVertex):
+        return [] if event.vertex in graph else [RemoveVertex(event.vertex)]
+    if isinstance(event, RemoveVertex):
+        if event.vertex not in graph:
+            return []
+        restore = [AddVertex(event.vertex)]
+        restore.extend(
+            AddEdge(event.vertex, w) for w in graph.neighbors(event.vertex)
+        )
+        return restore
+    if isinstance(event, AddEdge):
+        inverse = []
+        if event.u == event.v:
+            raise ValueError("self-loop event cannot be inverted or applied")
+        if graph.has_edge(event.u, event.v):
+            return []
+        # add_edge may implicitly create endpoints; undo those too.
+        inverse.append(RemoveEdge(event.u, event.v))
+        for endpoint in (event.u, event.v):
+            if endpoint not in graph:
+                inverse.append(RemoveVertex(endpoint))
+        return inverse
+    if isinstance(event, RemoveEdge):
+        if not graph.has_edge(event.u, event.v):
+            return []
+        return [AddEdge(event.u, event.v)]
+    raise TypeError(f"unknown graph event {event!r}")

@@ -1,0 +1,252 @@
+"""Dynamic undirected graph with adjacency sets.
+
+This is the substrate every layer shares: generators produce it, initial
+partitioners consume it, the adaptive heuristic reads neighbourhoods from it,
+and the Pregel system mutates it while computing.  Design points:
+
+* **Undirected** — the paper's cut-edge objective treats edges symmetrically
+  (a directed mention stream is folded to undirected ties by the generators).
+* **Dynamic** — O(1) amortised vertex/edge insertion and removal; removing a
+  vertex detaches all incident edges, exactly the semantics the streaming use
+  cases need.
+* **Self-loop free** — self edges carry no partitioning information (a vertex
+  is always co-located with itself) and are rejected.
+"""
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A mutable undirected graph over hashable vertex identifiers.
+
+    >>> g = Graph()
+    >>> g.add_edge(1, 2)
+    True
+    >>> g.add_edge(2, 3)
+    True
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges=None, vertices=None):
+        self._adj = {}
+        self._num_edges = 0
+        if vertices is not None:
+            for v in vertices:
+                self.add_vertex(v)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v):
+        """Add an isolated vertex.  Returns True if it was new."""
+        if v in self._adj:
+            return False
+        self._adj[v] = set()
+        return True
+
+    def remove_vertex(self, v):
+        """Remove ``v`` and all incident edges.  Returns True if present."""
+        neighbours = self._adj.pop(v, None)
+        if neighbours is None:
+            return False
+        for w in neighbours:
+            self._adj[w].discard(v)
+        self._num_edges -= len(neighbours)
+        return True
+
+    def add_edge(self, u, v):
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Returns True if the edge was new.  Self-loops are rejected.
+        """
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u, v):
+        """Remove the edge ``{u, v}`` if present.  Returns True if removed.
+
+        Endpoints are left in the graph even if isolated afterwards — the
+        streaming use cases reap inactive vertices explicitly.
+        """
+        adj_u = self._adj.get(u)
+        if adj_u is None or v not in adj_u:
+            return False
+        adj_u.discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, v):
+        return v in self._adj
+
+    def __len__(self):
+        return len(self._adj)
+
+    def __iter__(self):
+        return iter(self._adj)
+
+    @property
+    def num_vertices(self):
+        """Number of vertices currently in the graph."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self):
+        """Number of undirected edges currently in the graph."""
+        return self._num_edges
+
+    def has_edge(self, u, v):
+        """True when the undirected edge ``{u, v}`` exists."""
+        adj_u = self._adj.get(u)
+        return adj_u is not None and v in adj_u
+
+    def neighbors(self, v):
+        """The (live) neighbour set of ``v``.
+
+        Returns the internal set for speed; callers must not mutate it.
+        """
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise KeyError(f"vertex {v!r} not in graph") from None
+
+    def degree(self, v):
+        """Number of neighbours of ``v``."""
+        return len(self.neighbors(v))
+
+    def vertices(self):
+        """Iterate over vertex identifiers (insertion order)."""
+        return iter(self._adj)
+
+    def edges(self):
+        """Iterate over undirected edges, each reported once as ``(u, v)``.
+
+        For orderable identifiers the smaller endpoint comes first; for mixed
+        identifier types an arbitrary-but-deterministic endpoint order is
+        used.
+        """
+        seen = set()
+        for u, neighbours in self._adj.items():
+            for v in neighbours:
+                key = frozenset((u, v))
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    yield (u, v) if u <= v else (v, u)
+                except TypeError:
+                    yield (u, v)
+
+    def isolated_vertices(self):
+        """Iterate over vertices with no incident edges."""
+        for v, neighbours in self._adj.items():
+            if not neighbours:
+                yield v
+
+    # ------------------------------------------------------------------
+    # Derived views / bulk helpers
+    # ------------------------------------------------------------------
+
+    def copy(self):
+        """Deep copy of the topology (identifiers are shared, sets are not)."""
+        clone = Graph()
+        clone._adj = {v: set(ns) for v, ns in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def subgraph(self, vertices):
+        """Induced subgraph over ``vertices`` (missing ids are ignored)."""
+        keep = {v for v in vertices if v in self._adj}
+        sub = Graph()
+        for v in keep:
+            sub.add_vertex(v)
+        for v in keep:
+            for w in self._adj[v]:
+                if w in keep and not sub.has_edge(v, w):
+                    sub.add_edge(v, w)
+        return sub
+
+    def degree_histogram(self):
+        """Map degree -> number of vertices with that degree."""
+        hist = {}
+        for neighbours in self._adj.values():
+            d = len(neighbours)
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def average_degree(self):
+        """Mean vertex degree (0.0 for an empty graph)."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._adj)
+
+    def connected_components(self):
+        """List of vertex sets, one per connected component (BFS)."""
+        unvisited = set(self._adj)
+        components = []
+        while unvisited:
+            root = next(iter(unvisited))
+            component = {root}
+            frontier = [root]
+            unvisited.discard(root)
+            while frontier:
+                current = frontier.pop()
+                for w in self._adj[current]:
+                    if w in unvisited:
+                        unvisited.discard(w)
+                        component.add(w)
+                        frontier.append(w)
+            components.append(component)
+        return components
+
+    def giant_component_fraction(self):
+        """Fraction of vertices in the largest connected component."""
+        if not self._adj:
+            return 0.0
+        return max(len(c) for c in self.connected_components()) / len(self._adj)
+
+    def validate(self):
+        """Check internal invariants; raises AssertionError on corruption.
+
+        Used by property-based tests after arbitrary mutation sequences.
+        """
+        edge_count = 0
+        for v, neighbours in self._adj.items():
+            if v in neighbours:
+                raise AssertionError(f"self-loop stored on {v!r}")
+            for w in neighbours:
+                if w not in self._adj:
+                    raise AssertionError(f"dangling neighbour {w!r} of {v!r}")
+                if v not in self._adj[w]:
+                    raise AssertionError(f"asymmetric edge {v!r}->{w!r}")
+            edge_count += len(neighbours)
+        if edge_count != 2 * self._num_edges:
+            raise AssertionError(
+                f"edge count drift: counted {edge_count // 2}, "
+                f"stored {self._num_edges}"
+            )
+        return True
+
+    def __repr__(self):
+        return f"Graph(|V|={self.num_vertices}, |E|={self.num_edges})"

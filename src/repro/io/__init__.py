@@ -1,0 +1,31 @@
+"""Graph and partition persistence.
+
+The reproduction generates all its graphs synthetically (no network
+access), but downstream users will want to run the partitioner on real
+edge lists — SNAP's wiki-Vote/Epinions, the Walshaw archive's 3elt/4elt —
+and to persist/compare partitionings across runs.  This package provides
+those formats:
+
+* :mod:`edgelist` — whitespace/comment-tolerant edge-list reader/writer
+  (the format SNAP and the Walshaw archive distribute);
+* :mod:`partition` — save/load of vertex→partition assignments, and an
+  event-log format for recorded mutation streams so experiments can be
+  replayed bit-for-bit.
+"""
+
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.partition import (
+    load_event_stream,
+    load_partition,
+    save_event_stream,
+    save_partition,
+)
+
+__all__ = [
+    "load_event_stream",
+    "load_partition",
+    "read_edgelist",
+    "save_event_stream",
+    "save_partition",
+    "write_edgelist",
+]

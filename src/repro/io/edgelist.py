@@ -1,0 +1,68 @@
+"""Edge-list files (the SNAP / Walshaw-archive interchange format).
+
+One edge per line, two whitespace-separated vertex ids; ``#`` and ``%``
+lines are comments (SNAP uses ``#``, the Walshaw archive's Chaco headers
+start differently but converted lists commonly use ``%``).  Ids are read
+as ints when every id in the file parses as one, else kept as strings —
+mixed files would break id ordering, so the promotion is all-or-nothing.
+"""
+
+from repro.graph import Graph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def read_edgelist(path, directed_dedup=True):
+    """Read an edge list into a :class:`~repro.graph.Graph`.
+
+    ``directed_dedup``: SNAP ships directed pairs (both ``a b`` and
+    ``b a``); the undirected graph stores each such tie once (the Graph
+    handles duplicates natively — the flag exists only to document intent).
+
+    Returns the graph.  Raises ``ValueError`` on malformed lines.
+    """
+    del directed_dedup  # duplicates collapse in the undirected Graph
+    raw_edges = []
+    all_int = True
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{line_number}: expected two ids, got {stripped!r}"
+                )
+            u, v = parts[0], parts[1]
+            if all_int:
+                try:
+                    int(u), int(v)
+                except ValueError:
+                    all_int = False
+            raw_edges.append((u, v))
+    graph = Graph()
+    for u, v in raw_edges:
+        if all_int:
+            u, v = int(u), int(v)
+        if u != v:  # real datasets occasionally contain self-loops; drop them
+            graph.add_edge(u, v)
+    return graph
+
+
+def write_edgelist(graph, path, header=True):
+    """Write a graph as an edge list (each undirected edge once)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            handle.write(
+                f"# undirected edge list: {graph.num_vertices} vertices, "
+                f"{graph.num_edges} edges\n"
+            )
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+        # isolated vertices would be lost; record them as comments
+        isolated = list(graph.isolated_vertices())
+        if isolated:
+            handle.write("# isolated: " + " ".join(map(str, isolated)) + "\n")

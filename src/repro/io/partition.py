@@ -1,0 +1,89 @@
+"""Persistence of partition assignments and recorded event streams.
+
+Both formats are line-oriented JSON (one record per line) so they stream,
+diff and append cleanly — the properties a long-running experiment needs.
+"""
+
+import json
+
+from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.graph.stream import EventStream
+from repro.partitioning.base import PartitionState
+
+__all__ = [
+    "load_event_stream",
+    "load_partition",
+    "save_event_stream",
+    "save_partition",
+]
+
+_EVENT_CODECS = {
+    "add_vertex": (AddVertex, lambda e: [e.vertex]),
+    "remove_vertex": (RemoveVertex, lambda e: [e.vertex]),
+    "add_edge": (AddEdge, lambda e: [e.u, e.v]),
+    "remove_edge": (RemoveEdge, lambda e: [e.u, e.v]),
+}
+
+
+def save_partition(state, path):
+    """Write a partition assignment: a header line then one record per vertex."""
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "num_partitions": state.num_partitions,
+            "capacities": [
+                None if c == float("inf") else c for c in state.capacities
+            ],
+            "cut_edges": state.cut_edges,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for vertex, pid in state.assignment_items():
+            handle.write(json.dumps([vertex, pid]) + "\n")
+
+
+def load_partition(graph, path):
+    """Load an assignment saved by :func:`save_partition` onto ``graph``.
+
+    Vertices present in the file but absent from the graph are skipped
+    (the graph may have churned since the save); the returned state's cut
+    count is recomputed from the live graph, not trusted from the file.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+        capacities = [
+            float("inf") if c is None else c for c in header["capacities"]
+        ]
+        state = PartitionState(graph, header["num_partitions"], capacities)
+        for line in handle:
+            if not line.strip():
+                continue
+            vertex, pid = json.loads(line)
+            if vertex in graph:
+                state.assign(vertex, pid)
+    return state
+
+
+def save_event_stream(stream, path):
+    """Write a timestamped event stream, one ``[time, kind, args]`` per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for te in stream:
+            kind = te.event.kind.value
+            _, encode = _EVENT_CODECS[kind]
+            handle.write(json.dumps([te.time, kind, encode(te.event)]) + "\n")
+
+
+def load_event_stream(path):
+    """Read a stream saved by :func:`save_event_stream`."""
+    stream = EventStream()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            time, kind, args = json.loads(line)
+            try:
+                cls, _ = _EVENT_CODECS[kind]
+            except KeyError:
+                raise ValueError(
+                    f"{path}:{line_number}: unknown event kind {kind!r}"
+                ) from None
+            stream.push(time, cls(*args))
+    return stream

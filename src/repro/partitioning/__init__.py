@@ -1,0 +1,57 @@
+"""Partition state and initial partitioning strategies.
+
+The paper evaluates its adaptive heuristic starting from four initial
+placements (§4.2.1) plus a centralised reference:
+
+* **HSH** — hash partitioning, ``H(v) mod k`` (the large-scale default);
+* **RND** — balanced pseudo-random placement;
+* **DGR** — Stanton & Kliot's streaming *linear deterministic greedy*;
+* **MNN** — the stream-based *minimum number of neighbours* heuristic of
+  Prabhakaran et al.;
+* **METIS line** — a centralised multilevel k-way partitioner
+  (:mod:`repro.partitioning.multilevel`), our from-scratch stand-in for the
+  METIS binary.
+
+All strategies produce a :class:`PartitionState`, the bookkeeping structure
+shared with the adaptive algorithm: vertex→partition assignment, partition
+sizes, capacities, and an incrementally-maintained cut-edge count.
+"""
+
+from repro.partitioning.base import (
+    PartitionState,
+    Partitioner,
+    balanced_capacities,
+)
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.ldg import LinearDeterministicGreedy
+from repro.partitioning.mnn import MinimumNeighbours
+from repro.partitioning.multilevel import MultilevelPartitioner
+from repro.partitioning.random_partition import RandomPartitioner
+from repro.partitioning.registry import STRATEGIES, make_partitioner
+from repro.partitioning.streaming import (
+    BalancedPartitioner,
+    ChunkingPartitioner,
+    ExponentialGreedy,
+    STREAMING_STRATEGIES,
+    TriangleGreedy,
+    UnweightedGreedy,
+)
+
+__all__ = [
+    "BalancedPartitioner",
+    "ChunkingPartitioner",
+    "ExponentialGreedy",
+    "HashPartitioner",
+    "LinearDeterministicGreedy",
+    "MinimumNeighbours",
+    "MultilevelPartitioner",
+    "PartitionState",
+    "Partitioner",
+    "RandomPartitioner",
+    "STRATEGIES",
+    "STREAMING_STRATEGIES",
+    "TriangleGreedy",
+    "UnweightedGreedy",
+    "balanced_capacities",
+    "make_partitioner",
+]

@@ -1,0 +1,59 @@
+"""MNN — stream-based "minimum number of neighbours" placement.
+
+The paper's fourth strategy "applies the same stream-based approach to the
+'minimum number of neighbours' heuristic presented in [28]" (Prabhakaran et
+al., USENIX ATC 2012 — Grace).  Grace spreads a vertex *away* from where its
+neighbours sit (minimising contention on multi-cores), so as an edge-cut
+strategy it is intentionally adversarial: it produces many cut edges and,
+like RND, exists to show the adaptive heuristic can recover from a bad
+start.
+"""
+
+from repro.partitioning.base import (
+    Partitioner,
+    PartitionState,
+    balanced_capacities,
+)
+
+__all__ = ["MinimumNeighbours"]
+
+
+class MinimumNeighbours(Partitioner):
+    """Place each arriving vertex where the *fewest* of its neighbours live.
+
+    Ties break to the partition with more remaining capacity, then lower id,
+    keeping the pass deterministic.
+    """
+
+    name = "MNN"
+
+    def __init__(self, stream_order=None):
+        self.stream_order = stream_order
+
+    def partition(self, graph, num_partitions, capacities=None):
+        if capacities is None:
+            capacities = balanced_capacities(graph.num_vertices, num_partitions)
+        state = PartitionState(graph, num_partitions, capacities)
+        order = (
+            self.stream_order if self.stream_order is not None else graph.vertices()
+        )
+        for v in order:
+            self.place(state, v)
+        return state
+
+    def place(self, state, vertex):
+        counts = state.neighbour_partition_counts(vertex)
+        best_pid = None
+        best_key = None
+        for pid in range(state.num_partitions):
+            remaining = state.remaining_capacity(pid)
+            if remaining <= 0:
+                continue
+            key = (counts.get(pid, 0), -remaining, pid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pid = pid
+        if best_pid is None:
+            best_pid = max(range(state.num_partitions), key=state.remaining_capacity)
+        state.assign(vertex, best_pid)
+        return best_pid

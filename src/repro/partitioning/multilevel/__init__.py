@@ -1,0 +1,26 @@
+"""Multilevel k-way graph partitioner — our METIS stand-in.
+
+The paper benchmarks its decentralised heuristic against METIS, "a
+state-of-the-art centralised graph partitioning algorithm", shown as the
+dashed reference line in Fig. 4.  METIS is a closed-source C binary we
+cannot ship, so this subpackage implements the same classic multilevel
+scheme (Karypis & Kumar) from scratch:
+
+1. **Coarsening** (:mod:`coarsen`) — repeated heavy-edge matching collapses
+   the graph by ~half per level while preserving cut structure in the edge
+   weights;
+2. **Initial partitioning** (:mod:`initial`) — greedy graph growing bisects
+   the coarsest graph from a pseudo-peripheral seed;
+3. **Refinement** (:mod:`refine`) — Fiduccia–Mattheyses boundary refinement
+   with best-prefix rollback runs at every uncoarsening level;
+4. **k-way** (:mod:`kway`) — recursive bisection composes bisections into a
+   k-way partitioning for arbitrary k (the paper uses k = 9).
+
+It is centralised and needs the whole graph in one place — exactly the
+property the paper contrasts against — but it provides the quality
+reference the decentralised heuristic is shown to approach.
+"""
+
+from repro.partitioning.multilevel.kway import MultilevelPartitioner
+
+__all__ = ["MultilevelPartitioner"]

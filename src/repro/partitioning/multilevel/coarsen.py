@@ -1,0 +1,103 @@
+"""Heavy-edge-matching coarsening.
+
+Each level computes a maximal matching preferring heavy edges, collapses
+matched pairs into super-vertices, and sums parallel edges.  Heavy-edge
+preference keeps heavy (i.e. many-original-edge) connections *inside*
+super-vertices, so the coarse graph's cut is a faithful proxy for the fine
+graph's.
+"""
+
+from repro.partitioning.multilevel.weighted import WeightedGraph
+
+__all__ = ["CoarseningLevel", "coarsen_once", "coarsen_to_size"]
+
+
+class CoarseningLevel:
+    """One level of the hierarchy: the coarse graph plus the fine→coarse map."""
+
+    __slots__ = ("fine", "coarse", "fine_to_coarse")
+
+    def __init__(self, fine, coarse, fine_to_coarse):
+        self.fine = fine
+        self.coarse = coarse
+        self.fine_to_coarse = fine_to_coarse
+
+    def project(self, coarse_assignment):
+        """Project a coarse partition assignment back onto fine vertices."""
+        return {
+            v: coarse_assignment[self.fine_to_coarse[v]]
+            for v in self.fine.vertices()
+        }
+
+
+def _heavy_edge_matching(graph, rng):
+    """Maximal matching preferring heavy edges; returns {vertex: mate|None}.
+
+    Vertices are visited in random order (breaking adversarial structure);
+    each unmatched vertex matches its heaviest unmatched neighbour, with ties
+    broken towards the lighter vertex weight to keep super-vertices even.
+    """
+    mate = {}
+    order = list(graph.vertices())
+    rng.shuffle(order)
+    for v in order:
+        if v in mate:
+            continue
+        best = None
+        best_key = None
+        for w, edge_weight in graph.neighbors(v).items():
+            if w in mate:
+                continue
+            key = (edge_weight, -graph.vertex_weight[w])
+            if best_key is None or key > best_key:
+                best_key = key
+                best = w
+        if best is None:
+            mate[v] = None
+        else:
+            mate[v] = best
+            mate[best] = v
+    return mate
+
+
+def coarsen_once(graph, rng):
+    """Build the next coarser level; returns a :class:`CoarseningLevel`."""
+    mate = _heavy_edge_matching(graph, rng)
+    coarse = WeightedGraph()
+    fine_to_coarse = {}
+    next_id = 0
+    for v in graph.vertices():
+        if v in fine_to_coarse:
+            continue
+        partner = mate.get(v)
+        weight = graph.vertex_weight[v]
+        fine_to_coarse[v] = next_id
+        if partner is not None:
+            fine_to_coarse[partner] = next_id
+            weight += graph.vertex_weight[partner]
+        coarse.add_vertex(next_id, weight)
+        next_id += 1
+    for u, v, w in graph.edges():
+        cu = fine_to_coarse[u]
+        cv = fine_to_coarse[v]
+        if cu != cv:
+            coarse.add_edge(cu, cv, w)
+    return CoarseningLevel(graph, coarse, fine_to_coarse)
+
+
+def coarsen_to_size(graph, target_vertices, rng, shrink_floor=0.95):
+    """Coarsen until ``target_vertices`` or progress stalls.
+
+    Returns the list of levels, finest first.  Stops early when a level
+    shrinks by less than ``1 - shrink_floor`` (matching saturates on dense or
+    star-like graphs).
+    """
+    levels = []
+    current = graph
+    while current.num_vertices > target_vertices:
+        level = coarsen_once(current, rng)
+        levels.append(level)
+        if level.coarse.num_vertices >= current.num_vertices * shrink_floor:
+            break
+        current = level.coarse
+    return levels

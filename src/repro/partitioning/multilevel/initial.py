@@ -1,0 +1,95 @@
+"""Initial bisection of the coarsest graph.
+
+Greedy graph growing (GGGP): grow region 0 outward from a pseudo-peripheral
+seed, always absorbing the frontier vertex whose move cuts the fewest edge
+weight, until region 0 holds the target vertex weight.  Several seeds are
+tried and the best bisection kept.
+"""
+
+import heapq
+
+__all__ = ["greedy_bisection", "pseudo_peripheral_vertex"]
+
+
+def pseudo_peripheral_vertex(graph, start, hops=2):
+    """A vertex far from ``start``: repeat BFS-to-farthest ``hops`` times."""
+    current = start
+    for _ in range(hops):
+        distances = {current: 0}
+        frontier = [current]
+        farthest = current
+        while frontier:
+            next_frontier = []
+            for v in frontier:
+                for w in graph.neighbors(v):
+                    if w not in distances:
+                        distances[w] = distances[v] + 1
+                        next_frontier.append(w)
+                        farthest = w
+            frontier = next_frontier
+        current = farthest
+    return current
+
+
+def _grow_from(graph, seed, target_weight):
+    """Grow one region from ``seed``; returns the 0/1 assignment map."""
+    assignment = {v: 1 for v in graph.vertices()}
+    region_weight = 0
+    # Max-heap on gain = (internal weight gained) - (external weight exposed);
+    # approximated by weight-to-region minus weight-to-outside.
+    in_region = set()
+    counter = 0
+    heap = [(0.0, counter, seed)]
+    enqueued = {seed}
+    while heap and region_weight < target_weight:
+        _, __, v = heapq.heappop(heap)
+        if v in in_region:
+            continue
+        in_region.add(v)
+        assignment[v] = 0
+        region_weight += graph.vertex_weight[v]
+        for w in graph.neighbors(v):
+            if w in in_region:
+                continue
+            to_region = sum(
+                weight
+                for x, weight in graph.neighbors(w).items()
+                if x in in_region
+            )
+            gain = 2 * to_region - graph.weighted_degree(w)
+            counter += 1
+            if w not in enqueued:
+                enqueued.add(w)
+            heapq.heappush(heap, (-gain, counter, w))
+        if not heap and region_weight < target_weight:
+            # Disconnected remainder: seed a new component.
+            outside = next(
+                (u for u in graph.vertices() if u not in in_region), None
+            )
+            if outside is None:
+                break
+            counter += 1
+            heapq.heappush(heap, (0.0, counter, outside))
+    return assignment
+
+
+def greedy_bisection(graph, target_weight, rng, num_tries=4):
+    """Best-of-``num_tries`` greedy-grown bisection.
+
+    Returns the 0/1 assignment map with the smallest cut weight whose region
+    0 reaches approximately ``target_weight``.
+    """
+    vertices = list(graph.vertices())
+    if not vertices:
+        return {}
+    best_assignment = None
+    best_cut = None
+    for attempt in range(num_tries):
+        start = vertices[rng.randrange(len(vertices))]
+        seed = pseudo_peripheral_vertex(graph, start) if attempt % 2 == 0 else start
+        assignment = _grow_from(graph, seed, target_weight)
+        cut = graph.cut_weight(assignment)
+        if best_cut is None or cut < best_cut:
+            best_cut = cut
+            best_assignment = assignment
+    return best_assignment

@@ -1,0 +1,96 @@
+"""k-way partitioning by recursive multilevel bisection.
+
+For arbitrary k (the paper uses 9) the driver splits the target partition
+count as evenly as possible at each level — e.g. 9 → (5, 4) → ((3, 2),
+(2, 2)) — and asks the multilevel bisector for a weight split proportional
+to the sub-counts.
+"""
+
+from repro.partitioning.base import Partitioner, PartitionState
+from repro.partitioning.multilevel.coarsen import coarsen_to_size
+from repro.partitioning.multilevel.initial import greedy_bisection
+from repro.partitioning.multilevel.refine import fm_refine
+from repro.partitioning.multilevel.weighted import WeightedGraph
+from repro.utils import make_rng
+
+__all__ = ["MultilevelPartitioner"]
+
+
+def _multilevel_bisect(graph, fraction_0, rng, coarsest_size, tolerance):
+    """Bisect a WeightedGraph; side 0 gets ``fraction_0`` of the weight.
+
+    Returns the 0/1 assignment map over ``graph``'s vertices.
+    """
+    target_weight_0 = fraction_0 * graph.total_vertex_weight
+    levels = coarsen_to_size(graph, coarsest_size, rng)
+    coarsest = levels[-1].coarse if levels else graph
+    assignment = greedy_bisection(coarsest, target_weight_0, rng)
+    fm_refine(coarsest, assignment, target_weight_0, tolerance=tolerance)
+    for level in reversed(levels):
+        assignment = level.project(assignment)
+        fm_refine(level.fine, assignment, target_weight_0, tolerance=tolerance)
+    return assignment
+
+
+def _split_partition_count(k):
+    """Split k into the two halves recursive bisection will produce."""
+    half = (k + 1) // 2
+    return half, k - half
+
+
+class MultilevelPartitioner(Partitioner):
+    """Centralised multilevel k-way partitioner (the METIS reference line).
+
+    Parameters:
+
+    ``coarsest_size``
+        Stop coarsening once the graph is this small (default 64 vertices).
+    ``tolerance``
+        Balance band for refinement, as a fraction of total weight
+        (default 0.05, i.e. METIS-like 5 % imbalance allowance).
+    ``seed``
+        Seeds matching and seed-vertex selection; fixed seed → fixed output.
+    """
+
+    name = "METIS-like"
+
+    def __init__(self, coarsest_size=64, tolerance=0.05, seed=0):
+        self.coarsest_size = coarsest_size
+        self.tolerance = tolerance
+        self.seed = seed
+
+    def partition(self, graph, num_partitions, capacities=None):
+        state = PartitionState(graph, num_partitions, capacities)
+        weighted = WeightedGraph.from_graph(graph)
+        rng = make_rng(self.seed, "multilevel")
+        assignment = {}
+        self._recurse(weighted, 0, num_partitions, rng, assignment)
+        for v in graph.vertices():
+            state.assign(v, assignment[v])
+        return state
+
+    def _recurse(self, weighted, first_pid, k, rng, out_assignment):
+        """Recursively bisect ``weighted`` into partitions [first_pid, first_pid+k)."""
+        if k == 1 or weighted.num_vertices == 0:
+            for v in weighted.vertices():
+                out_assignment[v] = first_pid
+            return
+        k0, k1 = _split_partition_count(k)
+        side_map = _multilevel_bisect(
+            weighted,
+            fraction_0=k0 / k,
+            rng=rng,
+            coarsest_size=self.coarsest_size,
+            tolerance=self.tolerance,
+        )
+        side0 = WeightedGraph()
+        side1 = WeightedGraph()
+        for v in weighted.vertices():
+            target = side0 if side_map[v] == 0 else side1
+            target.add_vertex(v, weighted.vertex_weight[v])
+        for u, v, w in weighted.edges():
+            if side_map[u] == side_map[v]:
+                target = side0 if side_map[u] == 0 else side1
+                target.add_edge(u, v, w)
+        self._recurse(side0, first_pid, k0, rng, out_assignment)
+        self._recurse(side1, first_pid + k0, k1, rng, out_assignment)

@@ -1,0 +1,115 @@
+"""Fiduccia–Mattheyses boundary refinement for a bisection.
+
+Classic FM with best-prefix rollback: each pass greedily moves the
+highest-gain movable boundary vertex (each vertex at most once per pass),
+tracking the running cut, and finally rewinds to the best prefix seen.
+Balance is enforced as a weight band around the target split.
+"""
+
+import heapq
+
+__all__ = ["fm_refine"]
+
+
+def _gain(graph, assignment, v):
+    """Cut-weight reduction if ``v`` switches sides."""
+    side = assignment[v]
+    internal = 0
+    external = 0
+    for w, weight in graph.neighbors(v).items():
+        if assignment[w] == side:
+            internal += weight
+        else:
+            external += weight
+    return external - internal
+
+
+def fm_refine(
+    graph,
+    assignment,
+    target_weight_0,
+    tolerance=0.05,
+    max_passes=6,
+    max_moves_per_pass=None,
+):
+    """Refine a 0/1 ``assignment`` in place; returns the final cut weight.
+
+    ``target_weight_0`` is the desired vertex weight of side 0; moves keeping
+    side 0 within ``±tolerance × total_weight`` are legal.  Passes repeat
+    until no pass improves the cut.
+    """
+    total_weight = graph.total_vertex_weight
+    band = tolerance * total_weight
+    low = target_weight_0 - band
+    high = target_weight_0 + band
+    weight_0 = sum(
+        graph.vertex_weight[v] for v in graph.vertices() if assignment[v] == 0
+    )
+    cut = graph.cut_weight(assignment)
+
+    for _ in range(max_passes):
+        start_cut = cut
+        locked = set()
+        heap = []
+        counter = 0
+        for v in graph.vertices():
+            g = _gain(graph, assignment, v)
+            heapq.heappush(heap, (-g, counter, v))
+            counter += 1
+        moves = []  # (vertex, cut_after, weight0_after)
+        best_prefix = 0
+        best_cut = cut
+        running_cut = cut
+        running_weight_0 = weight_0
+        move_budget = (
+            max_moves_per_pass
+            if max_moves_per_pass is not None
+            else graph.num_vertices
+        )
+        while heap and len(moves) < move_budget:
+            neg_gain, _, v = heapq.heappop(heap)
+            if v in locked:
+                continue
+            current_gain = _gain(graph, assignment, v)
+            if -neg_gain != current_gain:
+                # Stale entry: re-queue with the fresh gain.
+                counter += 1
+                heapq.heappush(heap, (-current_gain, counter, v))
+                continue
+            vw = graph.vertex_weight[v]
+            if assignment[v] == 0:
+                new_weight_0 = running_weight_0 - vw
+            else:
+                new_weight_0 = running_weight_0 + vw
+            if not low <= new_weight_0 <= high:
+                locked.add(v)
+                continue
+            # Execute the tentative move.
+            assignment[v] = 1 - assignment[v]
+            locked.add(v)
+            running_cut -= current_gain
+            running_weight_0 = new_weight_0
+            moves.append(v)
+            if running_cut < best_cut:
+                best_cut = running_cut
+                best_prefix = len(moves)
+            # Neighbour gains changed; push fresh entries lazily.
+            for w in graph.neighbors(v):
+                if w not in locked:
+                    counter += 1
+                    heapq.heappush(heap, (-_gain(graph, assignment, w), counter, w))
+        # Roll back past the best prefix.
+        for v in moves[best_prefix:]:
+            vw = graph.vertex_weight[v]
+            if assignment[v] == 0:
+                running_weight_0 -= vw
+            else:
+                running_weight_0 += vw
+            assignment[v] = 1 - assignment[v]
+        cut = graph.cut_weight(assignment)
+        weight_0 = sum(
+            graph.vertex_weight[v] for v in graph.vertices() if assignment[v] == 0
+        )
+        if cut >= start_cut:
+            break
+    return cut

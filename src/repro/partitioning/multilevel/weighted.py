@@ -1,0 +1,76 @@
+"""Weighted graph used internally by the multilevel partitioner.
+
+Coarsening collapses matched vertex pairs into super-vertices; vertex
+weights track how many original vertices a super-vertex represents and edge
+weights track how many original edges run between two super-vertices.  Both
+are needed for the coarse-level cut to equal the fine-level cut.
+"""
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """Undirected graph with integer vertex and edge weights."""
+
+    __slots__ = ("adj", "vertex_weight", "total_vertex_weight")
+
+    def __init__(self):
+        self.adj = {}
+        self.vertex_weight = {}
+        self.total_vertex_weight = 0
+
+    @classmethod
+    def from_graph(cls, graph):
+        """Lift an unweighted :class:`repro.graph.Graph` (all weights 1)."""
+        wg = cls()
+        for v in graph.vertices():
+            wg.add_vertex(v, 1)
+        for u, v in graph.edges():
+            wg.add_edge(u, v, 1)
+        return wg
+
+    def add_vertex(self, v, weight=1):
+        if v in self.adj:
+            raise ValueError(f"duplicate vertex {v!r}")
+        self.adj[v] = {}
+        self.vertex_weight[v] = weight
+        self.total_vertex_weight += weight
+
+    def add_edge(self, u, v, weight=1):
+        """Add or reinforce an undirected weighted edge."""
+        if u == v:
+            return
+        self.adj[u][v] = self.adj[u].get(v, 0) + weight
+        self.adj[v][u] = self.adj[v].get(u, 0) + weight
+
+    @property
+    def num_vertices(self):
+        return len(self.adj)
+
+    def vertices(self):
+        return iter(self.adj)
+
+    def neighbors(self, v):
+        """Map neighbour -> edge weight."""
+        return self.adj[v]
+
+    def weighted_degree(self, v):
+        return sum(self.adj[v].values())
+
+    def edges(self):
+        """Yield each undirected edge once as ``(u, v, weight)``."""
+        seen = set()
+        for u, neighbours in self.adj.items():
+            for v, w in neighbours.items():
+                key = frozenset((u, v))
+                if key not in seen:
+                    seen.add(key)
+                    yield u, v, w
+
+    def cut_weight(self, assignment):
+        """Total weight of edges crossing the 0/1 ``assignment`` map."""
+        cut = 0
+        for u, v, w in self.edges():
+            if assignment[u] != assignment[v]:
+                cut += w
+        return cut

@@ -1,0 +1,38 @@
+"""RND — balanced pseudo-random partitioning.
+
+"Vertices were assigned to partitions through a pseudorandom generator,
+still ensuring balanced partitions" (§4.2.1).  We implement the balanced
+variant by shuffling the vertex list and dealing it round-robin, which gives
+sizes differing by at most one.
+"""
+
+from repro.partitioning.base import Partitioner, PartitionState
+from repro.utils import make_rng
+
+__all__ = ["RandomPartitioner"]
+
+
+class RandomPartitioner(Partitioner):
+    """Shuffle vertices with a seeded RNG and deal them round-robin."""
+
+    name = "RND"
+
+    def __init__(self, seed=0):
+        self.seed = seed
+
+    def partition(self, graph, num_partitions, capacities=None):
+        rng = make_rng(self.seed, "random_partitioner")
+        state = PartitionState(graph, num_partitions, capacities)
+        order = list(graph.vertices())
+        rng.shuffle(order)
+        for index, v in enumerate(order):
+            state.assign(v, index % num_partitions)
+        return state
+
+    def place(self, state, vertex):
+        rng = make_rng(self.seed, "random_place", vertex)
+        pid = rng.randrange(state.num_partitions)
+        if state.remaining_capacity(pid) <= 0:
+            pid = max(range(state.num_partitions), key=state.remaining_capacity)
+        state.assign(vertex, pid)
+        return pid

@@ -1,0 +1,39 @@
+"""Name-based strategy registry.
+
+Benchmarks and examples select initial strategies by the paper's labels
+(DGR, HSH, MNN, RND, plus METIS for the reference line); the registry keeps
+that mapping in one place.
+"""
+
+from repro.partitioning.hashing import HashPartitioner
+from repro.partitioning.ldg import LinearDeterministicGreedy
+from repro.partitioning.mnn import MinimumNeighbours
+from repro.partitioning.multilevel import MultilevelPartitioner
+from repro.partitioning.random_partition import RandomPartitioner
+
+__all__ = ["STRATEGIES", "make_partitioner"]
+
+STRATEGIES = {
+    "HSH": HashPartitioner,
+    "RND": RandomPartitioner,
+    "DGR": LinearDeterministicGreedy,
+    "MNN": MinimumNeighbours,
+    "METIS": MultilevelPartitioner,
+}
+
+
+def make_partitioner(name, seed=0):
+    """Instantiate a strategy by paper label; seeded where applicable.
+
+    >>> make_partitioner("HSH").name
+    'HSH'
+    """
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+    if cls in (RandomPartitioner, MultilevelPartitioner):
+        return cls(seed=seed)
+    return cls()

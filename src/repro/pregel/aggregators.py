@@ -1,0 +1,81 @@
+"""Pregel aggregators.
+
+Aggregators are the only global channel the model offers: every vertex may
+contribute a value during superstep t and every vertex may read the folded
+result during t + 1.  The capacity protocol and convergence accounting of
+the background partitioner ride on the same mechanism, exactly as the
+paper's "partitioning API" extends the Pregel API.
+"""
+
+__all__ = ["Aggregators", "MaxAggregator", "MinAggregator", "SumAggregator"]
+
+
+class SumAggregator:
+    """Folds contributions by addition (zero when nobody contributes)."""
+
+    zero = 0
+
+    @staticmethod
+    def fold(accumulator, value):
+        return accumulator + value
+
+
+class MaxAggregator:
+    """Keeps the maximum contribution (None when nobody contributes)."""
+
+    zero = None
+
+    @staticmethod
+    def fold(accumulator, value):
+        if accumulator is None:
+            return value
+        return max(accumulator, value)
+
+
+class MinAggregator:
+    """Keeps the minimum contribution (None when nobody contributes)."""
+
+    zero = None
+
+    @staticmethod
+    def fold(accumulator, value):
+        if accumulator is None:
+            return value
+        return min(accumulator, value)
+
+
+class Aggregators:
+    """Named aggregator registry with the one-superstep visibility delay."""
+
+    def __init__(self):
+        self._kinds = {}
+        self._current = {}
+        self._previous = {}
+
+    def register(self, name, kind):
+        """Register an aggregator under ``name`` (e.g. ``SumAggregator``)."""
+        self._kinds[name] = kind
+        self._current[name] = kind.zero
+        self._previous[name] = kind.zero
+
+    def contribute(self, name, value):
+        """Fold a contribution into the current superstep's accumulator."""
+        kind = self._kinds.get(name)
+        if kind is None:
+            raise KeyError(f"aggregator {name!r} not registered")
+        self._current[name] = kind.fold(self._current[name], value)
+
+    def previous(self, name):
+        """Value folded during the previous superstep."""
+        if name not in self._kinds:
+            raise KeyError(f"aggregator {name!r} not registered")
+        return self._previous[name]
+
+    def barrier(self):
+        """Superstep barrier: expose current values, reset accumulators."""
+        for name, kind in self._kinds.items():
+            self._previous[name] = self._current[name]
+            self._current[name] = kind.zero
+
+    def names(self):
+        return list(self._kinds)

@@ -1,0 +1,46 @@
+"""Worker-to-worker capacity messaging (§3).
+
+Vertices need every partition's remaining capacity to compute quotas, but
+remote messaging obeys the one-iteration Pregel delay.  The paper has each
+worker send its *predicted* capacity for t + 1:
+
+    C_{t+1}(i) = C_t(i) − V_out^{t+1}(i) + V_in^{t+1}(i)
+
+where both migration terms are known one iteration early thanks to the
+deferred-migration announcements.  In the simulation the prediction is
+realised by snapshotting remaining capacities at the barrier *after*
+announcements were applied — i.e. the capacities that will actually hold
+during the next superstep — and exposing exactly that (one-superstep-old
+but self-consistent) vector to the next superstep's migration decisions.
+
+The broadcast itself is metered: k workers each send k − 1 capacity
+messages per superstep, the paper's "proportional to the total number of
+partitions" overhead.
+"""
+
+__all__ = ["CapacityProtocol"]
+
+
+class CapacityProtocol:
+    """Publishes the post-announcement capacity vector once per barrier."""
+
+    def __init__(self, network, num_workers):
+        self._network = network
+        self._num_workers = num_workers
+        self._published = None
+
+    def publish(self, remaining_capacities):
+        """Barrier: broadcast the predicted next-superstep capacities."""
+        self._published = list(remaining_capacities)
+        if self._num_workers > 1:
+            self._network.count_capacity_message(
+                self._num_workers * (self._num_workers - 1)
+            )
+
+    def visible_capacities(self):
+        """The capacity vector migration decisions may consult this superstep.
+
+        None before the first barrier (the paper's first iteration has no
+        capacity information either — no migrations happen at superstep 0).
+        """
+        return None if self._published is None else list(self._published)

@@ -1,0 +1,90 @@
+"""Deferred vertex migration (Fig. 3).
+
+Migrating a vertex the instant it decides would lose messages: neighbours
+addressed it at its old worker.  The paper's protocol defers the move by one
+iteration — at the end of iteration t the origin worker *announces* the
+migration to all workers, so from iteration t + 1 onwards new messages are
+addressed to the new destination, while messages produced during t still
+drain to the old location.
+
+The simulation realises this with a strict barrier ordering (enforced by
+:class:`repro.pregel.system.PregelSystem`):
+
+1. messages produced during superstep t are delivered against the *pre-*
+   announcement placement (old location — nothing is lost);
+2. announced migrations then update the placement, so everything produced
+   from t + 1 onwards routes to the new location;
+3. the physical state transfer happens while t + 1 computes, and the vertex
+   is counted as migrated (and its "migrating" flag cleared) at the t + 1
+   barrier.
+
+Requests made *during* a superstep are therefore never visible to that same
+superstep — the property the protocol exists to guarantee.
+"""
+
+__all__ = ["MigrationProtocol"]
+
+
+class MigrationProtocol:
+    """Collects migration requests and applies them with one-step deferral."""
+
+    def __init__(self, network, num_workers):
+        self._network = network
+        self._num_workers = num_workers
+        self._requested = []  # decided this superstep, not yet announced
+        self._in_flight = {}  # vertex -> (old, new); transferring during t+1
+
+    def request(self, vertex_id, old_worker, new_worker):
+        """A vertex decided (during the current superstep) to migrate."""
+        if old_worker == new_worker:
+            raise ValueError("migration to the same worker is not a migration")
+        self._requested.append((vertex_id, old_worker, new_worker))
+
+    @property
+    def requested_count(self):
+        """Requests queued during the in-flight superstep."""
+        return len(self._requested)
+
+    def is_migrating(self, vertex_id):
+        """True while a vertex is in the red-dashed "migrating" state."""
+        return vertex_id in self._in_flight
+
+    def announce_barrier(self, placement_update):
+        """Barrier step 2: publish this superstep's requests to all workers.
+
+        ``placement_update(vertex_id, new_worker)`` flips the routing
+        placement (the system passes ``PartitionState.move``).  Each origin
+        worker with at least one announcement sends one notification message
+        to every other worker; those messages ride the same network and are
+        counted.  Returns the list of announced ``(vertex, old, new)``.
+        """
+        announced = self._requested
+        self._requested = []
+        origins = set()
+        for vertex_id, old_worker, new_worker in announced:
+            placement_update(vertex_id, new_worker)
+            self._in_flight[vertex_id] = (old_worker, new_worker)
+            origins.add(old_worker)
+        if self._num_workers > 1:
+            self._network.count_migration_notification(
+                len(origins) * (self._num_workers - 1)
+            )
+        return announced
+
+    def complete_barrier(self):
+        """Barrier step 3 (next superstep): finish in-flight transfers.
+
+        Counts the physical migrations on the network and clears the
+        migrating flags.  Returns the completed ``{vertex: (old, new)}``.
+        """
+        completed = self._in_flight
+        self._in_flight = {}
+        self._network.count_migration(len(completed))
+        return completed
+
+    def cancel_vertex(self, vertex_id):
+        """Forget any protocol state for a removed vertex."""
+        self._in_flight.pop(vertex_id, None)
+        self._requested = [
+            r for r in self._requested if r[0] != vertex_id
+        ]

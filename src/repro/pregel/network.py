@@ -1,0 +1,98 @@
+"""Simulated network accounting.
+
+The paper's clusters spend >80 % of iteration time exchanging messages, so
+what our simulation must get right is the *traffic*, not wall-clock.  Every
+superstep records local messages, remote messages, migrations and compute
+units into a :class:`SuperstepTraffic` record; the cost model
+(:mod:`repro.analysis.cost_model`) turns those into the paper's normalised
+"time per iteration".
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkStats", "SuperstepTraffic"]
+
+
+@dataclass
+class SuperstepTraffic:
+    """Raw counters for one superstep."""
+
+    superstep: int = 0
+    local_messages: int = 0
+    remote_messages: int = 0
+    migrations: int = 0
+    migration_notifications: int = 0
+    capacity_messages: int = 0
+    compute_units: float = 0.0
+    recovery_events: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_messages(self):
+        return self.local_messages + self.remote_messages
+
+    @property
+    def remote_fraction(self):
+        total = self.total_messages
+        return self.remote_messages / total if total else 0.0
+
+
+class NetworkStats:
+    """Accumulates per-superstep traffic records."""
+
+    def __init__(self):
+        self._history = []
+        self._current = SuperstepTraffic(superstep=0)
+
+    @property
+    def current(self):
+        """The record being accumulated for the in-flight superstep."""
+        return self._current
+
+    @property
+    def history(self):
+        """Completed superstep records, oldest first."""
+        return self._history
+
+    def count_local(self, n=1):
+        self._current.local_messages += n
+
+    def count_remote(self, n=1):
+        self._current.remote_messages += n
+
+    def count_migration(self, n=1):
+        self._current.migrations += n
+
+    def count_migration_notification(self, n=1):
+        self._current.migration_notifications += n
+
+    def count_capacity_message(self, n=1):
+        self._current.capacity_messages += n
+
+    def count_compute(self, units):
+        self._current.compute_units += units
+
+    def count_recovery(self, n=1):
+        self._current.recovery_events += n
+
+    def barrier(self, superstep):
+        """Close the current record and open the next one; returns the closed
+        record."""
+        closed = self._current
+        closed.superstep = superstep
+        self._history.append(closed)
+        self._current = SuperstepTraffic(superstep=superstep + 1)
+        return closed
+
+    def totals(self):
+        """Aggregate counters over all completed supersteps."""
+        total = SuperstepTraffic()
+        for record in self._history:
+            total.local_messages += record.local_messages
+            total.remote_messages += record.remote_messages
+            total.migrations += record.migrations
+            total.migration_notifications += record.migration_notifications
+            total.capacity_messages += record.capacity_messages
+            total.compute_units += record.compute_units
+            total.recovery_events += record.recovery_events
+        return total

@@ -1,0 +1,411 @@
+"""The Pregel-inspired system facade.
+
+:class:`PregelSystem` wires the pieces together the way Fig. 2 draws them:
+user applications and the background partitioning algorithm both run on the
+vertex-program API; the partitioning algorithm additionally uses the
+extended API (migration requests + capacity access).  One call to
+:meth:`run_superstep` executes:
+
+1. **compute** — every active vertex runs the user program against the
+   messages delivered at the previous barrier;
+2. **background partitioning** (when ``config.adaptive``) — each vertex
+   evaluates the migration heuristic against the capacity vector published
+   one superstep ago, flips the willingness coin, claims lane quota and
+   files a migration request;
+3. **barrier** — in the protocol-mandated order: complete last superstep's
+   in-flight transfers → deliver messages against the *old* placement →
+   announce this superstep's migrations (placement flips now) → apply
+   queued stream mutations → publish predicted capacities → aggregator
+   barrier → checkpoint → scheduled worker failure/recovery → close the
+   traffic record.
+
+The system is deliberately single-process: workers are partitions of a
+shared store plus honest per-worker accounting (DESIGN.md §4 explains why
+this substitution preserves the paper's measured shapes).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.balance import VertexBalance
+from repro.core.capacity import QuotaTable
+from repro.core.convergence import ConvergenceDetector
+from repro.core.heuristic import GreedyMaxNeighbours, make_heuristic
+from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.partitioning.base import PartitionState
+from repro.partitioning.hashing import HashPartitioner
+from repro.pregel.aggregators import Aggregators, SumAggregator
+from repro.pregel.capacity_protocol import CapacityProtocol
+from repro.pregel.fault import Checkpointer, FaultPlan
+from repro.pregel.messages import MessageRouter
+from repro.pregel.migration import MigrationProtocol
+from repro.pregel.network import NetworkStats
+from repro.pregel.vertex import VertexContext
+from repro.utils import make_rng
+
+__all__ = ["PregelConfig", "PregelSystem", "SuperstepReport"]
+
+
+@dataclass
+class PregelConfig:
+    """System-level knobs.
+
+    ``adaptive`` toggles the background partitioner (the paper's paired
+    clusters are this flag's two values); ``continuous`` ignores
+    vote-to-halt, matching the paper's always-on deployment; the remaining
+    fields mirror :class:`repro.core.runner.AdaptiveConfig`.
+    """
+
+    num_workers: int = 9
+    adaptive: bool = True
+    continuous: bool = True
+    willingness: float = 0.5
+    heuristic: object = field(default_factory=GreedyMaxNeighbours)
+    balance: object = field(default_factory=VertexBalance)
+    initial_partitioner: object = field(default_factory=HashPartitioner)
+    placement: object = field(default_factory=HashPartitioner)
+    seed: int = 0
+    checkpoint_interval: int = 10
+    quiet_window: int = 30
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError("need at least one worker")
+        if not 0.0 <= self.willingness <= 1.0:
+            raise ValueError("willingness must be in [0, 1]")
+        if isinstance(self.heuristic, str):
+            self.heuristic = make_heuristic(self.heuristic)
+
+
+@dataclass
+class SuperstepReport:
+    """Everything observable about one completed superstep."""
+
+    superstep: int
+    traffic: object
+    migrations_requested: int
+    migrations_announced: int
+    migrations_blocked: int
+    cut_edges: int
+    cut_ratio: float
+    sizes: list
+    computed_vertices: int
+    mutations_applied: int
+    failed_worker: object = None
+    per_worker_compute: list = field(default_factory=list)
+
+
+class _PlacementView:
+    """Read-only dict-like adapter over PartitionState for the router."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state):
+        self._state = state
+
+    def get(self, vertex_id, default=None):
+        pid = self._state.partition_of_or_none(vertex_id)
+        return default if pid is None else pid
+
+
+class PregelSystem:
+    """A simulated Pregel cluster running one vertex program continuously."""
+
+    def __init__(self, graph, program, config=None, fault_plan=None):
+        self.graph = graph
+        self.program = program
+        self.config = config or PregelConfig()
+        k = self.config.num_workers
+        capacities = self.config.balance.capacities(graph, k)
+        self.state = self.config.initial_partitioner.partition(
+            graph, k, list(capacities)
+        )
+        self.values = {
+            v: program.initial_value(v, graph) for v in graph.vertices()
+        }
+        self.halted = set()
+        self.network = NetworkStats()
+        self.router = MessageRouter(_PlacementView(self.state), self.network)
+        combiner = program.combiner()
+        if combiner is not None:
+            self.router.set_combiner(combiner)
+        self.aggregators = Aggregators()
+        self.aggregators.register("__migrations__", SumAggregator)
+        self.migration = MigrationProtocol(self.network, k)
+        self.capacity_protocol = CapacityProtocol(self.network, k)
+        self.checkpointer = Checkpointer(self.config.checkpoint_interval)
+        self.fault_plan = fault_plan or FaultPlan()
+        self.detector = ConvergenceDetector(self.config.quiet_window)
+        self.superstep = 0
+        self.reports = []
+        self._rng = make_rng(self.config.seed, "pregel_system")
+        self._pending_events = []
+        self._loads = None
+        self._capacities = list(capacities)
+        self._refresh_loads()
+        self._active = set(graph.vertices())
+        # Superstep 0 has no published capacities yet (the paper's protocol
+        # needs one barrier to propagate them), so publish the initial view.
+        self.capacity_protocol.publish(self._remaining_capacities())
+        self.checkpointer.maybe_checkpoint(0, self.values)
+
+    # ------------------------------------------------------------------
+    # Load / capacity bookkeeping
+    # ------------------------------------------------------------------
+
+    def _refresh_loads(self):
+        balance = self.config.balance
+        loads = [0.0] * self.config.num_workers
+        for v, pid in self.state.assignment_items():
+            loads[pid] += balance.load_of(self.graph, v)
+        self._loads = loads
+
+    def _refresh_capacities(self):
+        self._capacities = list(
+            self.config.balance.capacities(self.graph, self.config.num_workers)
+        )
+        # Keep the shared state's view consistent with the policy's.
+        self.state.capacities = list(self._capacities)
+
+    def _remaining_capacities(self):
+        return [c - l for c, l in zip(self._capacities, self._loads)]
+
+    # ------------------------------------------------------------------
+    # Stream mutations
+    # ------------------------------------------------------------------
+
+    def inject_events(self, events):
+        """Queue stream mutations; they apply at the next barrier."""
+        self._pending_events.extend(events)
+
+    def _apply_pending_events(self):
+        applied = 0
+        for event in self._pending_events:
+            if self._apply_event(event):
+                applied += 1
+        self._pending_events = []
+        if applied:
+            self.detector.reset()
+            self._refresh_capacities()
+            self._refresh_loads()
+        return applied
+
+    def _apply_event(self, event):
+        graph = self.graph
+        state = self.state
+        if isinstance(event, AddVertex):
+            if event.vertex in graph:
+                return False
+            graph.add_vertex(event.vertex)
+            self.config.placement.place(state, event.vertex)
+            self.values[event.vertex] = self.program.initial_value(
+                event.vertex, graph
+            )
+            self._active.add(event.vertex)
+            return True
+        if isinstance(event, RemoveVertex):
+            if event.vertex not in graph:
+                return False
+            neighbours = list(graph.neighbors(event.vertex))
+            state.remove_vertex(event.vertex)
+            graph.remove_vertex(event.vertex)
+            self.values.pop(event.vertex, None)
+            self.halted.discard(event.vertex)
+            self._active.discard(event.vertex)
+            self.migration.cancel_vertex(event.vertex)
+            self.router.drop_vertex(event.vertex)
+            self._active.update(neighbours)
+            return True
+        if isinstance(event, AddEdge):
+            for endpoint in (event.u, event.v):
+                if endpoint not in graph:
+                    graph.add_vertex(endpoint)
+                    self.config.placement.place(state, endpoint)
+                    self.values[endpoint] = self.program.initial_value(
+                        endpoint, graph
+                    )
+            if not graph.add_edge(event.u, event.v):
+                return False
+            state.on_edge_added(event.u, event.v)
+            self._active.add(event.u)
+            self._active.add(event.v)
+            return True
+        if isinstance(event, RemoveEdge):
+            if not graph.remove_edge(event.u, event.v):
+                return False
+            state.on_edge_removed(event.u, event.v)
+            if event.u in graph:
+                self._active.add(event.u)
+            if event.v in graph:
+                self._active.add(event.v)
+            return True
+        raise TypeError(f"unknown graph event {event!r}")
+
+    # ------------------------------------------------------------------
+    # Superstep phases
+    # ------------------------------------------------------------------
+
+    def _compute_phase(self, inbox):
+        """Run the user program; returns (computed_count, per_worker_cost)."""
+        per_worker = [0.0] * self.config.num_workers
+        computed = 0
+        continuous = self.config.continuous
+        for v in list(self.graph.vertices()):
+            messages = inbox.get(v, ())
+            if not continuous and v in self.halted and not messages:
+                continue
+            if messages:
+                self.halted.discard(v)
+            ctx = VertexContext(self, v, self.superstep)
+            self.program.compute(ctx, list(messages))
+            cost = self.program.compute_cost(ctx, messages)
+            pid = self.state.partition_of_or_none(v)
+            if pid is not None:
+                per_worker[pid] += cost
+            self.network.count_compute(cost)
+            computed += 1
+        return computed, per_worker
+
+    def _partitioning_phase(self):
+        """Background migration decisions; returns (requested, blocked)."""
+        visible = self.capacity_protocol.visible_capacities()
+        if visible is None:
+            return 0, 0
+        quotas = QuotaTable(visible, self.config.num_workers)
+        heuristic = self.config.heuristic
+        balance = self.config.balance
+        track_active = not getattr(heuristic, "uses_capacity", False)
+        candidates = (
+            list(self._active) if track_active else list(self.graph.vertices())
+        )
+        self._rng.shuffle(candidates)
+        requested = 0
+        blocked = 0
+        kept_active = set()
+        for v in candidates:
+            current = self.state.partition_of_or_none(v)
+            if current is None or self.migration.is_migrating(v):
+                continue
+            counts = self.state.neighbour_partition_counts(v)
+            desired = heuristic.desired_partition(current, counts, visible)
+            if desired == current:
+                continue
+            requested += 1
+            kept_active.add(v)
+            if self._rng.random() >= self.config.willingness:
+                continue
+            load = balance.load_of(self.graph, v)
+            if not quotas.try_consume(current, desired, load):
+                blocked += 1
+                continue
+            self.migration.request(v, current, desired)
+        if track_active:
+            self._active = kept_active
+        return requested, blocked
+
+    def _announce_migrations(self):
+        """Apply this superstep's migration announcements to the placement."""
+        balance = self.config.balance
+
+        def placement_update(vertex_id, new_worker):
+            old = self.state.partition_of(vertex_id)
+            self.state.move(vertex_id, new_worker)
+            load = balance.load_of(self.graph, vertex_id)
+            self._loads[old] -= load
+            self._loads[new_worker] += load
+            self._active.add(vertex_id)
+            for w in self.graph.neighbors(vertex_id):
+                self._active.add(w)
+
+        return self.migration.announce_barrier(placement_update)
+
+    def _maybe_fail_worker(self):
+        """Execute a scheduled worker failure; returns the worker or None."""
+        worker = self.fault_plan.worker_failing_at(self.superstep)
+        if worker is None:
+            return None
+        victims = [
+            v
+            for v, pid in self.state.assignment_items()
+            if pid == worker
+        ]
+        self.checkpointer.restore_vertices(
+            victims,
+            self.values,
+            reinitialise=lambda vid: self.program.initial_value(vid, self.graph),
+        )
+        # The barrier cannot complete: all in-flight messages are lost.
+        self.router.deliver()
+        self.router.pending_inbox.clear()
+        self.network.count_recovery()
+        return worker
+
+    # ------------------------------------------------------------------
+    # The superstep
+    # ------------------------------------------------------------------
+
+    def run_superstep(self):
+        """Execute one full superstep; returns its :class:`SuperstepReport`."""
+        self.superstep += 1
+        inbox = dict(self.router.pending_inbox)
+        self.router.pending_inbox.clear()
+
+        computed, per_worker = self._compute_phase(inbox)
+        # Hot-spot aware balancing (§6 future work): feed measured
+        # per-worker compute back into the balance policy so hot workers
+        # offer less capacity and shed vertices.
+        observe = getattr(self.config.balance, "observe_activity", None)
+        if observe is not None and any(per_worker):
+            observe(per_worker)
+        if self.config.adaptive:
+            requested, blocked = self._partitioning_phase()
+        else:
+            requested, blocked = 0, 0
+
+        # ---- barrier (order matters; see module docstring) ----
+        self.migration.complete_barrier()
+        self.router.deliver()  # classified against the old placement
+        announced = self._announce_migrations()
+        mutations = self._apply_pending_events()
+        self._refresh_capacities()
+        self.capacity_protocol.publish(self._remaining_capacities())
+        self.aggregators.barrier()
+        self.checkpointer.maybe_checkpoint(self.superstep, self.values)
+        failed_worker = self._maybe_fail_worker()
+        traffic = self.network.barrier(self.superstep)
+
+        self.detector.observe(len(announced))
+        report = SuperstepReport(
+            superstep=self.superstep,
+            traffic=traffic,
+            migrations_requested=requested,
+            migrations_announced=len(announced),
+            migrations_blocked=blocked,
+            cut_edges=self.state.cut_edges,
+            cut_ratio=self.state.cut_ratio(),
+            sizes=self.state.sizes,
+            computed_vertices=computed,
+            mutations_applied=mutations,
+            failed_worker=failed_worker,
+            per_worker_compute=per_worker,
+        )
+        self.reports.append(report)
+        return report
+
+    def run(self, num_supersteps):
+        """Run a fixed number of supersteps; returns their reports."""
+        return [self.run_superstep() for _ in range(num_supersteps)]
+
+    def run_until_quiescent(self, max_supersteps=10000):
+        """Classic (non-continuous) mode: run until all halted and no mail."""
+        reports = []
+        while self.superstep < max_supersteps:
+            reports.append(self.run_superstep())
+            all_halted = len(self.halted) >= self.graph.num_vertices
+            if not self.config.continuous and all_halted and not self.router.has_pending():
+                break
+        return reports
+
+    @property
+    def partitioning_converged(self):
+        """True after ``quiet_window`` supersteps without announcements."""
+        return self.detector.converged

@@ -1,0 +1,107 @@
+"""Vertex program API.
+
+User applications subclass :class:`VertexProgram` and implement
+:meth:`compute`, which receives a :class:`VertexContext` — the vertex's
+window onto the system: its value, its neighbours, message sending,
+aggregators and halting.  The same API hosts the user applications *and*
+the background partitioning algorithm, mirroring the paper's layered
+architecture (Fig. 2) where both sit on the Pregel API.
+"""
+
+__all__ = ["VertexContext", "VertexProgram"]
+
+
+class VertexProgram:
+    """Base class for Pregel computations.
+
+    ``initial_value(vertex_id, graph)`` seeds per-vertex state;
+    ``compute(ctx, messages)`` runs once per active vertex per superstep;
+    ``compute_cost(ctx, messages)`` returns the modelled CPU units this call
+    consumed (default: 1 + number of messages), feeding the cost model —
+    the biomedical kernel overrides it to express its heavy per-vertex ODE
+    load.
+    """
+
+    name = "abstract"
+
+    def initial_value(self, vertex_id, graph):
+        """Value a vertex starts with (and restarts with after recovery)."""
+        return None
+
+    def compute(self, ctx, messages):
+        """One superstep of work for one vertex."""
+        raise NotImplementedError
+
+    def compute_cost(self, ctx, messages):
+        """Modelled CPU units for this compute call."""
+        return 1.0 + len(messages)
+
+    def combiner(self):
+        """Optional message combiner ``f(msg_a, msg_b) -> msg`` or None."""
+        return None
+
+
+class VertexContext:
+    """Everything a vertex may see and do during ``compute``.
+
+    The context enforces the paper's locality discipline: a vertex reads its
+    own value and neighbour list, sends messages along ids it knows, and
+    contributes to global aggregators — nothing else.
+    """
+
+    __slots__ = ("_system", "vertex_id", "superstep", "_sent")
+
+    def __init__(self, system, vertex_id, superstep):
+        self._system = system
+        self.vertex_id = vertex_id
+        self.superstep = superstep
+        self._sent = 0
+
+    @property
+    def value(self):
+        """This vertex's current value."""
+        return self._system.values[self.vertex_id]
+
+    @value.setter
+    def value(self, new_value):
+        self._system.values[self.vertex_id] = new_value
+
+    def neighbors(self):
+        """The vertex's current neighbour ids (live view, do not mutate)."""
+        return self._system.graph.neighbors(self.vertex_id)
+
+    def degree(self):
+        """Number of neighbours."""
+        return self._system.graph.degree(self.vertex_id)
+
+    @property
+    def num_vertices(self):
+        """Global vertex count (a Pregel master-provided statistic)."""
+        return self._system.graph.num_vertices
+
+    def send_message(self, target_id, message):
+        """Queue ``message`` for ``target_id``, delivered next superstep."""
+        self._system.router.send(self.vertex_id, target_id, message)
+        self._sent += 1
+
+    def send_to_neighbors(self, message):
+        """Queue ``message`` to every neighbour."""
+        for w in self.neighbors():
+            self.send_message(w, message)
+
+    def aggregate(self, name, value):
+        """Contribute ``value`` to the named aggregator for this superstep."""
+        self._system.aggregators.contribute(name, value)
+
+    def aggregated(self, name):
+        """Read the named aggregator's value from the previous superstep."""
+        return self._system.aggregators.previous(name)
+
+    def vote_to_halt(self):
+        """Deactivate until a message arrives (no-op in continuous mode)."""
+        self._system.halted.add(self.vertex_id)
+
+    @property
+    def messages_sent(self):
+        """Messages this context sent during the current compute call."""
+        return self._sent

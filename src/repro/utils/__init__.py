@@ -1,0 +1,28 @@
+"""Shared low-level utilities: deterministic RNG, stable hashing, statistics.
+
+These helpers underpin every experiment in the reproduction.  Determinism is a
+hard requirement — the paper reports means of 10 repetitions, and our tests
+assert bit-for-bit reproducibility under a fixed seed — so all randomness in
+the library flows through :func:`repro.utils.rng.make_rng` and all vertex
+placement hashing flows through :func:`repro.utils.hashing.stable_hash`
+(Python's builtin ``hash`` is salted per process and therefore unusable).
+"""
+
+from repro.utils.hashing import stable_hash
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.stats import (
+    RunningStats,
+    mean,
+    mean_and_error,
+    stderr_of_mean,
+)
+
+__all__ = [
+    "RunningStats",
+    "derive_seed",
+    "make_rng",
+    "mean",
+    "mean_and_error",
+    "stable_hash",
+    "stderr_of_mean",
+]

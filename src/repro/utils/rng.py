@@ -1,0 +1,48 @@
+"""Deterministic random number generation.
+
+Every stochastic component in the library (willingness-to-move draws, random
+initial partitioning, synthetic graph generators, stream generators, failure
+injection) receives its own :class:`random.Random` instance created here.
+Components never share RNG state; instead each derives a child seed from the
+experiment seed plus a distinct label, so adding a new consumer of randomness
+never perturbs the draws seen by existing ones.
+"""
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "make_rng"]
+
+_SEED_SPACE = 2**63
+
+
+def derive_seed(base_seed, *labels):
+    """Derive a child seed from ``base_seed`` and a sequence of labels.
+
+    The derivation is a SHA-256 over the textual rendering of the base seed
+    and labels, so it is stable across processes and Python versions (unlike
+    ``hash``).  Labels may be any objects with a stable ``repr`` — in practice
+    strings and integers.
+
+    >>> derive_seed(42, "partitioner") == derive_seed(42, "partitioner")
+    True
+    >>> derive_seed(42, "partitioner") != derive_seed(42, "generator")
+    True
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(base_seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x1f")
+        digest.update(repr(label).encode("utf-8"))
+    return int.from_bytes(digest.digest()[:8], "big") % _SEED_SPACE
+
+
+def make_rng(base_seed, *labels):
+    """Create an independent :class:`random.Random` for one component.
+
+    ``make_rng(seed)`` seeds directly; ``make_rng(seed, "label", 3)`` first
+    derives a child seed via :func:`derive_seed`.
+    """
+    if labels:
+        return random.Random(derive_seed(base_seed, *labels))
+    return random.Random(base_seed)

@@ -1,0 +1,130 @@
+"""Small statistics helpers for experiment reporting.
+
+The paper reports "the mean of n = 10 repetitions" with "errors ... in the
+form of estimated error in the mean".  :func:`mean_and_error` computes exactly
+that pair; :class:`RunningStats` is a Welford accumulator for per-iteration
+series where holding every sample would be wasteful.
+"""
+
+import math
+
+__all__ = ["RunningStats", "mean", "mean_and_error", "stderr_of_mean"]
+
+
+def mean(samples):
+    """Arithmetic mean of a non-empty sequence."""
+    samples = list(samples)
+    if not samples:
+        raise ValueError("mean of empty sequence")
+    return sum(samples) / len(samples)
+
+
+def stderr_of_mean(samples):
+    """Estimated standard error of the mean: s / sqrt(n).
+
+    Returns 0.0 for a single sample (no spread information).
+    """
+    samples = list(samples)
+    if not samples:
+        raise ValueError("stderr of empty sequence")
+    n = len(samples)
+    if n == 1:
+        return 0.0
+    mu = sum(samples) / n
+    variance = sum((x - mu) ** 2 for x in samples) / (n - 1)
+    return math.sqrt(variance / n)
+
+
+def mean_and_error(samples):
+    """Return ``(mean, stderr_of_mean)`` for a sample sequence."""
+    samples = list(samples)
+    return mean(samples), stderr_of_mean(samples)
+
+
+class RunningStats:
+    """Streaming mean/variance accumulator (Welford's algorithm).
+
+    >>> rs = RunningStats()
+    >>> for x in [1.0, 2.0, 3.0]:
+    ...     rs.add(x)
+    >>> rs.mean
+    2.0
+    >>> rs.n
+    3
+    """
+
+    __slots__ = ("n", "mean", "_m2", "min", "max")
+
+    def __init__(self):
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value):
+        """Fold one sample into the accumulator."""
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self):
+        """Unbiased sample variance (0.0 below two samples)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / (self.n - 1)
+
+    @property
+    def stdev(self):
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self):
+        """Estimated error of the mean."""
+        if self.n < 2:
+            return 0.0
+        return math.sqrt(self.variance / self.n)
+
+    def merge(self, other):
+        """Combine another accumulator into this one (parallel Welford)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        total = self.n + other.n
+        delta = other.mean - self.mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / total
+        self.mean = (self.mean * self.n + other.mean * other.n) / total
+        self.n = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def as_dict(self):
+        """Summary dict for report rendering."""
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "stderr": self.stderr,
+            "min": self.min if self.n else None,
+            "max": self.max if self.n else None,
+        }
+
+    def __repr__(self):
+        return (
+            f"RunningStats(n={self.n}, mean={self.mean:.6g}, "
+            f"stdev={self.stdev:.6g})"
+        )

@@ -1,0 +1,13 @@
+"""Text-mode visualisation of partition evolution.
+
+The paper links a video of "how partitioning evolves in real time in a 2d
+slice of a 3d cube ... where every vertex is physically surrounded by its
+neighbours" — hash colours scattered everywhere slowly coalescing into
+contiguous colour regions.  No plotting stack is available offline, so
+:mod:`slices` renders the same thing as character frames: one glyph per
+lattice vertex, one glyph class per partition.
+"""
+
+from repro.viz.slices import partition_histogram, render_mesh_slice
+
+__all__ = ["partition_histogram", "render_mesh_slice"]

@@ -1,0 +1,58 @@
+"""ASCII rendering of mesh-slice partitionings (the paper's video, in text).
+
+Works with the dense integer ids :func:`repro.generators.mesh.mesh_3d`
+assigns (row-major ``(x · ny + y) · nz + z``), rendering the ``z = k``
+plane as a character grid — contiguous same-character regions are what a
+good partitioning looks like; hash partitioning renders as noise.
+"""
+
+__all__ = ["partition_histogram", "render_mesh_slice"]
+
+# 36 visually distinct glyphs; partitions beyond that wrap.
+_GLYPHS = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def render_mesh_slice(state, nx, ny, nz, z=None):
+    """Render the ``z``-plane (default: middle) of a mesh partitioning.
+
+    ``state`` is a :class:`~repro.partitioning.PartitionState` over a
+    ``mesh_3d(nx, ny, nz)`` graph.  Vertices missing from the state render
+    as ``.``.  Returns the frame as a newline-joined string (y across, x
+    down, matching the generator's lattice).
+    """
+    if z is None:
+        z = nz // 2
+    if not 0 <= z < nz:
+        raise ValueError(f"z={z} outside [0, {nz})")
+    rows = []
+    for x in range(nx):
+        row = []
+        for y in range(ny):
+            vertex = (x * ny + y) * nz + z
+            pid = state.partition_of_or_none(vertex)
+            row.append("." if pid is None else _GLYPHS[pid % len(_GLYPHS)])
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def partition_histogram(state, width=40):
+    """Horizontal bar chart of partition sizes (sanity view of balance).
+
+    >>> from repro.graph import Graph
+    >>> from repro.partitioning import PartitionState
+    >>> g = Graph(vertices=range(4))
+    >>> s = PartitionState(g, 2)
+    >>> for v in range(3): s.assign(v, 0)
+    >>> s.assign(3, 1)
+    >>> print(partition_histogram(s, width=6))  # doctest: +NORMALIZE_WHITESPACE
+    p0 |######| 3
+    p1 |##    | 1
+    """
+    sizes = state.sizes
+    peak = max(sizes) if sizes else 0
+    lines = []
+    for pid, size in enumerate(sizes):
+        filled = 0 if peak == 0 else round(width * size / peak)
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"p{pid} |{bar}| {size}")
+    return "\n".join(lines)

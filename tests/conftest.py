@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.generators import mesh_3d, powerlaw_cluster_graph
+from repro.graph import Graph
+
+
+@pytest.fixture
+def triangle():
+    """A 3-clique."""
+    return Graph([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path_graph():
+    """A 6-vertex path 0-1-2-3-4-5."""
+    return Graph([(i, i + 1) for i in range(5)])
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 4-cliques joined by a single bridge edge (0..3) - (4..7)."""
+    edges = []
+    for block in (range(0, 4), range(4, 8)):
+        block = list(block)
+        for i in range(len(block)):
+            for j in range(i + 1, len(block)):
+                edges.append((block[i], block[j]))
+    edges.append((3, 4))
+    return Graph(edges)
+
+
+@pytest.fixture
+def small_mesh():
+    """A 6×6×6 FEM mesh (216 vertices)."""
+    return mesh_3d(6)
+
+
+@pytest.fixture
+def small_powerlaw():
+    """A 300-vertex Holme–Kim graph."""
+    return powerlaw_cluster_graph(300, m=3, seed=7)

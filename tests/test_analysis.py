@@ -1,0 +1,126 @@
+"""Unit tests for the cost model and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    CostModel,
+    calibrate_compute_weight,
+    format_series,
+    format_table,
+    normalise_series,
+)
+from repro.pregel import SuperstepTraffic
+
+
+def traffic(**kw):
+    defaults = dict(
+        superstep=1,
+        local_messages=100,
+        remote_messages=50,
+        migrations=2,
+        migration_notifications=4,
+        capacity_messages=6,
+        compute_units=200.0,
+        recovery_events=0,
+    )
+    defaults.update(kw)
+    return SuperstepTraffic(**defaults)
+
+
+class TestCostModel:
+    def test_linear_combination(self):
+        model = CostModel(
+            remote_cost=1.0,
+            local_cost=0.1,
+            compute_cost=0.01,
+            migration_cost=5.0,
+            notification_cost=0.5,
+            capacity_cost=0.25,
+        )
+        t = traffic()
+        expected = 50 * 1.0 + 100 * 0.1 + 200 * 0.01 + 2 * 5.0 + 4 * 0.5 + 6 * 0.25
+        assert model.time_of(t) == pytest.approx(expected)
+
+    def test_remote_messages_dominate_default_weights(self):
+        model = CostModel()
+        t = traffic(remote_messages=1000, local_messages=1000, compute_units=100)
+        breakdown = model.breakdown(t)
+        assert breakdown["remote"] > 0.8 * sum(
+            v for k, v in breakdown.items() if k != "remote"
+        )
+
+    def test_times_of_series(self):
+        model = CostModel()
+        records = [traffic(remote_messages=i) for i in (10, 20)]
+        times = model.times_of(records)
+        assert times[1] > times[0]
+
+    def test_breakdown_sums_to_total(self):
+        model = CostModel(recovery_penalty=3.0, fixed_overhead=1.0)
+        t = traffic(recovery_events=2)
+        assert sum(model.breakdown(t).values()) == pytest.approx(
+            model.time_of(t)
+        )
+
+    def test_recovery_penalty(self):
+        model = CostModel(recovery_penalty=100.0)
+        quiet = traffic()
+        failed = traffic(recovery_events=1)
+        assert model.time_of(failed) - model.time_of(quiet) == pytest.approx(100.0)
+
+
+class TestCalibration:
+    def test_hits_target_fraction(self):
+        base = CostModel()
+        t = traffic(compute_units=500.0)
+        for target in (0.17, 0.5, 0.9):
+            calibrated = calibrate_compute_weight(base, t, target)
+            breakdown = calibrated.breakdown(t)
+            fraction = breakdown["compute"] / calibrated.time_of(t)
+            assert fraction == pytest.approx(target, rel=1e-6)
+
+    def test_other_weights_untouched(self):
+        base = CostModel(remote_cost=2.0)
+        calibrated = calibrate_compute_weight(base, traffic(), 0.2)
+        assert calibrated.remote_cost == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            calibrate_compute_weight(CostModel(), traffic(), 0.0)
+        with pytest.raises(ValueError):
+            calibrate_compute_weight(CostModel(), traffic(compute_units=0), 0.5)
+
+
+class TestNormalise:
+    def test_divides_by_baseline(self):
+        assert normalise_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            normalise_series([1.0], 0.0)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["long-name", 2]], precision=2
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text
+        assert "long-name" in text
+
+    def test_table_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_series_downsamples(self):
+        xs = list(range(1000))
+        ys = [x * 0.5 for x in xs]
+        text = format_series("cuts", xs, ys, max_points=10)
+        assert text.count("(") <= 12
+        assert "(999" in text  # last point always kept
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1])

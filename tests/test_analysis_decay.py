@@ -1,0 +1,80 @@
+"""Tests for exponential-decay fitting — including the paper's claim that
+the adaptive algorithm's migration counts decay exponentially."""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_exponential_decay, half_life
+from repro.core import AdaptiveConfig, AdaptiveRunner
+from repro.generators import mesh_3d
+from repro.partitioning import HashPartitioner, balanced_capacities
+
+
+class TestFitMechanics:
+    def test_exact_exponential(self):
+        series = [100 * math.exp(-0.3 * i) for i in range(20)]
+        fit = fit_exponential_decay(series)
+        assert fit.rate == pytest.approx(0.3, rel=1e-6)
+        assert fit.amplitude == pytest.approx(100, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_zeros_skipped(self):
+        series = [8, 4, 2, 1, 0, 0, 0]
+        fit = fit_exponential_decay(series)
+        assert fit.num_points == 4
+        assert fit.rate == pytest.approx(math.log(2), rel=1e-6)
+
+    def test_custom_xs(self):
+        xs = [0, 2, 4, 6]
+        series = [16, 4, 1, 0.25]
+        fit = fit_exponential_decay(series, xs=xs)
+        assert fit.rate == pytest.approx(math.log(2), rel=1e-6)
+
+    def test_predict(self):
+        fit = fit_exponential_decay([10, 5, 2.5])
+        assert fit.predict(0) == pytest.approx(10, rel=1e-6)
+        assert fit.predict(3) == pytest.approx(1.25, rel=1e-6)
+
+    def test_half_life(self):
+        fit = fit_exponential_decay([8, 4, 2, 1])
+        assert half_life(fit) == pytest.approx(1.0, rel=1e-6)
+
+    def test_growing_series_negative_rate(self):
+        fit = fit_exponential_decay([1, 2, 4, 8])
+        assert fit.rate < 0
+        assert half_life(fit) == math.inf
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_exponential_decay([5, 0, 0])
+
+    def test_noisy_series_lower_r_squared(self):
+        clean = [100 * math.exp(-0.2 * i) for i in range(15)]
+        noisy = [y * (1.5 if i % 2 else 0.6) for i, y in enumerate(clean)]
+        assert (
+            fit_exponential_decay(noisy).r_squared
+            < fit_exponential_decay(clean).r_squared
+        )
+
+
+class TestPaperClaim:
+    def test_migrations_decay_exponentially(self):
+        """§2.3: 'the number of migrations decreases exponentially with the
+        number of iterations'."""
+        # a graph large enough that quota throttling doesn't dominate the
+        # series (tiny graphs emit a noisy trickle of 1-2 per lane)
+        graph = mesh_3d(12)
+        caps = balanced_capacities(graph.num_vertices, 9)
+        state = HashPartitioner().partition(graph, 9, list(caps))
+        runner = AdaptiveRunner(graph, state, AdaptiveConfig(seed=0))
+        runner.run_until_convergence(max_iterations=400)
+        migrations = runner.timeline.series("migrations")
+        # drop the ramp-up, fit the decay phase
+        peak_index = migrations.index(max(migrations))
+        fit = fit_exponential_decay(
+            migrations[peak_index:],
+            xs=range(peak_index, len(migrations)),
+        )
+        assert fit.rate > 0
+        assert fit.r_squared > 0.8  # strongly exponential, noise allowed

@@ -1,0 +1,234 @@
+"""Correctness tests for the vertex programs."""
+
+import math
+
+import pytest
+
+from repro.apps import (
+    CardiacFemSimulation,
+    ConnectedComponents,
+    MaximalCliqueFinder,
+    PageRank,
+    SingleSourceShortestPaths,
+    TunkRank,
+)
+from repro.apps.maximal_clique import MAX_CLIQUE_AGGREGATOR
+from repro.generators import mesh_3d, powerlaw_cluster_graph
+from repro.graph import Graph
+from repro.pregel import MaxAggregator, PregelConfig, PregelSystem
+
+
+def run_program(graph, program, supersteps=None, k=2, adaptive=False, **kw):
+    config = PregelConfig(
+        num_workers=k, adaptive=adaptive, continuous=False, seed=0, **kw
+    )
+    system = PregelSystem(graph, program, config)
+    if supersteps is None:
+        system.run_until_quiescent(200)
+    else:
+        system.run(supersteps)
+    return system
+
+
+class TestPageRank:
+    def test_sums_to_one_on_connected_graph(self):
+        graph = mesh_3d(4)
+        system = run_program(graph, PageRank(), supersteps=30)
+        total = sum(system.values.values())
+        assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_stationary_rank_proportional_to_degree(self):
+        # Undirected random walk: rank_i → (1−d)/n + d·deg_i/(2|E|).
+        graph = mesh_3d(4)
+        system = run_program(graph, PageRank(damping=0.85), supersteps=50)
+        n = graph.num_vertices
+        two_m = 2 * graph.num_edges
+        for v in graph.vertices():
+            expected = 0.15 / n + 0.85 * graph.degree(v) / two_m
+            assert system.values[v] == pytest.approx(expected, rel=0.10)
+
+    def test_higher_degree_higher_rank(self):
+        graph = powerlaw_cluster_graph(150, m=2, seed=0)
+        system = run_program(graph, PageRank(), supersteps=40)
+        hub = max(graph.vertices(), key=graph.degree)
+        leaf = min(graph.vertices(), key=graph.degree)
+        assert system.values[hub] > system.values[leaf]
+
+    def test_damping_validated(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.0)
+
+    def test_result_invariant_under_adaptive_partitioning(self):
+        # Migrating vertices must not change the computed ranks.
+        graph_a = mesh_3d(4)
+        static = run_program(graph_a, PageRank(), supersteps=40, adaptive=False)
+        graph_b = mesh_3d(4)
+        adaptive = run_program(
+            graph_b, PageRank(), supersteps=40, adaptive=True, k=3
+        )
+        for v in graph_a.vertices():
+            assert static.values[v] == pytest.approx(
+                adaptive.values[v], rel=1e-6
+            )
+
+
+class TestConnectedComponents:
+    def test_matches_bfs_ground_truth(self):
+        graph = Graph([(1, 2), (2, 3), (10, 11), (20, 21), (21, 22)])
+        graph.add_vertex(99)
+        system = run_program(graph, ConnectedComponents())
+        labels = {}
+        for component in graph.connected_components():
+            representative = min(component)
+            for v in component:
+                labels[v] = representative
+        assert system.values == labels
+
+    def test_single_component_mesh(self):
+        graph = mesh_3d(3)
+        system = run_program(graph, ConnectedComponents())
+        assert set(system.values.values()) == {0}
+
+    def test_halts_before_limit(self):
+        graph = mesh_3d(3)
+        system = run_program(graph, ConnectedComponents())
+        assert system.superstep < 60
+
+
+class TestSssp:
+    def _bfs(self, graph, source):
+        dist = {source: 0.0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for w in graph.neighbors(v):
+                    if w not in dist:
+                        dist[w] = dist[v] + 1
+                        nxt.append(w)
+            frontier = nxt
+        return dist
+
+    def test_matches_bfs(self):
+        graph = mesh_3d(4)
+        source = 0
+        system = run_program(graph, SingleSourceShortestPaths(source))
+        expected = self._bfs(graph, source)
+        for v in graph.vertices():
+            assert system.values[v] == expected[v]
+
+    def test_unreachable_stays_infinite(self):
+        graph = Graph([(1, 2)])
+        graph.add_vertex(99)
+        system = run_program(graph, SingleSourceShortestPaths(1))
+        assert system.values[99] == math.inf
+
+
+class TestTunkRank:
+    def test_influence_grows_with_audience(self):
+        graph = powerlaw_cluster_graph(200, m=2, seed=1)
+        system = run_program(graph, TunkRank(), supersteps=25)
+        hub = max(graph.vertices(), key=graph.degree)
+        leaf = min(graph.vertices(), key=graph.degree)
+        assert system.values[hub] > system.values[leaf]
+
+    def test_star_centre_influence(self):
+        # Star: centre's influence = Σ_leaves (1 + p·I_leaf)/deg_leaf with
+        # deg_leaf = 1 and I_leaf = (1 + p·I_centre)/deg_centre.
+        n_leaves = 10
+        graph = Graph([("c", f"l{i}") for i in range(n_leaves)])
+        p = 0.05
+        system = run_program(graph, TunkRank(p), supersteps=40)
+        influence_centre = system.values["c"]
+        influence_leaf = system.values["l0"]
+        expected_leaf = (1 + p * influence_centre) / n_leaves
+        expected_centre = n_leaves * (1 + p * expected_leaf)
+        assert influence_leaf == pytest.approx(expected_leaf, rel=1e-3)
+        assert influence_centre == pytest.approx(expected_centre, rel=1e-3)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            TunkRank(retweet_probability=1.0)
+
+
+class TestMaximalClique:
+    def _run_clique(self, graph, k=2):
+        config = PregelConfig(
+            num_workers=k, adaptive=False, continuous=False, seed=0
+        )
+        system = PregelSystem(graph, MaximalCliqueFinder(), config)
+        system.aggregators.register(MAX_CLIQUE_AGGREGATOR, MaxAggregator)
+        # Two compute supersteps; superstep 2's barrier publishes the
+        # aggregated maximum (a later barrier would reset it).
+        system.run(2)
+        return system
+
+    def test_finds_triangle(self):
+        graph = Graph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        system = self._run_clique(graph)
+        assert system.aggregators.previous(MAX_CLIQUE_AGGREGATOR) == 3
+
+    def test_finds_embedded_k4(self, two_cliques):
+        system = self._run_clique(two_cliques)
+        assert system.aggregators.previous(MAX_CLIQUE_AGGREGATOR) == 4
+
+    def test_clique_members_are_mutually_adjacent(self, two_cliques):
+        system = self._run_clique(two_cliques)
+        for v, (size, members) in system.values.items():
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    assert two_cliques.has_edge(a, b), (v, members)
+
+    def test_path_graph_max_clique_is_edge(self, path_graph):
+        system = self._run_clique(path_graph)
+        assert system.aggregators.previous(MAX_CLIQUE_AGGREGATOR) == 2
+
+    def test_heavy_message_cost_model(self, two_cliques):
+        config = PregelConfig(num_workers=2, adaptive=False, seed=0)
+        system = PregelSystem(two_cliques, MaximalCliqueFinder(), config)
+        system.aggregators.register(MAX_CLIQUE_AGGREGATOR, MaxAggregator)
+        reports = system.run(2)
+        # superstep 2 processes the fat neighbour-list messages
+        assert reports[1].traffic.compute_units > reports[1].superstep
+
+
+class TestCardiacFem:
+    def test_wave_propagates_from_stimulus(self):
+        graph = mesh_3d(4)
+        program = CardiacFemSimulation(stimulus_vertices={0})
+        config = PregelConfig(num_workers=2, adaptive=False, seed=0)
+        system = PregelSystem(graph, program, config)
+        system.run(60)
+        stimulated_v = system.values[0][0]
+        resting = CardiacFemSimulation().initial_value(None, graph)[0]
+        assert stimulated_v != pytest.approx(resting, abs=1e-3)
+        # neighbours of the stimulus should have been excited too
+        neighbour = next(iter(graph.neighbors(0)))
+        assert system.values[neighbour][0] != pytest.approx(resting, abs=1e-3)
+
+    def test_no_stimulus_stays_at_rest(self):
+        graph = mesh_3d(3)
+        program = CardiacFemSimulation()
+        config = PregelConfig(num_workers=2, adaptive=False, seed=0)
+        system = PregelSystem(graph, program, config)
+        system.run(20)
+        for v, (potential, _) in system.values.items():
+            assert abs(potential - (-1.2)) < 0.2
+
+    def test_compute_cost_reflects_ode_load(self):
+        graph = mesh_3d(3)
+        program = CardiacFemSimulation()
+        config = PregelConfig(num_workers=2, adaptive=False, seed=0)
+        system = PregelSystem(graph, program, config)
+        report = system.run_superstep()
+        assert report.traffic.compute_units >= 32.0 * graph.num_vertices
+
+    def test_values_stay_finite(self):
+        graph = mesh_3d(3)
+        program = CardiacFemSimulation(stimulus_vertices={0, 1})
+        config = PregelConfig(num_workers=2, adaptive=True, seed=0)
+        system = PregelSystem(graph, program, config)
+        system.run(100)
+        for v, (potential, recovery) in system.values.items():
+            assert math.isfinite(potential) and math.isfinite(recovery)
+            assert abs(potential) < 5.0

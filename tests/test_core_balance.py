@@ -1,0 +1,106 @@
+"""Unit tests for balance policies (vertex, edge, hotspot)."""
+
+import pytest
+
+from repro.core import EdgeBalance, HotspotBalance, VertexBalance
+from repro.generators import mesh_3d
+
+
+class TestVertexBalance:
+    def test_unit_load(self, triangle):
+        policy = VertexBalance()
+        assert policy.load_of(triangle, 0) == 1.0
+
+    def test_capacity_is_slack_times_balanced(self, small_mesh):
+        policy = VertexBalance(slack=1.10)
+        caps = policy.capacities(small_mesh, 9)
+        assert len(caps) == 9
+        balanced = small_mesh.num_vertices / 9
+        assert all(balanced <= c <= balanced * 1.2 + 1 for c in caps)
+
+    def test_slack_validated(self):
+        with pytest.raises(ValueError):
+            VertexBalance(slack=0.9)
+
+
+class TestEdgeBalance:
+    def test_load_is_degree(self, two_cliques):
+        policy = EdgeBalance()
+        assert policy.load_of(two_cliques, 0) == 3.0
+        assert policy.load_of(two_cliques, 3) == 4.0
+
+    def test_isolated_vertex_still_weighs_one(self):
+        from repro.graph import Graph
+
+        g = Graph(vertices=["x"])
+        assert EdgeBalance().load_of(g, "x") == 1.0
+
+    def test_capacity_scales_with_edges(self):
+        small = mesh_3d(4)
+        big = mesh_3d(6)
+        policy = EdgeBalance()
+        assert policy.capacities(big, 4)[0] > policy.capacities(small, 4)[0]
+
+    def test_total_capacity_fits_total_load(self, small_mesh):
+        policy = EdgeBalance(slack=1.10)
+        caps = policy.capacities(small_mesh, 4)
+        total_load = sum(
+            policy.load_of(small_mesh, v) for v in small_mesh.vertices()
+        )
+        assert sum(caps) >= total_load
+
+
+class TestHotspotBalance:
+    def test_defaults_to_base_without_activity(self, small_mesh):
+        policy = HotspotBalance()
+        base = VertexBalance()
+        assert policy.capacities(small_mesh, 4) == base.capacities(small_mesh, 4)
+
+    def test_hot_partition_shrinks(self, small_mesh):
+        policy = HotspotBalance(max_shrink=0.3)
+        policy.observe_activity([100.0, 10.0, 10.0, 10.0])
+        caps = policy.capacities(small_mesh, 4)
+        base = VertexBalance().capacities(small_mesh, 4)
+        assert caps[0] < base[0]
+        # cold partitions keep their full capacity (factor clamped at 1)
+        assert caps[1] == pytest.approx(base[1])
+
+    def test_shrink_clamped(self, small_mesh):
+        policy = HotspotBalance(max_shrink=0.3)
+        policy.observe_activity([1000.0, 1.0, 1.0, 1.0])
+        caps = policy.capacities(small_mesh, 4)
+        base = VertexBalance().capacities(small_mesh, 4)
+        assert caps[0] >= 0.7 * base[0] - 1
+
+    def test_uniform_activity_no_change(self, small_mesh):
+        policy = HotspotBalance()
+        policy.observe_activity([5.0, 5.0, 5.0, 5.0])
+        assert policy.capacities(small_mesh, 4) == VertexBalance().capacities(
+            small_mesh, 4
+        )
+
+    def test_stale_activity_length_ignored(self, small_mesh):
+        policy = HotspotBalance()
+        policy.observe_activity([1.0, 2.0])  # wrong k
+        assert policy.capacities(small_mesh, 4) == VertexBalance().capacities(
+            small_mesh, 4
+        )
+
+    def test_zero_total_activity(self, small_mesh):
+        policy = HotspotBalance()
+        policy.observe_activity([0.0, 0.0, 0.0, 0.0])
+        assert policy.capacities(small_mesh, 4) == VertexBalance().capacities(
+            small_mesh, 4
+        )
+
+    def test_negative_activity_rejected(self):
+        with pytest.raises(ValueError):
+            HotspotBalance().observe_activity([-1.0])
+
+    def test_max_shrink_validated(self):
+        with pytest.raises(ValueError):
+            HotspotBalance(max_shrink=1.0)
+
+    def test_wraps_edge_balance(self, two_cliques):
+        policy = HotspotBalance(base=EdgeBalance())
+        assert policy.load_of(two_cliques, 0) == 3.0

@@ -1,0 +1,83 @@
+"""Unit tests for the per-iteration quota table."""
+
+import pytest
+
+from repro.core import QuotaTable
+
+
+class TestQuotaMaths:
+    def test_paper_formula(self):
+        # Q(i, j) = C_t(j) / (k - 1)
+        table = QuotaTable([8, 4, 0], num_partitions=3)
+        assert table.quota(1, 0) == pytest.approx(4.0)
+        assert table.quota(0, 1) == pytest.approx(2.0)
+        assert table.quota(0, 2) == 0.0
+
+    def test_negative_capacity_clamps_to_zero(self):
+        # An over-full partition (e.g. after a load spike) offers no quota.
+        table = QuotaTable([-5, 10], num_partitions=2)
+        assert table.quota(1, 0) == 0.0
+
+    def test_single_partition_no_lanes(self):
+        table = QuotaTable([10], num_partitions=1)
+        with pytest.raises(ValueError):
+            table.quota(0, 0)
+
+
+class TestConsumption:
+    def test_consume_until_exhausted(self):
+        table = QuotaTable([4, 4], num_partitions=2)  # quota 4 each lane
+        for _ in range(4):
+            assert table.try_consume(0, 1) is True
+        assert table.try_consume(0, 1) is False
+        assert table.available(0, 1) == pytest.approx(0.0)
+
+    def test_lanes_are_independent(self):
+        table = QuotaTable([2, 2, 2], num_partitions=3)  # quota 1 per lane
+        assert table.try_consume(0, 2) is True
+        assert table.try_consume(0, 2) is False
+        assert table.try_consume(1, 2) is True  # other lane unaffected
+
+    def test_worst_case_never_exceeds_capacity(self):
+        # All sources exhaust their quota towards j: total <= C_t(j).
+        k = 5
+        remaining = [7] * k
+        table = QuotaTable(remaining, num_partitions=k)
+        destination = 3
+        admitted = 0
+        for source in range(k):
+            if source == destination:
+                continue
+            while table.try_consume(source, destination):
+                admitted += 1
+        assert admitted <= remaining[destination]
+        assert table.total_admitted_to(destination) == admitted
+
+    def test_weighted_loads(self):
+        table = QuotaTable([10, 10], num_partitions=2)  # quota 10
+        assert table.try_consume(0, 1, load=6.0) is True
+        assert table.try_consume(0, 1, load=6.0) is False  # would overdraw
+        assert table.try_consume(0, 1, load=4.0) is True
+
+    def test_whole_load_or_nothing(self):
+        table = QuotaTable([3, 3], num_partitions=2)
+        assert table.try_consume(0, 1, load=2.0) is True
+        # remaining lane quota is 1; a 2-unit vertex must be rejected whole
+        assert table.try_consume(0, 1, load=2.0) is False
+        assert table.consumed(0, 1) == pytest.approx(2.0)
+
+    def test_invalid_load(self):
+        table = QuotaTable([3, 3], num_partitions=2)
+        with pytest.raises(ValueError):
+            table.try_consume(0, 1, load=0)
+
+    def test_bad_partition_ids(self):
+        table = QuotaTable([3, 3], num_partitions=2)
+        with pytest.raises(ValueError):
+            table.try_consume(0, 5)
+        with pytest.raises(ValueError):
+            table.try_consume(0, 0)
+
+    def test_num_partitions_validated(self):
+        with pytest.raises(ValueError):
+            QuotaTable([], num_partitions=0)

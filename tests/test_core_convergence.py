@@ -1,0 +1,136 @@
+"""Unit tests for convergence detection and iteration metrics."""
+
+import pytest
+
+from repro.core import ConvergenceDetector, IterationStats, Timeline
+from repro.core.convergence import PAPER_QUIET_WINDOW
+
+
+class TestConvergenceDetector:
+    def test_paper_default_window(self):
+        assert ConvergenceDetector().quiet_window == PAPER_QUIET_WINDOW == 30
+
+    def test_converges_after_window(self):
+        d = ConvergenceDetector(quiet_window=3)
+        assert d.observe(5) is False
+        assert d.observe(0) is False
+        assert d.observe(0) is False
+        assert d.observe(0) is True
+        assert d.converged
+
+    def test_migration_resets_quiet_run(self):
+        d = ConvergenceDetector(quiet_window=2)
+        d.observe(0)
+        d.observe(3)
+        d.observe(0)
+        assert not d.converged
+        d.observe(0)
+        assert d.converged
+
+    def test_reset_rearms(self):
+        d = ConvergenceDetector(quiet_window=1)
+        d.observe(0)
+        assert d.converged
+        d.reset()
+        assert not d.converged
+        assert d.total_iterations == 1  # reset does not erase history
+
+    def test_convergence_time_excludes_quiet_tail(self):
+        d = ConvergenceDetector(quiet_window=3)
+        for m in (4, 2, 1, 0, 0, 0):
+            d.observe(m)
+        # 3 busy iterations, then the quiet window
+        assert d.convergence_time == 3
+
+    def test_convergence_time_none_before_convergence(self):
+        d = ConvergenceDetector(quiet_window=5)
+        d.observe(0)
+        assert d.convergence_time is None
+
+    def test_immediately_quiet_graph(self):
+        d = ConvergenceDetector(quiet_window=2)
+        d.observe(0)
+        d.observe(0)
+        assert d.convergence_time == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ConvergenceDetector().observe(-1)
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(quiet_window=0)
+
+
+def make_stats(i, migrations=0, cut_ratio=0.5, **kw):
+    defaults = dict(
+        iteration=i,
+        migrations=migrations,
+        wanted_migrations=migrations,
+        blocked_migrations=0,
+        cut_edges=int(cut_ratio * 100),
+        cut_ratio=cut_ratio,
+        max_partition_size=10,
+        min_partition_size=8,
+        imbalance=1.1,
+    )
+    defaults.update(kw)
+    return IterationStats(**defaults)
+
+
+class TestTimeline:
+    def test_append_and_series(self):
+        tl = Timeline()
+        for i in range(5):
+            tl.append(make_stats(i, migrations=5 - i))
+        assert len(tl) == 5
+        assert tl.series("migrations") == [5, 4, 3, 2, 1]
+        assert tl.last.iteration == 4
+
+    def test_total_migrations(self):
+        tl = Timeline()
+        for i in range(4):
+            tl.append(make_stats(i, migrations=2))
+        assert tl.total_migrations() == 8
+
+    def test_final_cut_ratio(self):
+        tl = Timeline()
+        assert tl.final_cut_ratio() is None
+        tl.append(make_stats(0, cut_ratio=0.9))
+        tl.append(make_stats(1, cut_ratio=0.3))
+        assert tl.final_cut_ratio() == 0.3
+
+    def test_peak(self):
+        tl = Timeline()
+        for i, m in enumerate([1, 9, 4]):
+            tl.append(make_stats(i, migrations=m))
+        value, iteration = tl.peak("migrations")
+        assert (value, iteration) == (9, 1)
+
+    def test_peak_empty(self):
+        assert Timeline().peak("migrations") == (None, None)
+
+    def test_downsample_includes_last(self):
+        tl = Timeline()
+        for i in range(10):
+            tl.append(make_stats(i))
+        sampled = tl.downsample(4)
+        assert sampled[0].iteration == 0
+        assert sampled[-1].iteration == 9
+
+    def test_downsample_validates(self):
+        with pytest.raises(ValueError):
+            Timeline().downsample(0)
+
+    def test_to_rows(self):
+        tl = Timeline()
+        tl.append(make_stats(0, migrations=3))
+        rows = tl.to_rows(["iteration", "migrations"])
+        assert rows == [(0, 3)]
+
+    def test_indexing_and_iter(self):
+        tl = Timeline()
+        tl.append(make_stats(0))
+        tl.append(make_stats(1))
+        assert tl[1].iteration == 1
+        assert [s.iteration for s in tl] == [0, 1]

@@ -1,0 +1,83 @@
+"""Unit tests for migration decision heuristics."""
+
+import pytest
+
+from repro.core import (
+    CapacityWeightedGreedy,
+    GreedyMaxNeighbours,
+    HEURISTICS,
+    make_heuristic,
+)
+from repro.core.heuristic import DegreeDiscountedGreedy
+
+CAPS = [10, 10, 10]
+
+
+class TestGreedyMaxNeighbours:
+    def setup_method(self):
+        self.h = GreedyMaxNeighbours()
+
+    def test_no_neighbours_stays(self):
+        assert self.h.desired_partition(1, {}, CAPS) == 1
+
+    def test_moves_to_majority(self):
+        assert self.h.desired_partition(0, {1: 5, 2: 2}, CAPS) == 1
+
+    def test_prefers_stay_on_tie(self):
+        # "the heuristic will preferentially choose to stay in the current
+        # partition if it is one of the candidates"
+        assert self.h.desired_partition(0, {0: 3, 1: 3}, CAPS) == 0
+
+    def test_stays_when_current_is_strict_max(self):
+        assert self.h.desired_partition(2, {2: 4, 0: 1}, CAPS) == 2
+
+    def test_deterministic_tie_break_among_foreign(self):
+        assert self.h.desired_partition(0, {2: 3, 1: 3}, CAPS) == 1
+
+    def test_zero_neighbours_here_moves(self):
+        assert self.h.desired_partition(0, {1: 1}, CAPS) == 1
+
+    def test_ignores_capacity_vector(self):
+        # the paper's greedy rule is capacity-blind (quotas enforce balance)
+        assert self.h.desired_partition(0, {1: 5}, [0, 0, 0]) == 1
+
+
+class TestCapacityWeightedGreedy:
+    def setup_method(self):
+        self.h = CapacityWeightedGreedy()
+
+    def test_no_neighbours_stays(self):
+        assert self.h.desired_partition(0, {}, CAPS) == 0
+
+    def test_moves_to_open_majority(self):
+        assert self.h.desired_partition(0, {1: 5, 2: 2}, [10, 10, 10]) == 1
+
+    def test_avoids_full_destination(self):
+        # Partition 1 has more neighbours but zero remaining capacity.
+        assert self.h.desired_partition(0, {1: 5, 2: 4}, [10, 0, 10]) == 2
+
+    def test_never_moves_without_gain(self):
+        assert self.h.desired_partition(0, {0: 3, 1: 3}, CAPS) == 0
+
+
+class TestHysteresisGreedy:
+    def setup_method(self):
+        self.h = DegreeDiscountedGreedy()
+
+    def test_requires_margin(self):
+        # needs strictly more than here + 1 + margin(1) neighbours
+        assert self.h.desired_partition(0, {0: 2, 1: 3}, CAPS) == 0
+        assert self.h.desired_partition(0, {0: 2, 1: 4}, CAPS) == 1
+
+    def test_no_neighbours_stays(self):
+        assert self.h.desired_partition(0, {}, CAPS) == 0
+
+
+class TestRegistry:
+    def test_all_names_constructible(self):
+        for name in HEURISTICS:
+            assert make_heuristic(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_heuristic("nope")

@@ -1,0 +1,130 @@
+"""Dynamic adaptation tests: the runner under graph mutations."""
+
+import pytest
+
+from repro.core import AdaptiveConfig, AdaptiveRunner
+from repro.generators import forest_fire_expansion, mesh_3d
+from repro.graph import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.partitioning import HashPartitioner, balanced_capacities
+
+
+def converged_runner(graph, k=4, seed=0, quiet_window=10):
+    caps = balanced_capacities(graph.num_vertices, k, slack=1.3)
+    state = HashPartitioner().partition(graph, k, list(caps))
+    runner = AdaptiveRunner(
+        graph, state, AdaptiveConfig(seed=seed, quiet_window=quiet_window)
+    )
+    runner.run_until_convergence(max_iterations=400)
+    assert runner.converged
+    return runner
+
+
+class TestEventApplication:
+    def test_add_vertex_gets_placed(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        runner.apply_events([AddVertex("new")])
+        assert runner.state.partition_of_or_none("new") is not None
+        assert not runner.converged  # window reset
+
+    def test_add_edge_implicit_endpoints(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        runner.apply_events([AddEdge("a", "b")])
+        assert runner.state.partition_of_or_none("a") is not None
+        assert runner.graph.has_edge("a", "b")
+
+    def test_remove_vertex_cleans_state(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        victim = next(iter(small_mesh.vertices()))
+        runner.apply_events([RemoveVertex(victim)])
+        assert victim not in runner.graph
+        assert runner.state.partition_of_or_none(victim) is None
+        assert runner.state.cut_edges == runner.state.recompute_cut_edges()
+
+    def test_remove_edge(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        u, v = next(iter(small_mesh.edges()))
+        runner.apply_events([RemoveEdge(u, v)])
+        assert not runner.graph.has_edge(u, v)
+        assert runner.state.cut_edges == runner.state.recompute_cut_edges()
+
+    def test_noop_events_do_not_reset_convergence(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        existing = next(iter(small_mesh.vertices()))
+        changed = runner.apply_events([AddVertex(existing)])
+        assert changed == 0
+        assert runner.converged
+
+    def test_event_count_returned(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        changed = runner.apply_events(
+            [AddVertex("x"), AddVertex("x"), AddEdge("x", "y")]
+        )
+        assert changed == 2
+
+    def test_unknown_event_rejected(self, small_mesh):
+        runner = converged_runner(small_mesh)
+        with pytest.raises(TypeError):
+            runner.apply_events(["garbage"])
+
+
+class TestReconvergence:
+    def test_forest_fire_peak_absorbed(self):
+        # The Fig. 7(b) scenario in miniature: converge, inject a 10 % forest
+        # fire, observe a migration spike that decays back to convergence
+        # with cut ratio near the pre-peak level.
+        graph = mesh_3d(8)
+        runner = converged_runner(graph, k=4, quiet_window=10)
+        settled_ratio = runner.state.cut_ratio()
+        events, _ = forest_fire_expansion(
+            graph, int(0.1 * graph.num_vertices), seed=1
+        )
+        runner.apply_events(events)
+        post_injection_ratio = runner.state.cut_ratio()
+        assert post_injection_ratio > settled_ratio  # the peak
+        runner.run_until_convergence(max_iterations=600)
+        assert runner.converged
+        assert runner.state.cut_ratio() < post_injection_ratio
+        assert runner.state.cut_edges == runner.state.recompute_cut_edges()
+
+    def test_migration_spike_then_decay(self):
+        graph = mesh_3d(8)
+        runner = converged_runner(graph, k=4, quiet_window=10)
+        events, _ = forest_fire_expansion(
+            graph, int(0.1 * graph.num_vertices), seed=2
+        )
+        runner.apply_events(events)
+        spike = runner.step().migrations
+        for _ in range(60):
+            runner.step()
+        tail = runner.timeline.last.migrations
+        assert tail <= spike
+
+    def test_capacities_refresh_after_growth(self):
+        graph = mesh_3d(6)
+        runner = converged_runner(graph, k=4)
+        caps_before = runner.capacities
+        events, _ = forest_fire_expansion(
+            graph, graph.num_vertices // 2, seed=0
+        )
+        runner.apply_events(events)
+        assert runner.capacities[0] > caps_before[0]
+
+    def test_shrinking_graph(self):
+        graph = mesh_3d(6)
+        runner = converged_runner(graph, k=4)
+        victims = list(graph.vertices())[:30]
+        runner.apply_events([RemoveVertex(v) for v in victims])
+        runner.run_until_convergence(max_iterations=300)
+        assert runner.converged
+        assert len(runner.state) == graph.num_vertices
+        runner.state.validate()
+
+    def test_loads_track_assignment_after_churn(self):
+        graph = mesh_3d(6)
+        runner = converged_runner(graph, k=4)
+        events, _ = forest_fire_expansion(graph, 25, seed=3)
+        runner.apply_events(events)
+        for _ in range(10):
+            runner.step()
+        sizes = runner.state.sizes
+        assert runner.loads == pytest.approx([float(s) for s in sizes])

@@ -1,0 +1,98 @@
+"""Tests for the Table-1 dataset catalog."""
+
+import pytest
+
+from repro.datasets import (
+    CATALOG,
+    build_dataset,
+    dataset_names,
+    table1_rows,
+)
+
+PAPER_TABLE_1 = {
+    "1e4": (10000, 27900, "FEM"),
+    "64kcube": (64000, 187200, "FEM"),
+    "1e6": (10 ** 6, 2970000, "FEM"),
+    "1e8": (10 ** 8, 297000000, "FEM"),
+    "3elt": (4720, 13722, "FEM"),
+    "4elt": (15606, 45878, "FEM"),
+    "plc1000": (1000, 9879, "pwlaw"),
+    "plc10000": (10000, 129774, "pwlaw"),
+    "plc50000": (50000, 1249061, "pwlaw"),
+    "wikivote": (7115, 103689, "pwlaw"),
+    "epinion": (75879, 508837, "pwlaw"),
+    "uk-2007-05-u": (10 ** 6, 41247159, "pwlaw"),
+}
+
+
+class TestCatalogContents:
+    def test_every_table1_entry_present(self):
+        assert set(dataset_names()) == set(PAPER_TABLE_1)
+
+    def test_published_statistics_recorded(self):
+        for name, (v, e, family) in PAPER_TABLE_1.items():
+            spec = CATALOG[name]
+            assert spec.paper_vertices == v
+            assert spec.paper_edges == e
+            assert spec.family == family
+
+
+class TestBuilders:
+    @pytest.mark.parametrize(
+        "name", ["1e4", "3elt", "plc1000", "wikivote"]
+    )
+    def test_full_size_matches_published_vertices(self, name):
+        graph = build_dataset(name)
+        spec = CATALOG[name]
+        assert abs(graph.num_vertices - spec.paper_vertices) < max(
+            0.15 * spec.paper_vertices, 8
+        )
+
+    def test_scaled_build(self):
+        graph = build_dataset("epinion", scale=0.05, seed=0)
+        assert graph.num_vertices == pytest.approx(75879 * 0.05, rel=0.02)
+
+    def test_max_vertices_cap(self):
+        graph = build_dataset("64kcube", max_vertices=1000)
+        assert graph.num_vertices <= 1200  # mesh rounding above the cap
+
+    def test_average_degree_shape_epinion(self):
+        # Epinions averages ~13.4; the stand-in must be in the ballpark.
+        graph = build_dataset("epinion", scale=0.05)
+        published = 2 * 508837 / 75879
+        assert abs(graph.average_degree() - published) < 0.4 * published
+
+    def test_fem_entries_are_meshes(self):
+        graph = build_dataset("1e4", scale=0.3)
+        # mesh degrees are bounded by 6
+        assert max(graph.degree(v) for v in graph.vertices()) <= 6
+
+    def test_pwlaw_entries_are_heavy_tailed(self):
+        graph = build_dataset("plc10000", scale=0.2, seed=1)
+        max_degree = max(graph.degree(v) for v in graph.vertices())
+        assert max_degree > 3 * graph.average_degree()
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            build_dataset("unknown")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            build_dataset("plc1000", scale=0)
+
+    def test_determinism(self):
+        a = build_dataset("plc1000", seed=3)
+        b = build_dataset("plc1000", seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestTable1Rows:
+    def test_rows_cover_catalog(self):
+        rows = table1_rows(scale=0.05, max_vertices=2000)
+        assert len(rows) == len(CATALOG)
+
+    def test_skipped_entries_have_no_measurements(self):
+        rows = table1_rows(scale=0.05, max_vertices=2000)
+        by_name = {r[0]: r for r in rows}
+        assert by_name["1e8"][4] is None
+        assert by_name["plc1000"][4] is not None

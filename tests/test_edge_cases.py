@@ -1,0 +1,159 @@
+"""Cross-cutting edge cases: degenerate graphs, single workers, empty
+systems, and configuration corners that the main suites don't reach."""
+
+import pytest
+
+from repro.core import AdaptiveConfig, AdaptiveRunner, EdgeBalance
+from repro.graph import AddEdge, AddVertex, Graph, RemoveVertex
+from repro.partitioning import (
+    HashPartitioner,
+    MultilevelPartitioner,
+    PartitionState,
+    balanced_capacities,
+)
+from repro.pregel import PregelConfig, PregelSystem
+from repro.pregel.vertex import VertexProgram
+
+
+class Noop(VertexProgram):
+    def initial_value(self, vertex_id, graph):
+        return None
+
+    def compute(self, ctx, messages):
+        pass
+
+
+class TestDegenerateGraphs:
+    def test_runner_on_empty_graph(self):
+        graph = Graph()
+        state = PartitionState(graph, 3)
+        runner = AdaptiveRunner(graph, state, AdaptiveConfig(seed=0))
+        stats = runner.step()
+        assert stats.migrations == 0
+        assert stats.cut_edges == 0
+
+    def test_runner_on_single_vertex(self):
+        graph = Graph(vertices=["only"])
+        state = PartitionState(graph, 2)
+        state.assign("only", 0)
+        runner = AdaptiveRunner(graph, state, AdaptiveConfig(seed=0))
+        runner.run_until_convergence(max_iterations=50)
+        assert runner.converged
+        assert state.partition_of("only") == 0
+
+    def test_runner_with_isolated_vertices(self):
+        graph = Graph(vertices=range(10))
+        caps = balanced_capacities(10, 2)
+        state = HashPartitioner().partition(graph, 2, list(caps))
+        runner = AdaptiveRunner(graph, state, AdaptiveConfig(seed=0))
+        runner.run_until_convergence(max_iterations=100)
+        assert runner.converged  # isolated vertices never want to move
+        assert state.cut_edges == 0
+
+    def test_single_partition_never_migrates(self, small_mesh):
+        caps = balanced_capacities(small_mesh.num_vertices, 1)
+        state = HashPartitioner().partition(small_mesh, 1, list(caps))
+        runner = AdaptiveRunner(small_mesh, state, AdaptiveConfig(seed=0))
+        for _ in range(5):
+            assert runner.step().migrations == 0
+        assert state.cut_edges == 0
+
+    def test_star_graph_hub_stays_reasonable(self):
+        graph = Graph([("hub", f"leaf{i}") for i in range(40)])
+        caps = balanced_capacities(graph.num_vertices, 4, slack=1.2)
+        state = HashPartitioner().partition(graph, 4, list(caps))
+        runner = AdaptiveRunner(graph, state, AdaptiveConfig(seed=0))
+        runner.run_until_convergence(max_iterations=300)
+        # capacity keeps the star from collapsing into one partition
+        assert max(state.sizes) <= caps[0]
+        state.validate()
+
+    def test_multilevel_on_tiny_graphs(self, triangle):
+        state = MultilevelPartitioner(seed=0).partition(triangle, 2)
+        assert len(state) == 3
+        state.validate()
+
+    def test_multilevel_k_exceeds_vertices(self):
+        graph = Graph([(0, 1), (1, 2)])
+        state = MultilevelPartitioner(seed=0).partition(graph, 5)
+        assert len(state) == 3  # some partitions legitimately empty
+        state.validate()
+
+
+class TestPregelCorners:
+    def test_system_on_empty_graph_grows_from_stream(self):
+        system = PregelSystem(
+            Graph(), Noop(), PregelConfig(num_workers=3, seed=0)
+        )
+        report = system.run_superstep()
+        assert report.computed_vertices == 0
+        system.inject_events([AddEdge("a", "b"), AddVertex("c")])
+        report = system.run_superstep()
+        assert report.mutations_applied == 2
+        assert system.graph.num_vertices == 3
+
+    def test_single_worker_system(self, small_mesh):
+        system = PregelSystem(
+            small_mesh, Noop(), PregelConfig(num_workers=1, seed=0)
+        )
+        reports = system.run(5)
+        assert all(r.traffic.remote_messages == 0 for r in reports)
+        assert all(r.migrations_announced == 0 for r in reports)
+        assert system.state.cut_edges == 0
+
+    def test_edge_balance_policy_in_system(self, small_powerlaw):
+        system = PregelSystem(
+            small_powerlaw,
+            Noop(),
+            PregelConfig(num_workers=4, seed=0, balance=EdgeBalance(slack=1.2)),
+        )
+        system.run(40)
+        edge_loads = [0.0] * 4
+        for v, pid in system.state.assignment_items():
+            edge_loads[pid] += max(small_powerlaw.degree(v), 1)
+        caps = system._capacities
+        for pid in range(4):
+            assert edge_loads[pid] <= caps[pid] + 1e-6
+        system.state.validate()
+
+    def test_removing_entire_graph_mid_run(self, small_mesh):
+        system = PregelSystem(
+            small_mesh, Noop(), PregelConfig(num_workers=3, seed=0)
+        )
+        system.run(2)
+        system.inject_events(
+            [RemoveVertex(v) for v in list(small_mesh.vertices())]
+        )
+        report = system.run_superstep()
+        assert system.graph.num_vertices == 0
+        assert len(system.state) == 0
+        assert report.cut_edges == 0
+        # system keeps running on the empty graph
+        system.run(2)
+
+    def test_failure_on_first_superstep(self, small_mesh):
+        from repro.pregel import FaultPlan
+
+        system = PregelSystem(
+            small_mesh,
+            Noop(),
+            PregelConfig(num_workers=2, seed=0),
+            fault_plan=FaultPlan().add(1, 0),
+        )
+        report = system.run_superstep()
+        assert report.failed_worker == 0
+        system.run(3)  # survives
+
+
+class TestCliErrors:
+    def test_missing_edgelist_file(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(FileNotFoundError):
+            main(["partition", str(tmp_path / "missing.txt")])
+
+    def test_generate_unknown_dataset(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(ValueError):
+            main(["generate", "no-such-set", str(tmp_path / "out.txt")])

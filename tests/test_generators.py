@@ -1,0 +1,323 @@
+"""Unit tests for the synthetic graph and stream generators."""
+
+import math
+
+import pytest
+
+from repro.generators import (
+    CdrStreamConfig,
+    TweetStreamConfig,
+    erdos_renyi_graph,
+    forest_fire_expansion,
+    forest_fire_graph,
+    generate_cdr_stream,
+    generate_tweet_stream,
+    grid_2d,
+    mesh_3d,
+    mesh_with_vertex_count,
+    paper_average_degree,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    ring_lattice,
+    triangulated_grid_2d,
+)
+from repro.graph import AddEdge, AddVertex, Graph, RemoveVertex, apply_events
+
+
+class TestMesh:
+    def test_cube_counts(self):
+        g = mesh_3d(4)
+        assert g.num_vertices == 64
+        # edges of an n^3 grid: 3 * n^2 * (n-1)
+        assert g.num_edges == 3 * 16 * 3
+
+    def test_rectangular(self):
+        g = mesh_3d(2, 3, 4)
+        assert g.num_vertices == 24
+        g.validate()
+
+    def test_interior_degree_is_six(self):
+        g = mesh_3d(5)
+        # interior vertex (2,2,2) -> id (2*5+2)*5+2
+        interior = (2 * 5 + 2) * 5 + 2
+        assert g.degree(interior) == 6
+
+    def test_corner_degree_is_three(self):
+        g = mesh_3d(5)
+        assert g.degree(0) == 3
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            mesh_3d(0)
+
+    def test_grid_2d(self):
+        g = grid_2d(3)
+        assert g.num_vertices == 9
+        assert g.num_edges == 12
+
+    def test_triangulated_grid_degree(self):
+        g = triangulated_grid_2d(10)
+        # average degree of a triangulated grid approaches 6 inside
+        assert 4.0 < g.average_degree() < 6.0
+        g.validate()
+
+    def test_mesh_with_vertex_count_close(self):
+        for target in (1000, 3000, 9900, 29700):
+            g = mesh_with_vertex_count(target)
+            assert abs(g.num_vertices - target) / target < 0.15
+
+    def test_mesh_with_vertex_count_invalid(self):
+        with pytest.raises(ValueError):
+            mesh_with_vertex_count(0)
+
+    def test_mesh_connected(self):
+        g = mesh_3d(4)
+        assert g.giant_component_fraction() == 1.0
+
+
+class TestPowerlaw:
+    def test_vertex_count(self):
+        g = powerlaw_cluster_graph(500, m=3, seed=0)
+        assert g.num_vertices == 500
+
+    def test_edge_count_near_m_per_vertex(self):
+        n, m = 800, 3
+        g = powerlaw_cluster_graph(n, m=m, seed=1)
+        # seed clique + ~m per added vertex
+        expected = m * (m + 1) / 2 + m * (n - m - 1)
+        assert abs(g.num_edges - expected) / expected < 0.05
+
+    def test_deterministic_per_seed(self):
+        a = powerlaw_cluster_graph(200, m=2, seed=5)
+        b = powerlaw_cluster_graph(200, m=2, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_seeds_differ(self):
+        a = powerlaw_cluster_graph(200, m=2, seed=1)
+        b = powerlaw_cluster_graph(200, m=2, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_heavy_tail_exists(self):
+        g = powerlaw_cluster_graph(2000, m=2, seed=3)
+        max_degree = max(g.degree(v) for v in g.vertices())
+        assert max_degree > 10 * g.average_degree() / 2
+
+    def test_triads_raise_clustering(self):
+        # Holme-Kim with p=1 should close more triangles than p=0.
+        def triangles(g):
+            count = 0
+            for u, v in g.edges():
+                count += len(g.neighbors(u) & g.neighbors(v))
+            return count
+
+        low = powerlaw_cluster_graph(600, m=3, triad_probability=0.0, seed=4)
+        high = powerlaw_cluster_graph(600, m=3, triad_probability=1.0, seed=4)
+        assert triangles(high) > triangles(low)
+
+    def test_paper_average_degree_rule(self):
+        assert paper_average_degree(10000) == round(math.log(10000) / 2)
+        with pytest.raises(ValueError):
+            paper_average_degree(1)
+
+    def test_default_m_uses_paper_rule(self):
+        g = powerlaw_cluster_graph(1000, seed=0)
+        assert g.average_degree() > 4.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, m=0)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(3, m=5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(10, m=2, triad_probability=1.5)
+
+    def test_preferential_attachment_alias(self):
+        g = preferential_attachment_graph(300, m=2, seed=0)
+        assert g.num_vertices == 300
+
+    def test_connected(self):
+        g = powerlaw_cluster_graph(400, m=2, seed=9)
+        assert g.giant_component_fraction() == 1.0
+
+
+class TestRandomGraphs:
+    def test_gnp_edge_probability(self):
+        g = erdos_renyi_graph(100, edge_probability=0.1, seed=0)
+        expected = 0.1 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) / expected < 0.3
+
+    def test_gnm_exact_edges(self):
+        g = erdos_renyi_graph(50, num_edges=100, seed=0)
+        assert g.num_edges == 100
+
+    def test_exactly_one_mode_required(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, edge_probability=0.5, num_edges=5)
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(4, num_edges=100)
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, edge_probability=1.5)
+
+    def test_ring_lattice(self):
+        g = ring_lattice(10, neighbours_each_side=2)
+        assert g.num_vertices == 10
+        assert g.num_edges == 20
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_ring_lattice_validation(self):
+        with pytest.raises(ValueError):
+            ring_lattice(2)
+        with pytest.raises(ValueError):
+            ring_lattice(5, neighbours_each_side=3)
+
+
+class TestForestFire:
+    def test_expansion_grows_by_requested_count(self):
+        g = mesh_3d(4)
+        events, new_ids = forest_fire_expansion(g, 20, seed=1)
+        assert len(new_ids) == 20
+        working = g.copy()
+        apply_events(working, events)
+        assert working.num_vertices == g.num_vertices + 20
+        working.validate()
+
+    def test_input_graph_unchanged(self):
+        g = mesh_3d(3)
+        before = g.num_vertices
+        forest_fire_expansion(g, 10, seed=0)
+        assert g.num_vertices == before
+
+    def test_new_vertices_are_connected(self):
+        g = mesh_3d(4)
+        events, new_ids = forest_fire_expansion(g, 15, seed=2)
+        working = g.copy()
+        apply_events(working, events)
+        for vid in new_ids:
+            assert working.degree(vid) >= 1
+
+    def test_events_start_with_vertex_then_edges(self):
+        g = mesh_3d(3)
+        events, _ = forest_fire_expansion(g, 1, seed=3)
+        assert isinstance(events[0], AddVertex)
+        assert all(isinstance(e, AddEdge) for e in events[1:])
+
+    def test_deterministic(self):
+        g = mesh_3d(3)
+        a, _ = forest_fire_expansion(g, 5, seed=7)
+        b, _ = forest_fire_expansion(g, 5, seed=7)
+        assert a == b
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            forest_fire_expansion(Graph(), 5)
+
+    def test_zero_growth(self):
+        g = mesh_3d(3)
+        events, ids = forest_fire_expansion(g, 0)
+        assert events == [] and ids == []
+
+    def test_burn_probability_validation(self):
+        with pytest.raises(ValueError):
+            forest_fire_expansion(mesh_3d(2), 1, burn_probability=1.0)
+
+    def test_forest_fire_graph_from_scratch(self):
+        g = forest_fire_graph(100, seed=0)
+        assert g.num_vertices == 100
+        assert g.giant_component_fraction() == 1.0
+
+
+class TestTweetStream:
+    def test_events_are_mentions(self):
+        stream = generate_tweet_stream(
+            TweetStreamConfig(duration=600.0, mean_rate=5.0, seed=0)
+        )
+        assert len(stream) > 0
+        for te in stream:
+            assert isinstance(te.event, AddEdge)
+            assert te.event.u != te.event.v
+
+    def test_rate_roughly_respected(self):
+        cfg = TweetStreamConfig(duration=3600.0, mean_rate=10.0, seed=1)
+        stream = generate_tweet_stream(cfg)
+        # mean over one hour with diurnal modulation: within 2x band
+        assert 0.4 * 36000 / 10 < len(stream) < 2.5 * 3600 * 10
+
+    def test_deterministic(self):
+        cfg = TweetStreamConfig(duration=300.0, mean_rate=5.0, seed=9)
+        a = generate_tweet_stream(cfg)
+        b = generate_tweet_stream(cfg)
+        assert [(te.time, te.event) for te in a] == [
+            (te.time, te.event) for te in b
+        ]
+
+    def test_burst_raises_local_rate(self):
+        base = TweetStreamConfig(duration=7200.0, mean_rate=10.0, seed=2)
+        burst = TweetStreamConfig(
+            duration=7200.0, mean_rate=10.0, seed=2, burst_at=3600.0,
+            burst_magnitude=5.0,
+        )
+        quiet = generate_tweet_stream(base)
+        bursty = generate_tweet_stream(burst)
+        window = (3000.0, 4200.0)
+        assert len(bursty.window(*window)) > len(quiet.window(*window))
+
+    def test_builds_powerlawish_graph(self):
+        stream = generate_tweet_stream(
+            TweetStreamConfig(duration=1800.0, mean_rate=20.0, seed=3)
+        )
+        g = Graph()
+        stream.replay_into(g)
+        degrees = sorted((g.degree(v) for v in g.vertices()), reverse=True)
+        assert degrees[0] > 5 * (sum(degrees) / len(degrees))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            generate_tweet_stream(TweetStreamConfig(duration=0))
+
+
+class TestCdrStream:
+    def test_boundaries_weekly(self):
+        _, boundaries = generate_cdr_stream(
+            CdrStreamConfig(initial_subscribers=200, num_weeks=4, seed=0)
+        )
+        assert len(boundaries) == 4
+        assert boundaries[1] - boundaries[0] == pytest.approx(7 * 24 * 3600.0)
+
+    def test_churn_present(self):
+        stream, _ = generate_cdr_stream(
+            CdrStreamConfig(initial_subscribers=500, num_weeks=3, seed=1)
+        )
+        removals = [te for te in stream if isinstance(te.event, RemoveVertex)]
+        additions = [te for te in stream if isinstance(te.event, AddEdge)]
+        assert removals and additions
+        # paper rates: ~2x more additions than removals per week
+        assert len(removals) < len(additions)
+
+    def test_replay_produces_community_graph(self):
+        stream, boundaries = generate_cdr_stream(
+            CdrStreamConfig(initial_subscribers=400, num_weeks=2, seed=2)
+        )
+        g = Graph()
+        stream.replay_into(g, until=boundaries[1])
+        assert g.num_vertices > 300
+        assert g.average_degree() > 2.0
+
+    def test_deterministic(self):
+        cfg = CdrStreamConfig(initial_subscribers=100, num_weeks=2, seed=5)
+        a, _ = generate_cdr_stream(cfg)
+        b, _ = generate_cdr_stream(cfg)
+        assert [(te.time, te.event) for te in a] == [
+            (te.time, te.event) for te in b
+        ]
+
+    def test_too_small_population_rejected(self):
+        with pytest.raises(ValueError):
+            generate_cdr_stream(
+                CdrStreamConfig(initial_subscribers=5, community_size=25)
+            )

@@ -1,0 +1,153 @@
+"""Unit tests for the dynamic graph substrate."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_vertices_and_edges(self):
+        g = Graph(edges=[(1, 2)], vertices=[9])
+        assert 9 in g
+        assert g.degree(9) == 0
+
+
+class TestMutation:
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        assert g.add_vertex("a") is True
+        assert g.add_vertex("a") is False
+        assert g.num_vertices == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        assert g.add_edge(1, 2) is True
+        assert 1 in g and 2 in g
+
+    def test_add_edge_duplicate(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.add_edge(1, 2) is False
+        assert g.add_edge(2, 1) is False  # undirected
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2)])
+        assert g.remove_edge(2, 1) is True
+        assert g.num_edges == 0
+        assert 1 in g and 2 in g  # endpoints stay
+
+    def test_remove_missing_edge(self):
+        g = Graph([(1, 2)])
+        assert g.remove_edge(1, 3) is False
+        assert g.remove_edge(5, 6) is False
+
+    def test_remove_vertex_detaches_edges(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        assert g.remove_vertex(1) is True
+        assert g.num_edges == 1
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(1, 2)
+
+    def test_remove_missing_vertex(self):
+        g = Graph()
+        assert g.remove_vertex("ghost") is False
+
+    def test_mutation_sequence_keeps_invariants(self):
+        g = Graph()
+        for i in range(20):
+            g.add_edge(i, (i + 1) % 20)
+        for i in range(0, 20, 3):
+            g.remove_vertex(i)
+        g.validate()
+
+
+class TestQueries:
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(0) == {1, 2}
+
+    def test_neighbors_missing_raises(self):
+        with pytest.raises(KeyError):
+            Graph().neighbors("nope")
+
+    def test_degree(self, two_cliques):
+        assert two_cliques.degree(0) == 3
+        assert two_cliques.degree(3) == 4  # clique + bridge
+
+    def test_edges_reported_once(self, triangle):
+        assert sorted(triangle.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert sorted(triangle) == [0, 1, 2]
+
+    def test_isolated_vertices(self):
+        g = Graph(edges=[(1, 2)], vertices=["lonely"])
+        assert list(g.isolated_vertices()) == ["lonely"]
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == 2.0
+
+    def test_average_degree_empty(self):
+        assert Graph().average_degree() == 0.0
+
+    def test_degree_histogram(self, path_graph):
+        hist = path_graph.degree_histogram()
+        assert hist == {1: 2, 2: 4}
+
+
+class TestDerived:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+    def test_subgraph(self, two_cliques):
+        sub = two_cliques.subgraph(range(0, 4))
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 6  # the 4-clique, bridge excluded
+
+    def test_subgraph_ignores_missing(self, triangle):
+        sub = triangle.subgraph([0, 1, 99])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+
+    def test_connected_components(self):
+        g = Graph([(1, 2), (2, 3), (10, 11)])
+        g.add_vertex(42)
+        components = sorted(g.connected_components(), key=len, reverse=True)
+        assert {1, 2, 3} in components
+        assert {10, 11} in components
+        assert {42} in components
+
+    def test_giant_component_fraction(self):
+        g = Graph([(1, 2), (2, 3), (10, 11)])
+        assert g.giant_component_fraction() == pytest.approx(3 / 5)
+
+    def test_giant_component_empty(self):
+        assert Graph().giant_component_fraction() == 0.0
+
+    def test_validate_detects_drift(self, triangle):
+        triangle._num_edges += 1  # simulate corruption
+        with pytest.raises(AssertionError):
+            triangle.validate()
+
+    def test_repr(self, triangle):
+        assert "3" in repr(triangle)

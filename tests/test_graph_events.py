@@ -1,0 +1,98 @@
+"""Unit tests for mutation events and their inverses."""
+
+import pytest
+
+from repro.graph import (
+    AddEdge,
+    AddVertex,
+    EventKind,
+    Graph,
+    RemoveEdge,
+    RemoveVertex,
+    apply_event,
+    apply_events,
+    invert_event,
+)
+
+
+class TestApply:
+    def test_add_vertex(self):
+        g = Graph()
+        assert apply_event(g, AddVertex("a")) is True
+        assert apply_event(g, AddVertex("a")) is False
+
+    def test_add_edge(self):
+        g = Graph()
+        assert apply_event(g, AddEdge(1, 2)) is True
+        assert g.has_edge(1, 2)
+
+    def test_remove_vertex(self):
+        g = Graph([(1, 2)])
+        assert apply_event(g, RemoveVertex(1)) is True
+        assert 1 not in g
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2)])
+        assert apply_event(g, RemoveEdge(1, 2)) is True
+        assert g.num_edges == 0
+
+    def test_apply_events_counts_changes(self):
+        g = Graph()
+        events = [AddEdge(1, 2), AddEdge(1, 2), AddVertex(1), AddVertex(3)]
+        assert apply_events(g, events) == 2
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TypeError):
+            apply_event(Graph(), "not an event")
+
+    def test_kinds(self):
+        assert AddVertex(1).kind is EventKind.ADD_VERTEX
+        assert RemoveVertex(1).kind is EventKind.REMOVE_VERTEX
+        assert AddEdge(1, 2).kind is EventKind.ADD_EDGE
+        assert RemoveEdge(1, 2).kind is EventKind.REMOVE_EDGE
+
+
+class TestInvert:
+    def _roundtrip(self, graph, event):
+        """Apply event then its inverse; graph must be unchanged."""
+        before_vertices = set(graph.vertices())
+        before_edges = set(map(frozenset, graph.edges()))
+        inverse = invert_event(event, graph)
+        apply_event(graph, event)
+        for inv in inverse:
+            apply_event(graph, inv)
+        assert set(graph.vertices()) == before_vertices
+        assert set(map(frozenset, graph.edges())) == before_edges
+        graph.validate()
+
+    def test_add_vertex_roundtrip(self):
+        self._roundtrip(Graph([(1, 2)]), AddVertex(99))
+
+    def test_add_edge_roundtrip_existing_endpoints(self):
+        self._roundtrip(Graph(vertices=[5, 6]), AddEdge(5, 6))
+
+    def test_add_edge_roundtrip_new_endpoints(self):
+        # add_edge implicitly creates vertices; the inverse must remove them.
+        self._roundtrip(Graph([(1, 2)]), AddEdge("new1", "new2"))
+
+    def test_remove_vertex_roundtrip_restores_edges(self):
+        g = Graph([(1, 2), (1, 3), (2, 3)])
+        self._roundtrip(g, RemoveVertex(1))
+
+    def test_remove_edge_roundtrip(self):
+        self._roundtrip(Graph([(1, 2)]), RemoveEdge(1, 2))
+
+    def test_noop_events_invert_to_empty(self):
+        g = Graph([(1, 2)])
+        assert invert_event(AddVertex(1), g) == []
+        assert invert_event(AddEdge(1, 2), g) == []
+        assert invert_event(RemoveVertex(42), g) == []
+        assert invert_event(RemoveEdge(5, 6), g) == []
+
+    def test_self_loop_invert_rejected(self):
+        with pytest.raises(ValueError):
+            invert_event(AddEdge(1, 1), Graph())
+
+    def test_events_are_hashable_records(self):
+        assert AddEdge(1, 2) == AddEdge(1, 2)
+        assert len({AddVertex(1), AddVertex(1), AddVertex(2)}) == 2

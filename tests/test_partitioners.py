@@ -1,0 +1,133 @@
+"""Unit tests for the initial partitioning strategies (HSH/RND/DGR/MNN)."""
+
+import pytest
+
+from repro.partitioning import (
+    HashPartitioner,
+    LinearDeterministicGreedy,
+    MinimumNeighbours,
+    RandomPartitioner,
+    STRATEGIES,
+    balanced_capacities,
+    make_partitioner,
+)
+from repro.utils import stable_hash
+
+ALL_NAMES = ["HSH", "RND", "DGR", "MNN"]
+
+
+def make_state(partitioner, graph, k=3):
+    caps = balanced_capacities(graph.num_vertices, k)
+    return partitioner.partition(graph, k, caps)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_vertex_assigned_once(self, small_mesh, name):
+        state = make_state(make_partitioner(name), small_mesh)
+        assert len(state) == small_mesh.num_vertices
+        assert sum(state.sizes) == small_mesh.num_vertices
+        state.validate()
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_deterministic(self, small_powerlaw, name):
+        a = make_state(make_partitioner(name, seed=3), small_powerlaw)
+        b = make_state(make_partitioner(name, seed=3), small_powerlaw)
+        assert dict(a.assignment_items()) == dict(b.assignment_items())
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_streaming_place_one_vertex(self, small_mesh, name):
+        partitioner = make_partitioner(name)
+        state = make_state(partitioner, small_mesh)
+        small_mesh.add_vertex("newbie")
+        pid = partitioner.place(state, "newbie")
+        assert state.partition_of("newbie") == pid
+
+    def test_registry_contains_metis(self):
+        assert "METIS" in STRATEGIES
+
+    def test_registry_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_partitioner("NOPE")
+
+
+class TestHash:
+    def test_matches_stable_hash(self, small_mesh):
+        state = make_state(HashPartitioner(), small_mesh, k=5)
+        for v in small_mesh.vertices():
+            assert state.partition_of(v) == stable_hash(v) % 5
+
+    def test_roughly_balanced(self, small_mesh):
+        state = make_state(HashPartitioner(), small_mesh, k=3)
+        expected = small_mesh.num_vertices / 3
+        for size in state.sizes:
+            assert abs(size - expected) < expected * 0.35
+
+    def test_high_cut_on_mesh(self, small_mesh):
+        # Hash ignores locality: cut ratio near 1 - 1/k on a mesh.
+        state = make_state(HashPartitioner(), small_mesh, k=3)
+        assert state.cut_ratio() > 0.5
+
+
+class TestRandom:
+    def test_balanced_within_one(self, small_mesh):
+        state = make_state(RandomPartitioner(seed=0), small_mesh, k=3)
+        assert max(state.sizes) - min(state.sizes) <= 1
+
+    def test_seed_changes_layout(self, small_mesh):
+        a = make_state(RandomPartitioner(seed=0), small_mesh)
+        b = make_state(RandomPartitioner(seed=1), small_mesh)
+        assert dict(a.assignment_items()) != dict(b.assignment_items())
+
+
+class TestLinearDeterministicGreedy:
+    def test_better_than_hash_on_mesh(self, small_mesh):
+        hsh = make_state(HashPartitioner(), small_mesh, k=3)
+        dgr = make_state(LinearDeterministicGreedy(), small_mesh, k=3)
+        assert dgr.cut_ratio() < hsh.cut_ratio()
+
+    def test_respects_capacities(self, small_mesh):
+        k = 3
+        caps = balanced_capacities(small_mesh.num_vertices, k, slack=1.05)
+        state = LinearDeterministicGreedy().partition(small_mesh, k, caps)
+        for pid in range(k):
+            assert state.size(pid) <= caps[pid]
+
+    def test_default_capacities_when_none(self, triangle):
+        state = LinearDeterministicGreedy().partition(triangle, 2)
+        assert len(state) == 3
+
+    def test_custom_stream_order(self, path_graph):
+        order = [5, 4, 3, 2, 1, 0]
+        state = LinearDeterministicGreedy(stream_order=order).partition(
+            path_graph, 2
+        )
+        assert len(state) == 6
+
+    def test_keeps_neighbours_together(self, two_cliques):
+        state = LinearDeterministicGreedy().partition(
+            two_cliques, 2, capacities=[5, 5]
+        )
+        # 13 edges total; greedy placement keeps all but the bridge
+        # vertex's cross edges internal (worst case: bridge vertex lands
+        # with its bridge neighbour, cutting its 3 clique edges).
+        assert state.cut_edges <= 3
+
+
+class TestMinimumNeighbours:
+    def test_spreads_neighbours_apart(self, two_cliques):
+        mnn = make_state(MinimumNeighbours(), two_cliques, k=2)
+        dgr = make_state(LinearDeterministicGreedy(), two_cliques, k=2)
+        # MNN is the adversarial strategy: more cut edges than DGR.
+        assert mnn.cut_edges >= dgr.cut_edges
+
+    def test_respects_capacities(self, small_mesh):
+        k = 4
+        caps = balanced_capacities(small_mesh.num_vertices, k, slack=1.02)
+        state = MinimumNeighbours().partition(small_mesh, k, caps)
+        for pid in range(k):
+            assert state.size(pid) <= caps[pid]
+
+    def test_first_vertex_goes_to_roomiest(self, triangle):
+        state = MinimumNeighbours().partition(triangle, 2, capacities=[2, 9])
+        assert state.partition_of_or_none(0) == 1

@@ -1,0 +1,93 @@
+"""Property-based tests: graph invariants under arbitrary mutation sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    AddEdge,
+    AddVertex,
+    Graph,
+    RemoveEdge,
+    RemoveVertex,
+    apply_event,
+    invert_event,
+)
+
+VERTEX_IDS = st.integers(min_value=0, max_value=15)
+
+
+def event_strategy():
+    add_vertex = st.builds(AddVertex, VERTEX_IDS)
+    remove_vertex = st.builds(RemoveVertex, VERTEX_IDS)
+    edge_pair = st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1])
+    add_edge = edge_pair.map(lambda p: AddEdge(*p))
+    remove_edge = edge_pair.map(lambda p: RemoveEdge(*p))
+    return st.one_of(add_vertex, remove_vertex, add_edge, remove_edge)
+
+
+@given(st.lists(event_strategy(), max_size=120))
+@settings(max_examples=120, deadline=None)
+def test_graph_invariants_hold_under_any_mutation_sequence(events):
+    graph = Graph()
+    for event in events:
+        apply_event(graph, event)
+    graph.validate()
+    # edges() reports each edge exactly once and consistently with has_edge
+    listed = list(graph.edges())
+    assert len(listed) == graph.num_edges
+    for u, v in listed:
+        assert graph.has_edge(u, v) and graph.has_edge(v, u)
+
+
+@given(st.lists(event_strategy(), max_size=60), event_strategy())
+@settings(max_examples=150, deadline=None)
+def test_invert_event_is_exact_undo(setup_events, event):
+    graph = Graph()
+    for e in setup_events:
+        apply_event(graph, e)
+    vertices_before = set(graph.vertices())
+    edges_before = set(map(frozenset, graph.edges()))
+    inverse = invert_event(event, graph)
+    apply_event(graph, event)
+    for inv in inverse:
+        apply_event(graph, inv)
+    assert set(graph.vertices()) == vertices_before
+    assert set(map(frozenset, graph.edges())) == edges_before
+    graph.validate()
+
+
+@given(st.lists(event_strategy(), max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_copy_equals_original_and_detaches(events):
+    graph = Graph()
+    for event in events:
+        apply_event(graph, event)
+    clone = graph.copy()
+    assert set(clone.vertices()) == set(graph.vertices())
+    assert set(map(frozenset, clone.edges())) == set(
+        map(frozenset, graph.edges())
+    )
+    clone.add_vertex("unique-to-clone")
+    assert "unique-to-clone" not in graph
+
+
+@given(
+    st.sets(st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1]),
+            max_size=40)
+)
+@settings(max_examples=80, deadline=None)
+def test_connected_components_partition_vertex_set(edge_pairs):
+    graph = Graph(edges=list(edge_pairs))
+    components = graph.connected_components()
+    seen = set()
+    for component in components:
+        assert not (component & seen)  # disjoint
+        seen |= component
+    assert seen == set(graph.vertices())
+    # no edge crosses components
+    index = {}
+    for i, component in enumerate(components):
+        for v in component:
+            index[v] = i
+    for u, v in graph.edges():
+        assert index[u] == index[v]

@@ -1,0 +1,61 @@
+"""Property-based tests for the multilevel (METIS-like) partitioner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.partitioning import HashPartitioner, MultilevelPartitioner
+from repro.partitioning.multilevel.coarsen import coarsen_once
+from repro.partitioning.multilevel.weighted import WeightedGraph
+from repro.utils import make_rng
+
+VERTEX_IDS = st.integers(min_value=0, max_value=25)
+EDGE_SETS = st.sets(
+    st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1]),
+    min_size=2,
+    max_size=70,
+)
+
+
+@given(edges=EDGE_SETS, k=st.integers(1, 6), seed=st.integers(0, 10))
+@settings(max_examples=60, deadline=None)
+def test_kway_output_is_a_valid_partition(edges, k, seed):
+    graph = Graph(edges=list(edges))
+    state = MultilevelPartitioner(seed=seed).partition(graph, k)
+    assert len(state) == graph.num_vertices
+    assert sum(state.sizes) == graph.num_vertices
+    assert state.cut_edges == state.recompute_cut_edges()
+    state.validate()
+
+
+@given(edges=EDGE_SETS, seed=st.integers(0, 10))
+@settings(max_examples=50, deadline=None)
+def test_coarsening_conserves_weight_and_cut_structure(edges, seed):
+    graph = Graph(edges=list(edges))
+    weighted = WeightedGraph.from_graph(graph)
+    rng = make_rng(seed, "property-coarsen")
+    level = coarsen_once(weighted, rng)
+    # vertex weight conserved
+    assert level.coarse.total_vertex_weight == weighted.total_vertex_weight
+    # coarse never larger than fine
+    assert level.coarse.num_vertices <= weighted.num_vertices
+    # any coarse assignment's cut equals its projection's fine cut
+    assignment_rng = make_rng(seed, "property-assign")
+    coarse_assignment = {
+        v: assignment_rng.randrange(2) for v in level.coarse.vertices()
+    }
+    fine_assignment = level.project(coarse_assignment)
+    assert weighted.cut_weight(fine_assignment) == level.coarse.cut_weight(
+        coarse_assignment
+    )
+
+
+@given(edges=EDGE_SETS, seed=st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_multilevel_no_worse_than_hash_on_average_structure(edges, seed):
+    # On arbitrary graphs the multilevel result must never be *dramatically*
+    # worse than hash — and bookkeeping must hold regardless.
+    graph = Graph(edges=list(edges))
+    metis = MultilevelPartitioner(seed=seed).partition(graph, 3)
+    hsh = HashPartitioner().partition(graph, 3)
+    assert metis.cut_edges <= hsh.cut_edges + max(2, graph.num_edges // 4)

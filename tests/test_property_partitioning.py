@@ -1,0 +1,117 @@
+"""Property-based tests: partition-state and quota invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuotaTable
+from repro.graph import Graph
+from repro.partitioning import PartitionState
+from repro.utils import make_rng
+
+VERTEX_IDS = st.integers(min_value=0, max_value=24)
+EDGES = st.sets(
+    st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1]),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    edges=EDGES,
+    k=st.integers(min_value=1, max_value=6),
+    ops=st.lists(
+        st.tuples(st.integers(0, 24), st.integers(0, 5)), max_size=80
+    ),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=150, deadline=None)
+def test_cut_bookkeeping_equals_recompute_under_arbitrary_moves(
+    edges, k, ops, seed
+):
+    graph = Graph(edges=list(edges))
+    state = PartitionState(graph, k)
+    rng = make_rng(seed, "property")
+    vertices = list(graph.vertices())
+    for v in vertices:
+        state.assign(v, rng.randrange(k))
+    for vid, pid in ops:
+        if vid in state and pid < k:
+            state.move(vid, pid)
+    assert state.cut_edges == state.recompute_cut_edges()
+    state.validate()
+
+
+@given(
+    edges=EDGES,
+    k=st.integers(min_value=2, max_value=5),
+    removals=st.lists(VERTEX_IDS, max_size=20),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=100, deadline=None)
+def test_cut_bookkeeping_survives_vertex_removal(edges, k, removals, seed):
+    graph = Graph(edges=list(edges))
+    state = PartitionState(graph, k)
+    rng = make_rng(seed, "property-removal")
+    for v in graph.vertices():
+        state.assign(v, rng.randrange(k))
+    for victim in removals:
+        if victim in graph:
+            state.remove_vertex(victim)
+            graph.remove_vertex(victim)
+    assert state.cut_edges == state.recompute_cut_edges()
+    state.validate()
+
+
+@given(
+    edges=EDGES,
+    k=st.integers(min_value=2, max_value=5),
+    edge_ops=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1]),
+        ),
+        max_size=40,
+    ),
+    seed=st.integers(0, 10),
+)
+@settings(max_examples=100, deadline=None)
+def test_cut_bookkeeping_survives_edge_churn(edges, k, edge_ops, seed):
+    graph = Graph(edges=list(edges))
+    state = PartitionState(graph, k)
+    rng = make_rng(seed, "property-edges")
+    for v in graph.vertices():
+        state.assign(v, rng.randrange(k))
+    for is_add, (u, v) in edge_ops:
+        if is_add:
+            # only report edges between already-assigned vertices; new
+            # endpoints would need placement first (the runner's job)
+            if u in state and v in state and graph.add_edge(u, v):
+                state.on_edge_added(u, v)
+        else:
+            if graph.remove_edge(u, v):
+                state.on_edge_removed(u, v)
+    assert state.cut_edges == state.recompute_cut_edges()
+
+
+@given(
+    remaining=st.lists(
+        st.integers(min_value=-5, max_value=30), min_size=2, max_size=8
+    ),
+    schedule=st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=200
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_quota_admissions_never_exceed_destination_capacity(
+    remaining, schedule
+):
+    k = len(remaining)
+    table = QuotaTable(remaining, num_partitions=k)
+    admitted = [0] * k
+    for source, destination in schedule:
+        if source >= k or destination >= k or source == destination:
+            continue
+        if table.try_consume(source, destination):
+            admitted[destination] += 1
+    for pid in range(k):
+        assert admitted[pid] <= max(remaining[pid], 0)

@@ -1,0 +1,116 @@
+"""Property-based tests over the Pregel system.
+
+The central guarantee of the deferred-migration protocol (Fig. 3) is that
+**no message is ever lost or mis-addressed while vertices migrate**.  We
+verify it end-to-end with a counting program: every vertex sends one token
+to each neighbour every superstep, so in a continuous run each vertex must
+receive exactly ``degree`` tokens per superstep — regardless of how many
+migrations the background partitioner performs and regardless of graph
+shape, seed, worker count or willingness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph
+from repro.pregel import PregelConfig, PregelSystem
+from repro.pregel.vertex import VertexProgram
+
+VERTEX_IDS = st.integers(min_value=0, max_value=18)
+EDGE_SETS = st.sets(
+    st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1]),
+    min_size=3,
+    max_size=50,
+)
+
+
+class TokenCounter(VertexProgram):
+    """Sends 1 to every neighbour; value = tokens received last superstep."""
+
+    def initial_value(self, vertex_id, graph):
+        return 0
+
+    def compute(self, ctx, messages):
+        ctx.value = sum(messages)
+        ctx.send_to_neighbors(1)
+
+
+@given(
+    edges=EDGE_SETS,
+    num_workers=st.integers(min_value=1, max_value=6),
+    seed=st.integers(0, 30),
+    willingness=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_no_message_lost_under_migration(edges, num_workers, seed, willingness):
+    graph = Graph(edges=list(edges))
+    system = PregelSystem(
+        graph,
+        TokenCounter(),
+        PregelConfig(
+            num_workers=num_workers,
+            adaptive=True,
+            seed=seed,
+            willingness=willingness,
+        ),
+    )
+    reports = system.run(8)
+    # From superstep 2 on, every vertex must have received exactly its
+    # degree in tokens, no matter what migrated in between.
+    for v in graph.vertices():
+        assert system.values[v] == graph.degree(v), v
+    # Traffic conservation: delivered messages per superstep equal one per
+    # directed edge (2|E|), migrations notwithstanding.
+    for report in reports[1:]:
+        assert report.traffic.total_messages == 2 * graph.num_edges
+    system.state.validate()
+
+
+@given(
+    edges=EDGE_SETS,
+    seed=st.integers(0, 30),
+)
+@settings(max_examples=40, deadline=None)
+def test_partition_state_consistent_after_system_run(edges, seed):
+    graph = Graph(edges=list(edges))
+    system = PregelSystem(
+        graph,
+        TokenCounter(),
+        PregelConfig(num_workers=4, adaptive=True, seed=seed),
+    )
+    system.run(10)
+    state = system.state
+    assert len(state) == graph.num_vertices
+    assert state.cut_edges == state.recompute_cut_edges()
+    # loads mirror sizes under the default vertex-balance policy
+    assert system._loads == [float(s) for s in state.sizes]
+
+
+@given(
+    edges=EDGE_SETS,
+    seed=st.integers(0, 30),
+    batch=st.lists(
+        st.tuples(st.integers(50, 60), VERTEX_IDS).filter(
+            lambda p: p[0] != p[1]
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_mutations_preserve_message_accounting(edges, seed, batch):
+    from repro.graph import AddEdge
+
+    graph = Graph(edges=list(edges))
+    system = PregelSystem(
+        graph,
+        TokenCounter(),
+        PregelConfig(num_workers=3, adaptive=True, seed=seed),
+    )
+    system.run(3)
+    system.inject_events([AddEdge(u, v) for u, v in batch])
+    system.run(4)
+    # after two clean supersteps past the mutation, counts settle again
+    for v in graph.vertices():
+        assert system.values[v] == graph.degree(v), v
+    assert system.state.cut_edges == system.state.recompute_cut_edges()
