@@ -5,6 +5,14 @@ the benches default to laptop-friendly scales (a few thousand vertices).
 Every scale constant lives here so a larger machine can turn them up in one
 place; the *shapes* the benches assert and print are stable across scales
 (the paper's own Fig. 6 shows that for these families).
+
+Smoke mode (``pytest benchmarks --smoke``, used by the CI bench-smoke job)
+shrinks every scale knob so each figure script runs one small experiment in
+seconds.  Shape assertions are skipped at smoke scale (they are meaningless
+there); the point is to exercise every experiment end-to-end per commit and
+publish the recorded JSON results as a trackable artifact.  Benches report
+their result payloads through :func:`record_result`; the benchmarks
+``conftest`` writes them to ``$BENCH_RESULTS_DIR/results.json``.
 """
 
 from repro.core import AdaptiveConfig, run_to_convergence
@@ -13,12 +21,41 @@ from repro.partitioning import balanced_capacities, make_partitioner
 from repro.utils import mean_and_error
 
 # One knob for overall bench heaviness.
+SMOKE = False          # flipped by `pytest benchmarks --smoke`
 SCALE = 0.06           # fraction of published |V| for catalog datasets
 MIN_VERTICES = 1500    # floor: k=9 needs room for meaningful partitions
 MAX_VERTICES = 6000    # hard cap per dataset
 PARTITIONS = 9         # the paper's k
 REPEATS = 3            # paper uses n=10; 3 keeps the suite fast
 MAX_ITERATIONS = 600
+
+_RESULTS = {}
+
+
+def enable_smoke():
+    """Shrink every scale knob for the per-commit CI smoke pass."""
+    global SMOKE, SCALE, MIN_VERTICES, MAX_VERTICES, REPEATS, MAX_ITERATIONS
+    SMOKE = True
+    SCALE = 0.01
+    MIN_VERTICES = 300
+    MAX_VERTICES = 900
+    REPEATS = 1
+    MAX_ITERATIONS = 120
+
+
+def pick(full, smoke):
+    """Pick a bench-local scale constant by mode."""
+    return smoke if SMOKE else full
+
+
+def record_result(name, payload):
+    """Stash one figure's JSON-serialisable results for the CI artifact."""
+    _RESULTS[name] = payload
+
+
+def recorded_results():
+    """All results recorded so far (figure name → payload)."""
+    return dict(_RESULTS)
 
 
 def scaled_dataset(name, seed=0):
@@ -41,8 +78,10 @@ def initial_state(graph, strategy, seed=0, k=PARTITIONS, slack=1.10):
 
 
 def converge(graph, state, seed=0, willingness=0.5, quiet_window=30,
-             max_iterations=MAX_ITERATIONS):
+             max_iterations=None):
     """Run the adaptive algorithm to convergence; returns (runner, timeline)."""
+    if max_iterations is None:
+        max_iterations = MAX_ITERATIONS
     config = AdaptiveConfig(
         willingness=willingness, seed=seed, quiet_window=quiet_window
     )
@@ -51,13 +90,17 @@ def converge(graph, state, seed=0, willingness=0.5, quiet_window=30,
     )
 
 
-def repeated_convergence(dataset, strategy, repeats=REPEATS, willingness=0.5,
-                         quiet_window=30, max_iterations=MAX_ITERATIONS):
+def repeated_convergence(dataset, strategy, repeats=None, willingness=0.5,
+                         quiet_window=30, max_iterations=None):
     """Repeat (build → initial partition → converge); returns summary dict.
 
     Mirrors the paper's "mean of n repetitions ... errors ... estimated
     error in the mean" reporting.
     """
+    if repeats is None:
+        repeats = REPEATS
+    if max_iterations is None:
+        max_iterations = MAX_ITERATIONS
     initial_ratios = []
     final_ratios = []
     convergence_times = []

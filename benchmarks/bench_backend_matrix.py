@@ -1,0 +1,127 @@
+"""Backend matrix — Fig. 6-style adaptive-sweep scaling on both graph
+backends (adjacency-set ``Graph`` vs integer-interned ``CompactGraph``),
+asserting bit-identical timelines and reporting the compact speedup.
+
+The compact backend routes the runner's per-iteration decision pass through
+:class:`repro.core.sweep.CompactSweeper` (one vectorised histogram pass over
+the CSR mirror instead of a dict per vertex) and batch-applies each round's
+admitted moves.  Round semantics are preserved exactly — same candidate
+order, same RNG stream, same tie-breaks — so the timelines must match
+entry-for-entry, and the speedup is pure substrate.
+
+Asserted at full scale: ≥3× on the 100k-vertex mesh sweep (the ISSUE's
+acceptance bar), plus timeline identity at every size.
+"""
+
+import math
+import time
+
+from repro.analysis import format_table
+from repro.core import AdaptiveConfig, AdaptiveRunner
+from repro.generators import mesh_with_vertex_count, powerlaw_cluster_graph
+from repro.graph import CompactGraph, Graph, as_compact
+from repro.partitioning import HashPartitioner, balanced_capacities
+
+from benchmarks import _harness
+from benchmarks._harness import PARTITIONS, pick, record_result
+
+MESH_SIZES = pick([10_000, 30_000, 100_000], [1_000, 2_000])
+PLAW_SIZES = pick([10_000, 30_000], [1_000])
+ITERATIONS = pick(20, 8)  # fixed sweep window: identical work on both sides
+TIMING_REPEATS = pick(2, 1)  # wall-clock = min over repeats (noise rejection)
+SPEEDUP_TARGET = 3.0      # asserted at the largest mesh size, full scale only
+
+
+def _runner(graph, seed=0):
+    caps = balanced_capacities(graph.num_vertices, PARTITIONS, 1.10)
+    state = HashPartitioner().partition(graph, PARTITIONS, list(caps))
+    return AdaptiveRunner(graph, state, AdaptiveConfig(seed=seed))
+
+
+def _time_sweep(graph, iterations, seed=0):
+    """Best wall-clock over TIMING_REPEATS identical sweeps + last runner."""
+    best = None
+    runner = None
+    for _ in range(TIMING_REPEATS):
+        runner = _runner(graph, seed=seed)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            runner.step()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, runner
+
+
+def _measure(make_graph, size):
+    dense = make_graph(size, Graph)
+    compact = make_graph(size, CompactGraph)
+    dense_time, dense_runner = _time_sweep(dense, ITERATIONS)
+    compact_time, compact_runner = _time_sweep(compact, ITERATIONS)
+    assert list(dense_runner.timeline) == list(compact_runner.timeline), (
+        f"timelines diverged at |V|={size}"
+    )
+    assert (
+        compact_runner.state.cut_edges
+        == compact_runner.state.recompute_cut_edges()
+    )
+    return {
+        "vertices": dense.num_vertices,
+        "edges": dense.num_edges,
+        "dense_s": dense_time,
+        "compact_s": compact_time,
+        "speedup": dense_time / compact_time,
+        "final_cut_ratio": compact_runner.state.cut_ratio(),
+    }
+
+
+def _mesh(size, graph_cls):
+    return mesh_with_vertex_count(size, graph_cls=graph_cls)
+
+
+def _plaw(size, graph_cls):
+    return powerlaw_cluster_graph(
+        size, m=max(1, round(math.log(size) / 2)), seed=0, graph_cls=graph_cls
+    )
+
+
+def _experiment():
+    return {
+        "mesh": [_measure(_mesh, size) for size in MESH_SIZES],
+        "plaw": [_measure(_plaw, size) for size in PLAW_SIZES],
+    }
+
+
+def test_backend_matrix(run_once, capsys):
+    results = run_once(_experiment)
+    record_result("backend_matrix", results)
+    with capsys.disabled():
+        for family, rows in results.items():
+            print()
+            print(
+                format_table(
+                    ["|V|", "|E|", "dense s", "compact s", "speedup"],
+                    [
+                        [
+                            r["vertices"],
+                            r["edges"],
+                            r["dense_s"],
+                            r["compact_s"],
+                            r["speedup"],
+                        ]
+                        for r in rows
+                    ],
+                    title=(
+                        f"Backend matrix ({family}): {ITERATIONS}-iteration "
+                        "adaptive sweep, identical timelines"
+                    ),
+                )
+            )
+    if _harness.SMOKE:
+        return  # equivalence asserted above; speedup is meaningless at toy scale
+    # The acceptance bar: ≥3x on the 100k-vertex mesh sweep.
+    headline = results["mesh"][-1]
+    assert headline["speedup"] >= SPEEDUP_TARGET, headline
+    # The compact backend must never be slower anywhere in the matrix.
+    for family, rows in results.items():
+        for row in rows:
+            assert row["speedup"] > 1.0, (family, row)

@@ -16,13 +16,16 @@ from repro.graph import Graph, batch_by_time
 from repro.pregel import FaultPlan, PregelConfig, PregelSystem
 from repro.utils import RunningStats
 
-DURATION = 6 * 3600.0      # paper: 24 h; scaled for the bench
+from benchmarks import _harness
+from benchmarks._harness import pick, record_result
+
+DURATION = pick(6 * 3600.0, 3600.0)  # paper: 24 h; scaled for the bench
 WINDOW = 300.0             # stream batching window
-SUPERSTEPS_PER_WINDOW = 4  # continuous computation outpaces the feed
+SUPERSTEPS_PER_WINDOW = pick(4, 2)  # continuous computation outpaces the feed
 MEAN_RATE = 1.0            # mentions/second
-NUM_USERS = 1500
-WARMUP_SUPERSTEPS = 40     # paper warm-up: 4 days of running
-FAILURE_SUPERSTEP = 60     # scheduled worker failure on both clusters
+NUM_USERS = pick(1500, 300)
+WARMUP_SUPERSTEPS = pick(40, 8)  # paper warm-up: 4 days of running
+FAILURE_SUPERSTEP = pick(60, 6)  # scheduled worker failure on both clusters
 
 
 def _run_cluster(adaptive, stream):
@@ -75,6 +78,7 @@ def _experiment():
 
 def test_fig8_twitter_stream(run_once, capsys):
     results = run_once(_experiment)
+    record_result("fig8_twitter", results)
     hours = results["hours"]
     with capsys.disabled():
         print()
@@ -86,6 +90,8 @@ def test_fig8_twitter_stream(run_once, capsys):
         print(format_series("  adaptive", hours, results["adaptive"],
                             precision=1, max_points=12))
 
+    if _harness.SMOKE:
+        return  # shape assertions are meaningless at smoke scale
     # The paper measured after 4 days of continuous running; assert on the
     # steady-state second half of the (much shorter) bench day.
     half = len(results["adaptive"]) // 2

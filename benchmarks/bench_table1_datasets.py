@@ -9,7 +9,7 @@ uk-2007) are listed but not built here.
 from repro.analysis import format_table
 from repro.datasets import table1_rows
 
-from benchmarks._harness import MAX_VERTICES, SCALE
+from benchmarks._harness import MAX_VERTICES, SCALE, record_result
 
 
 def _build_rows():
@@ -18,6 +18,7 @@ def _build_rows():
 
 def test_table1_dataset_summary(run_once, capsys):
     rows = run_once(_build_rows)
+    record_result("table1_datasets", rows)
     printable = [
         [
             name,

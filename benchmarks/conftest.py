@@ -6,12 +6,51 @@ re-running it dozens of times for timing statistics would multiply the
 suite's runtime for no extra fidelity) and prints the paper-style rows or
 series to stdout.  Run with::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks --benchmark-only -s
 
 The printed output is the reproduction evidence recorded in EXPERIMENTS.md.
+
+``--smoke`` shrinks every scale knob (see ``benchmarks/_harness.py``) and
+writes the recorded per-figure results to ``$BENCH_RESULTS_DIR/results.json``
+(default ``bench-results/``) — the CI bench-smoke job uploads that file as
+an artifact so the perf trajectory is tracked per commit.
 """
 
+import json
+import os
+
 import pytest
+
+from benchmarks import _harness
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run every bench at tiny scale and emit a JSON results artifact",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--smoke"):
+        _harness.enable_smoke()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    results = _harness.recorded_results()
+    if not results:
+        return
+    out_dir = os.environ.get("BENCH_RESULTS_DIR")
+    if out_dir is None:
+        if not _harness.SMOKE:
+            return  # interactive full-scale runs just print their tables
+        out_dir = "bench-results"
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {"smoke": _harness.SMOKE, "figures": results}
+    with open(os.path.join(out_dir, "results.json"), "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
 
 
 @pytest.fixture

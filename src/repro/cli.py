@@ -17,6 +17,7 @@ from repro.analysis import format_table
 from repro.core import AdaptiveConfig, AdaptiveRunner
 from repro.datasets import CATALOG, build_dataset, dataset_names
 from repro.generators import mesh_3d
+from repro.graph import GRAPH_BACKENDS
 from repro.io import read_edgelist, save_partition, write_edgelist
 from repro.partitioning import balanced_capacities, make_partitioner
 from repro.viz import partition_histogram, render_mesh_slice
@@ -39,6 +40,9 @@ def build_parser():
     p.add_argument("--strategy", default="HSH", choices=["HSH", "RND", "DGR", "MNN", "METIS"])
     p.add_argument("--slack", type=float, default=1.10,
                    help="capacity as a multiple of the balanced load")
+    p.add_argument("--backend", default="adjacency",
+                   choices=sorted(GRAPH_BACKENDS),
+                   help="graph backend (compact enables the batch sweep)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-iterations", type=int, default=1000)
     p.add_argument("-o", "--output", help="save the final assignment here")
@@ -62,7 +66,7 @@ def build_parser():
 
 
 def _cmd_partition(args, out):
-    graph = read_edgelist(args.edgelist)
+    graph = read_edgelist(args.edgelist, backend=args.backend)
     out.write(f"loaded {graph}\n")
     caps = balanced_capacities(graph.num_vertices, args.partitions, args.slack)
     state = make_partitioner(args.strategy, seed=args.seed).partition(

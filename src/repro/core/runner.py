@@ -17,6 +17,13 @@ paper's greedy rule depends only on a vertex's neighbour locations, so a
 vertex that chose to stay cannot change its mind until a neighbour moves or
 the graph mutates around it.  Heuristics that consult capacities opt out via
 ``uses_capacity`` and fall back to full sweeps.
+
+On a :class:`~repro.graph.compact.CompactGraph` with the paper's greedy
+heuristic, per-vertex decisions are produced by the vectorised
+:class:`~repro.core.sweep.CompactSweeper` instead of per-vertex histogram
+dicts; the round semantics (candidate order, RNG stream, tie-breaks, quota
+contention) are bit-for-bit identical to the per-vertex path, which the
+cross-backend equivalence suite pins.
 """
 
 from dataclasses import dataclass, field
@@ -26,6 +33,7 @@ from repro.core.capacity import QuotaTable
 from repro.core.convergence import PAPER_QUIET_WINDOW, ConvergenceDetector
 from repro.core.heuristic import GreedyMaxNeighbours, MigrationHeuristic, make_heuristic
 from repro.core.metrics import IterationStats, Timeline
+from repro.core.sweep import generic_decisions, make_sweeper, sort_vertices
 from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
 from repro.partitioning.hashing import HashPartitioner
 from repro.utils import make_rng
@@ -77,6 +85,9 @@ class AdaptiveRunner:
         self._loads = None
         self._capacities = None
         self._active = None
+        self._sweeper = make_sweeper(graph, state, self.config.heuristic)
+        if self._sweeper is not None:
+            self._sweeper.warm()  # build the CSR mirror off the hot path
         self._refresh_balance(full=True)
         self._activate_all()
 
@@ -143,6 +154,16 @@ class AdaptiveRunner:
         """Number of vertices that will be evaluated next iteration."""
         return len(self._active)
 
+    def _ordered_active(self):
+        """The active set as a canonically ordered list.
+
+        Sorting before the shuffle makes a round's RNG pairing a function of
+        the active *membership* rather than set iteration order (which
+        depends on hash-table insertion history and would differ between a
+        graph and its bridged copy on another backend).
+        """
+        return sort_vertices(self._active)
+
     # ------------------------------------------------------------------
     # One iteration
     # ------------------------------------------------------------------
@@ -154,23 +175,25 @@ class AdaptiveRunner:
         remaining = self.remaining_capacities()
         quotas = QuotaTable(remaining, state.num_partitions)
         candidates = (
-            list(self._active)
+            self._ordered_active()
             if self._tracking_active()
             else list(self.graph.vertices())
         )
         # Random evaluation order so quota contention is unbiased.
         self._rng.shuffle(candidates)
 
+        if self._sweeper is not None:
+            decisions = self._sweeper.decisions(candidates, remaining)
+        else:
+            decisions = generic_decisions(
+                state, config.heuristic, candidates, remaining
+            )
+
         admitted_moves = []
         wanted = 0
         blocked = 0
         kept_active = set()
-        for v in candidates:
-            current = state.partition_of_or_none(v)
-            if current is None:
-                continue
-            counts = state.neighbour_partition_counts(v)
-            desired = config.heuristic.desired_partition(current, counts, remaining)
+        for v, current, desired in decisions:
             if desired == current:
                 continue  # settled: drops out of the active set
             wanted += 1
@@ -186,14 +209,20 @@ class AdaptiveRunner:
         # Apply all admitted moves together (synchronous semantics: no
         # decision above saw any of these relocations).
         for v, old_pid, new_pid, load in admitted_moves:
-            state.move(v, new_pid)
             self._loads[old_pid] -= load
             self._loads[new_pid] += load
-
-        if self._tracking_active():
-            self._active = kept_active
-            for v, _, __, ___ in admitted_moves:
-                self._activate_neighbourhood(v)
+        if self._sweeper is not None:
+            touched = self._sweeper.apply_moves(admitted_moves)
+            if self._tracking_active():
+                self._active = kept_active
+                self._active.update(touched)
+        else:
+            for v, _, new_pid, __ in admitted_moves:
+                state.move(v, new_pid)
+            if self._tracking_active():
+                self._active = kept_active
+                for v, _, __, ___ in admitted_moves:
+                    self._activate_neighbourhood(v)
 
         self.iteration += 1
         sizes = state.sizes

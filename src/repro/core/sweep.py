@@ -1,0 +1,315 @@
+"""Array-backed batch evaluation of the greedy migration rule.
+
+The per-vertex hot path of :class:`~repro.core.runner.AdaptiveRunner` (and
+the Pregel background partitioner) is: read the vertex's neighbour-partition
+histogram, apply the heuristic, then gate the move on willingness and quota.
+On the adjacency-set backend that allocates a fresh dict per vertex per
+round; :class:`CompactSweeper` replaces it with one vectorised pass over the
+:class:`~repro.graph.compact.CompactGraph` CSR mirror:
+
+* the partition assignment is mirrored as one flat integer array indexed by
+  vertex slot (resynced from :class:`~repro.partitioning.base.PartitionState`
+  only when its version counter says moves happened that the sweeper did not
+  witness);
+* neighbour-partition counts for *all* candidates accumulate into a single
+  ``(candidates × partitions)`` count buffer via one ``bincount`` — no
+  per-vertex allocation;
+* the paper's greedy rule (argmax neighbours, prefer to stay, lowest id wins
+  ties) is evaluated closed-form on the buffer.
+
+Because every decision in a round is taken against start-of-round state,
+batching is *semantics-preserving*: decisions are order-independent, and the
+order-dependent parts (willingness draws, quota consumption) stay in the
+caller's sequential loop, which consumes the RNG stream exactly as the
+per-vertex path does.  Timelines are bit-for-bit identical across backends —
+the cross-backend equivalence suite pins this.
+
+The sweeper engages only for the exact paper heuristic
+(:class:`~repro.core.heuristic.GreedyMaxNeighbours`) on a compact graph with
+numpy present; every other combination uses :func:`generic_decisions`, the
+portable per-vertex path.
+"""
+
+from repro.core.heuristic import GreedyMaxNeighbours
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+__all__ = ["CompactSweeper", "generic_decisions", "make_sweeper", "sort_vertices"]
+
+
+def sort_vertices(vertices):
+    """Canonically ordered list of vertex ids (mixed-type safe).
+
+    Used to order candidate sets before the willingness shuffle so RNG
+    pairing does not depend on set iteration order.
+    """
+    try:
+        return sorted(vertices)
+    except TypeError:  # mixed identifier types: order by (type, repr)
+        return sorted(vertices, key=lambda v: (type(v).__name__, repr(v)))
+
+
+def generic_decisions(state, heuristic, candidates, remaining):
+    """Yield ``(vertex, current, desired)`` per assigned candidate, in order.
+
+    The portable decision path: works on any backend and any heuristic.
+    """
+    for v in candidates:
+        current = state.partition_of_or_none(v)
+        if current is None:
+            continue
+        counts = state.neighbour_partition_counts(v)
+        yield v, current, heuristic.desired_partition(current, counts, remaining)
+
+
+def make_sweeper(graph, state, heuristic):
+    """A :class:`CompactSweeper` when the fast path applies, else None."""
+    if CompactSweeper.supports(graph, heuristic):
+        return CompactSweeper(graph, state)
+    return None
+
+
+class CompactSweeper:
+    """Batch greedy decisions over a compact graph + partition state."""
+
+    @staticmethod
+    def supports(graph, heuristic):
+        """True when the vectorised path can replace the per-vertex one."""
+        return (
+            _np is not None
+            and hasattr(graph, "ensure_csr")
+            # Exact type: a subclass could override the decision rule.
+            and type(heuristic) is GreedyMaxNeighbours
+        )
+
+    def __init__(self, graph, state):
+        self.graph = graph
+        self.state = state
+        self._assign = None
+        self._synced_version = None
+        self._id_lookup = None  # dense id -> slot table (int ids only)
+        self._id_lookup_version = None
+
+    # ------------------------------------------------------------------
+    # Assignment mirror
+    # ------------------------------------------------------------------
+
+    def warm(self):
+        """Build the CSR mirror and assignment array eagerly.
+
+        Called at runner construction so the first iteration pays no
+        one-time build cost; cheap when already warm.
+        """
+        self.graph.ensure_csr()
+        if self._stale():
+            self._resync()
+
+    def _resync(self):
+        """Rebuild the slot-indexed assignment array from the state."""
+        assign = _np.full(self.graph.num_slots, -1, dtype=_np.int64)
+        index = self.graph.slot_index
+        for v, pid in self.state.assignment_items():
+            slot = index.get(v)
+            if slot is not None:
+                assign[slot] = pid
+        self._assign = assign
+        self._synced_version = self.state.version
+
+    def note_move(self, vertex, pid):
+        """Record a move the caller just applied to the state.
+
+        Fast-forwards the mirror only when this move is the *sole* change
+        since the last sync (version advanced by exactly one) and the slot
+        is writable; anything else leaves the mirror stale so the next
+        batch pass resyncs fully — stamping the current version here would
+        mask unwitnessed state changes and silently corrupt cut deltas.
+        """
+        if self._assign is None:
+            return
+        state_version = self.state.version
+        slot = self.graph.slot_index.get(vertex)
+        if (
+            slot is not None
+            and slot < len(self._assign)
+            and self._synced_version == state_version - 1
+        ):
+            self._assign[slot] = pid
+            self._synced_version = state_version
+
+    def _stale(self):
+        return (
+            self._assign is None
+            or self._synced_version != self.state.version
+            or len(self._assign) < self.graph.num_slots
+        )
+
+    def _candidate_slots(self, candidates):
+        """Vectorised id → slot mapping for the candidate list.
+
+        When every vertex id is a modest non-negative int (the common case:
+        generators and edge lists produce dense ints) a flat lookup table
+        maps the whole candidate array in one gather; otherwise fall back to
+        one dict lookup per candidate.
+        """
+        graph = self.graph
+        if self._id_lookup_version != graph.intern_version:
+            self._id_lookup = None
+            self._id_lookup_version = graph.intern_version
+            ids = graph.slot_index
+            if ids:
+                top = -1
+                for v in ids:
+                    if type(v) is not int or v < 0:
+                        top = None
+                        break
+                    if v > top:
+                        top = v
+                # Cap table size at 4x the vertex count so sparse id spaces
+                # do not explode memory; beyond that the dict path is fine.
+                if top is not None and top < 4 * len(ids) + 1024:
+                    lookup = _np.full(top + 1, -1, dtype=_np.int64)
+                    for v, slot in ids.items():
+                        lookup[v] = slot
+                    self._id_lookup = lookup
+        if self._id_lookup is not None:
+            return self._id_lookup[_np.asarray(candidates, dtype=_np.int64)]
+        index = self.graph.slot_index
+        return _np.fromiter(
+            (index[v] for v in candidates), dtype=_np.int64, count=len(candidates)
+        )
+
+    # ------------------------------------------------------------------
+    # The batch pass
+    # ------------------------------------------------------------------
+
+    def _gather_blocks(self, slots):
+        """Gather the CSR neighbour blocks of ``slots``, concatenated.
+
+        Returns ``(nbr, row)``: the neighbour slots of every queried slot
+        back to back, and the queried-slot index each entry belongs to.
+        The mirror's offsets are non-monotonic (dirty-region patching
+        relocates blocks), so the gather works from explicit per-slot
+        ``(start, length)`` pairs: pos enumerates ``[start, start + deg)``
+        per slot, concatenated.
+        """
+        starts_a, lens_a, indices_a = self.graph.ensure_csr()
+        starts = _np.frombuffer(starts_a, dtype=_np.int64)
+        lens = _np.frombuffer(lens_a, dtype=_np.int64)
+        deg = lens[slots]
+        total = int(deg.sum())
+        n = len(slots)
+        if not total:
+            empty = _np.empty(0, dtype=_np.int64)
+            return empty, empty
+        indices = _np.frombuffer(indices_a, dtype=_np.int64)
+        cum = _np.zeros(n, dtype=_np.int64)
+        _np.cumsum(deg[:-1], out=cum[1:])
+        pos = (
+            _np.arange(total, dtype=_np.int64)
+            - _np.repeat(cum, deg)
+            + _np.repeat(starts[slots], deg)
+        )
+        row = _np.repeat(_np.arange(n, dtype=_np.int64), deg)
+        return indices[pos], row
+
+    def decisions(self, candidates, remaining=None):
+        """Yield ``(vertex, current, desired)`` for candidates wanting to move.
+
+        Settled and unassigned candidates are filtered out vectorised — they
+        are no-ops in every consumer's sequential phase, so dropping them
+        changes neither the RNG stream nor any bookkeeping.  ``remaining``
+        is accepted for signature compatibility; the greedy rule ignores
+        capacities by construction.
+        """
+        del remaining
+        n = len(candidates)
+        if n == 0:
+            return iter(())
+        if self._stale():
+            self._resync()
+        assign = self._assign
+        slots = self._candidate_slots(candidates)
+        cur = assign[slots]
+        k = self.state.num_partitions
+        nbr, row = self._gather_blocks(slots)
+        if len(nbr):
+            nbr_pid = assign[nbr]
+            assigned = nbr_pid >= 0
+            counts = _np.bincount(
+                row[assigned] * k + nbr_pid[assigned], minlength=n * k
+            ).reshape(n, k)
+        else:
+            counts = _np.zeros((n, k), dtype=_np.int64)
+        best = counts.max(axis=1)
+        # argmax returns the lowest partition id among ties — exactly the
+        # greedy rule's deterministic tie-break.
+        best_pid = counts.argmax(axis=1)
+        here = counts[_np.arange(n), _np.where(cur >= 0, cur, 0)]
+        stay = (best == 0) | (here == best)
+        desired = _np.where(stay, cur, best_pid)
+        # Only vertices that want to move matter to the caller's sequential
+        # phase (settled ones draw no RNG and trigger no bookkeeping), so
+        # emit just those — in candidate order, preserving the RNG pairing.
+        movers = _np.flatnonzero((cur >= 0) & (desired != cur))
+        return self._emit(candidates, cur, desired, movers)
+
+    @staticmethod
+    def _emit(candidates, cur, desired, movers):
+        for i in movers.tolist():
+            yield candidates[i], int(cur[i]), int(desired[i])
+
+    # ------------------------------------------------------------------
+    # Batch move application
+    # ------------------------------------------------------------------
+
+    def apply_moves(self, moves):
+        """Apply a round's admitted ``(v, old, new, load)`` moves in one batch.
+
+        Within a synchronous round the admitted moves commute: the final cut
+        count depends only on the final assignment, so instead of walking
+        each mover's adjacency per move (``PartitionState.move``), gather
+        every mover's neighbour block once from the CSR mirror and compute
+        the exact integer cut delta vectorised.  Mover–mover edges appear in
+        the gather twice (once per endpoint) with identical indicators, so
+        their contribution is halved.
+
+        Returns the ids of the movers and their neighbours — exactly the
+        vertices :meth:`AdaptiveRunner._activate_neighbourhood` would have
+        re-activated one by one.
+        """
+        state = self.state
+        if not moves:
+            return []
+        if self._stale():
+            self._resync()
+        assign = self._assign
+        n = len(moves)
+        index = self.graph.slot_index
+        slots = _np.fromiter((index[m[0]] for m in moves), dtype=_np.int64, count=n)
+        old = _np.fromiter((m[1] for m in moves), dtype=_np.int64, count=n)
+        new = _np.fromiter((m[2] for m in moves), dtype=_np.int64, count=n)
+        nbr, row = self._gather_blocks(slots)
+        if len(nbr):
+            before_pid = assign[nbr]
+            valid = before_pid >= 0  # unassigned neighbours never count
+            cut_before = valid & (before_pid != old[row])
+            assign[slots] = new
+            after_pid = assign[nbr]
+            cut_after = valid & (after_pid != new[row])
+            diff = cut_after.astype(_np.int64) - cut_before.astype(_np.int64)
+            mover_mask = _np.zeros(len(assign), dtype=bool)
+            mover_mask[slots] = True
+            double_sum = int(diff[mover_mask[nbr]].sum())  # even by symmetry
+            cut_delta = int(diff.sum()) - double_sum // 2
+            touched = _np.unique(_np.concatenate((slots, nbr)))
+        else:
+            assign[slots] = new
+            cut_delta = 0
+            touched = _np.unique(slots)
+        state.apply_bulk_moves(((m[0], m[1], m[2]) for m in moves), cut_delta)
+        self._synced_version = state.version
+        id_of = self.graph.id_of
+        return [id_of(s) for s in touched.tolist()]

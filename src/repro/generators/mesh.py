@@ -23,12 +23,13 @@ def _lattice_id(x, y, z, ny, nz):
     return (x * ny + y) * nz + z
 
 
-def mesh_3d(nx, ny=None, nz=None):
+def mesh_3d(nx, ny=None, nz=None, graph_cls=Graph):
     """Build a 3-D regular cubic mesh of ``nx * ny * nz`` vertices.
 
     ``ny``/``nz`` default to ``nx`` (a cube).  Vertices are dense ints in
     row-major order; each connects to the +x, +y and +z lattice neighbour,
-    yielding the 6-neighbourhood overall.
+    yielding the 6-neighbourhood overall.  ``graph_cls`` selects the graph
+    backend (any class from :data:`repro.graph.GRAPH_BACKENDS`).
 
     >>> g = mesh_3d(2)
     >>> g.num_vertices, g.num_edges
@@ -38,7 +39,7 @@ def mesh_3d(nx, ny=None, nz=None):
     nz = nx if nz is None else nz
     if min(nx, ny, nz) < 1:
         raise ValueError("mesh dimensions must be >= 1")
-    graph = Graph()
+    graph = graph_cls()
     for x in range(nx):
         for y in range(ny):
             for z in range(nz):
@@ -53,23 +54,23 @@ def mesh_3d(nx, ny=None, nz=None):
     return graph
 
 
-def grid_2d(nx, ny=None):
+def grid_2d(nx, ny=None, graph_cls=Graph):
     """Build a 2-D grid (``nz = 1`` slice of the cube).
 
     Used by the smaller FEM stand-ins (3elt/4elt-like graphs are 2-D finite
     element meshes).
     """
-    return mesh_3d(nx, ny if ny is not None else nx, 1)
+    return mesh_3d(nx, ny if ny is not None else nx, 1, graph_cls=graph_cls)
 
 
-def triangulated_grid_2d(nx, ny=None):
+def triangulated_grid_2d(nx, ny=None, graph_cls=Graph):
     """2-D grid with one diagonal per cell (average degree ≈ 6 inside).
 
     Matches the edge density of the 2-D finite-element meshes 3elt/4elt
     (average degree ≈ 5.8), our stand-in for those Walshaw-archive graphs.
     """
     ny = nx if ny is None else ny
-    graph = mesh_3d(nx, ny, 1)
+    graph = mesh_3d(nx, ny, 1, graph_cls=graph_cls)
     for x in range(nx - 1):
         for y in range(ny - 1):
             graph.add_edge(
@@ -79,7 +80,7 @@ def triangulated_grid_2d(nx, ny=None):
     return graph
 
 
-def mesh_with_vertex_count(target_vertices):
+def mesh_with_vertex_count(target_vertices, graph_cls=Graph):
     """Build the most cubic 3-D mesh with roughly ``target_vertices`` vertices.
 
     The paper's scalability family (Fig. 6) ranges 1 000 → 300 000 vertices;
@@ -98,4 +99,4 @@ def mesh_with_vertex_count(target_vertices):
             if best is None or score < best[0]:
                 best = (score, nx, ny, nz)
     _, nx, ny, nz = best
-    return mesh_3d(nx, ny, nz)
+    return mesh_3d(nx, ny, nz, graph_cls=graph_cls)

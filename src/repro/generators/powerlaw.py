@@ -51,11 +51,14 @@ def _preferential_pick(repeated_targets, rng, exclude):
     return candidates[rng.randrange(len(candidates))]
 
 
-def powerlaw_cluster_graph(num_vertices, m=None, triad_probability=0.1, seed=0):
+def powerlaw_cluster_graph(
+    num_vertices, m=None, triad_probability=0.1, seed=0, graph_cls=Graph
+):
     """Holme–Kim power-law graph with tunable clustering.
 
     Parameters mirror the paper: ``m`` defaults to the paper's
-    ``log(|V|)/2`` rule and ``triad_probability`` to 0.1.
+    ``log(|V|)/2`` rule and ``triad_probability`` to 0.1; ``graph_cls``
+    selects the graph backend.
 
     >>> g = powerlaw_cluster_graph(200, m=2, seed=1)
     >>> g.num_vertices
@@ -72,7 +75,7 @@ def powerlaw_cluster_graph(num_vertices, m=None, triad_probability=0.1, seed=0):
     if not 0.0 <= triad_probability <= 1.0:
         raise ValueError("triad_probability must be in [0, 1]")
     rng = make_rng(seed, "powerlaw_cluster", num_vertices, m)
-    graph = Graph()
+    graph = graph_cls()
     # Seed clique of m+1 vertices gives every early vertex degree >= m.
     repeated_targets = []
     for v in range(m + 1):
@@ -113,8 +116,8 @@ def powerlaw_cluster_graph(num_vertices, m=None, triad_probability=0.1, seed=0):
     return graph
 
 
-def preferential_attachment_graph(num_vertices, m, seed=0):
+def preferential_attachment_graph(num_vertices, m, seed=0, graph_cls=Graph):
     """Pure Barabási–Albert graph (Holme–Kim with no triad formation)."""
     return powerlaw_cluster_graph(
-        num_vertices, m=m, triad_probability=0.0, seed=seed
+        num_vertices, m=m, triad_probability=0.0, seed=seed, graph_cls=graph_cls
     )

@@ -11,7 +11,9 @@ from repro.utils import make_rng
 __all__ = ["erdos_renyi_graph", "ring_lattice"]
 
 
-def erdos_renyi_graph(num_vertices, edge_probability=None, num_edges=None, seed=0):
+def erdos_renyi_graph(
+    num_vertices, edge_probability=None, num_edges=None, seed=0, graph_cls=Graph
+):
     """G(n, p) or G(n, m) random graph.
 
     Exactly one of ``edge_probability`` / ``num_edges`` must be given.  The
@@ -23,7 +25,7 @@ def erdos_renyi_graph(num_vertices, edge_probability=None, num_edges=None, seed=
     if num_vertices < 1:
         raise ValueError("num_vertices must be >= 1")
     rng = make_rng(seed, "erdos_renyi", num_vertices)
-    graph = Graph(vertices=range(num_vertices))
+    graph = graph_cls(vertices=range(num_vertices))
     if edge_probability is not None:
         if not 0.0 <= edge_probability <= 1.0:
             raise ValueError("edge_probability must be in [0, 1]")
@@ -43,14 +45,14 @@ def erdos_renyi_graph(num_vertices, edge_probability=None, num_edges=None, seed=
     return graph
 
 
-def ring_lattice(num_vertices, neighbours_each_side=1):
+def ring_lattice(num_vertices, neighbours_each_side=1, graph_cls=Graph):
     """Ring lattice: vertex i connects to its k nearest ids on each side."""
     if num_vertices < 3:
         raise ValueError("ring needs at least 3 vertices")
     k = neighbours_each_side
     if k < 1 or 2 * k >= num_vertices:
         raise ValueError("neighbours_each_side out of range")
-    graph = Graph(vertices=range(num_vertices))
+    graph = graph_cls(vertices=range(num_vertices))
     for v in range(num_vertices):
         for offset in range(1, k + 1):
             graph.add_edge(v, (v + offset) % num_vertices)

@@ -6,6 +6,9 @@ package provides:
 
 * :class:`repro.graph.graph.Graph` — an adjacency-set dynamic graph with O(1)
   amortised mutation, the in-memory representation used by every other layer;
+* :class:`repro.graph.compact.CompactGraph` — the integer-interned backend
+  with a CSR-style adjacency mirror, feeding the batch sweep kernels; the
+  :mod:`repro.graph.backend` registry and bridges select between the two;
 * :mod:`repro.graph.events` — the vocabulary of mutation events
   (add/remove vertex/edge) with inverse computation for undo tests;
 * :mod:`repro.graph.stream` — timestamped event streams, batching windows and
@@ -23,14 +26,23 @@ from repro.graph.events import (
     apply_events,
     invert_event,
 )
+from repro.graph.backend import (
+    GRAPH_BACKENDS,
+    graph_backend,
+    make_graph,
+    to_backend,
+)
+from repro.graph.compact import CompactGraph, as_adjacency, as_compact
 from repro.graph.graph import Graph
 from repro.graph.stream import EventStream, TimedEvent, batch_by_count, batch_by_time
 
 __all__ = [
     "AddEdge",
     "AddVertex",
+    "CompactGraph",
     "EventKind",
     "EventStream",
+    "GRAPH_BACKENDS",
     "Graph",
     "GraphEvent",
     "RemoveEdge",
@@ -38,7 +50,12 @@ __all__ = [
     "TimedEvent",
     "apply_event",
     "apply_events",
+    "as_adjacency",
+    "as_compact",
     "batch_by_count",
     "batch_by_time",
+    "graph_backend",
     "invert_event",
+    "make_graph",
+    "to_backend",
 ]

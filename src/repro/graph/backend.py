@@ -1,0 +1,75 @@
+"""The graph-backend protocol and registry.
+
+Every layer of the library — generators, initial partitioners, the adaptive
+runner, the Pregel system, I/O — programs against the same duck-typed
+substrate rather than a concrete class.  A *graph backend* is any object
+providing the mutation/query surface of :class:`repro.graph.graph.Graph`:
+
+========================  ====================================================
+method / property          contract
+========================  ====================================================
+``add_vertex(v)``          insert an isolated vertex; True when new
+``remove_vertex(v)``       drop a vertex and incident edges; True when present
+``add_edge(u, v)``         insert an undirected edge; True when new
+``remove_edge(u, v)``      drop an edge; True when removed
+``neighbors(v)``           live neighbour collection (iterable, sized, ``in``)
+``vertices()``             iterate ids in insertion order
+``edges()``                iterate each undirected edge once
+``degree(v)``              neighbour count
+``has_edge(u, v)`` /       membership queries
+``__contains__`` /
+``__len__`` / ``__iter__``
+``num_vertices`` /         live counts
+``num_edges``
+``copy()`` /               derived graphs of the same backend
+``subgraph(vs)``
+``validate()``             invariant check for tests
+========================  ====================================================
+
+Two backends ship today: ``"adjacency"`` (dict-of-sets, the seed substrate)
+and ``"compact"`` (integer-interned with a CSR-style mirror, the batch-sweep
+fast path).  ``CompactGraph`` subclasses ``Graph``, so ``isinstance(g,
+Graph)`` accepts either; code needing the array surface should feature-test
+``hasattr(g, "ensure_csr")`` or bridge explicitly via :func:`as_compact`.
+
+>>> make_graph("compact", edges=[(1, 2)]).num_edges
+1
+>>> sorted(GRAPH_BACKENDS)
+['adjacency', 'compact']
+"""
+
+from repro.graph.compact import CompactGraph, as_adjacency, as_compact
+from repro.graph.graph import Graph
+
+__all__ = ["GRAPH_BACKENDS", "graph_backend", "make_graph", "to_backend"]
+
+GRAPH_BACKENDS = {
+    "adjacency": Graph,
+    "compact": CompactGraph,
+}
+
+_BRIDGES = {
+    "adjacency": as_adjacency,
+    "compact": as_compact,
+}
+
+
+def graph_backend(name):
+    """The backend class registered under ``name`` (ValueError if unknown)."""
+    try:
+        return GRAPH_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown graph backend {name!r}; choose from {sorted(GRAPH_BACKENDS)}"
+        ) from None
+
+
+def make_graph(backend="adjacency", edges=None, vertices=None):
+    """Construct an empty (or edge-seeded) graph on the named backend."""
+    return graph_backend(backend)(edges=edges, vertices=vertices)
+
+
+def to_backend(graph, backend):
+    """Bridge an existing graph onto the named backend (no-op when already)."""
+    graph_backend(backend)  # validate the name
+    return _BRIDGES[backend](graph)

@@ -1,0 +1,337 @@
+"""Integer-interned graph backend with a CSR-style adjacency mirror.
+
+:class:`CompactGraph` is the array-backed substrate for the batch sweep in
+:mod:`repro.core.sweep`.  It extends :class:`~repro.graph.graph.Graph` (the
+adjacency-set backend stays the mutation authority, so every behaviour the
+rest of the library observes — iteration orders, neighbour sets, mutation
+semantics — is *identical* to the dense backend) and adds:
+
+* **Interning** — every vertex identifier is assigned a dense integer *slot*
+  on first insertion; slots are recycled through a free list when vertices
+  are removed.  All flat-array structures are indexed by slot.
+* **CSR-style mirror** — a flat neighbour array plus per-slot ``(start,
+  length, capacity)`` offsets.  The mirror is *not* rebuilt per mutation:
+  mutations are O(1) (they go through the adjacency sets and only mark the
+  touched slots dirty) and :meth:`ensure_csr` repairs just the dirty regions
+  — in place when the new neighbourhood fits the slot's reserved capacity,
+  by relocating the slot's block to the array tail (with geometric headroom)
+  when it does not.  A full rebuild happens only when accumulated garbage
+  from relocations exceeds half the array, keeping streaming mutation
+  amortised O(1).
+
+The mirror's offsets intentionally do **not** form a monotonic ``indptr``:
+batch kernels gather with explicit ``(start, length)`` pairs, which is what
+makes in-place dirty-region patching possible at all.
+
+>>> g = CompactGraph([(1, 2), (2, 3)])
+>>> sorted(g.neighbors(2))
+[1, 3]
+>>> g.slot_of(1), g.slot_of(3)
+(0, 2)
+>>> starts, lens, indices = g.ensure_csr()
+>>> list(indices[starts[1]:starts[1] + lens[1]])  # slot 1 is vertex 2
+[0, 2]
+"""
+
+from array import array
+
+from repro.graph.graph import Graph
+
+__all__ = ["CompactGraph", "as_adjacency", "as_compact"]
+
+# Extra per-slot capacity reserved at (re)build so later edge insertions
+# usually patch in place instead of relocating the block.
+_HEADROOM_SHIFT = 1  # reserve deg + deg/2 + _HEADROOM_MIN slots
+_HEADROOM_MIN = 2
+
+
+def _headroom(degree):
+    return degree + (degree >> _HEADROOM_SHIFT) + _HEADROOM_MIN
+
+
+class CompactGraph(Graph):
+    """A :class:`Graph` whose vertices are interned to dense integer slots.
+
+    Drop-in compatible with :class:`Graph` everywhere (it *is* one); the
+    extra surface — ``slot_of`` / ``id_of`` / ``ensure_csr`` — is what the
+    array kernels consume.
+    """
+
+    __slots__ = (
+        "_index",
+        "_slot_ids",
+        "_free_slots",
+        "_dirty",
+        "_csr_start",
+        "_csr_len",
+        "_csr_cap",
+        "_csr_indices",
+        "_csr_garbage",
+        "_csr_built",
+        "_intern_version",
+    )
+
+    def __init__(self, edges=None, vertices=None):
+        self._index = {}
+        self._slot_ids = []
+        self._free_slots = []
+        self._intern_version = 0
+        self._dirty = set()
+        self._csr_start = array("q")
+        self._csr_len = array("q")
+        self._csr_cap = []
+        self._csr_indices = array("q")
+        self._csr_garbage = 0
+        self._csr_built = False
+        super().__init__(edges=edges, vertices=vertices)
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+
+    @property
+    def num_slots(self):
+        """Size of the slot space (live vertices plus recycled holes)."""
+        return len(self._slot_ids)
+
+    @property
+    def slot_index(self):
+        """The id → slot mapping (read-only by convention)."""
+        return self._index
+
+    @property
+    def intern_version(self):
+        """Monotonic counter bumped when the id ↔ slot mapping changes.
+
+        Kernels caching derived views of the mapping (the sweeper's dense
+        id → slot lookup table) invalidate against it.
+        """
+        return self._intern_version
+
+    def slot_of(self, v):
+        """Dense integer slot of ``v`` (KeyError when absent)."""
+        return self._index[v]
+
+    def id_of(self, slot):
+        """Vertex identifier at ``slot`` (None for a recycled hole)."""
+        return self._slot_ids[slot]
+
+    # ------------------------------------------------------------------
+    # Mutation (adjacency authority lives in Graph; we intern + mark dirty)
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v):
+        if not super().add_vertex(v):
+            return False
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._slot_ids[slot] = v
+        else:
+            slot = len(self._slot_ids)
+            self._slot_ids.append(v)
+        self._index[v] = slot
+        self._intern_version += 1
+        self._dirty.add(slot)
+        return True
+
+    def remove_vertex(self, v):
+        slot = self._index.get(v)
+        if slot is None:
+            return False
+        for w in self._adj[v]:
+            self._dirty.add(self._index[w])
+        super().remove_vertex(v)
+        del self._index[v]
+        self._slot_ids[slot] = None
+        self._free_slots.append(slot)
+        self._intern_version += 1
+        self._dirty.add(slot)
+        return True
+
+    def add_edge(self, u, v):
+        if not super().add_edge(u, v):  # interns endpoints via add_vertex
+            return False
+        self._dirty.add(self._index[u])
+        self._dirty.add(self._index[v])
+        return True
+
+    def remove_edge(self, u, v):
+        if not super().remove_edge(u, v):
+            return False
+        self._dirty.add(self._index[u])
+        self._dirty.add(self._index[v])
+        return True
+
+    # ------------------------------------------------------------------
+    # CSR mirror maintenance
+    # ------------------------------------------------------------------
+
+    def ensure_csr(self):
+        """Return ``(starts, lengths, indices)`` arrays, repairing as needed.
+
+        ``starts[slot] : starts[slot] + lengths[slot]`` slices ``indices``
+        into the slot's neighbour slots.  The returned arrays are the live
+        internals: callers must treat them as read-only snapshots that any
+        later mutation invalidates.
+        """
+        if not self._csr_built:
+            self._rebuild_csr()
+        elif self._dirty:
+            self._patch_dirty()
+        return self._csr_start, self._csr_len, self._csr_indices
+
+    def _rebuild_csr(self):
+        n = len(self._slot_ids)
+        starts = array("q", bytes(8 * n))
+        lens = array("q", bytes(8 * n))
+        caps = [0] * n
+        flat = []
+        index = self._index
+        pad = (0,)
+        cursor = 0
+        for v, slot in index.items():
+            neighbours = self._adj[v]
+            deg = len(neighbours)
+            cap = _headroom(deg)
+            starts[slot] = cursor
+            lens[slot] = deg
+            caps[slot] = cap
+            flat.extend(map(index.__getitem__, neighbours))
+            flat.extend(pad * (cap - deg))
+            cursor += cap
+        self._csr_start = starts
+        self._csr_len = lens
+        self._csr_cap = caps
+        self._csr_indices = array("q", flat)
+        self._csr_garbage = 0
+        self._csr_built = True
+        self._dirty.clear()
+
+    def _patch_dirty(self):
+        starts, lens, caps = self._csr_start, self._csr_len, self._csr_cap
+        indices = self._csr_indices
+        # Slots created since the last build need offset entries.
+        grow = len(self._slot_ids) - len(starts)
+        if grow > 0:
+            starts.frombytes(bytes(8 * grow))
+            lens.frombytes(bytes(8 * grow))
+            caps.extend([0] * grow)
+        index = self._index
+        ids = self._slot_ids
+        for slot in self._dirty:
+            v = ids[slot]
+            if v is None:  # recycled hole: its block is garbage now
+                self._csr_garbage += caps[slot]
+                starts[slot] = 0
+                lens[slot] = 0
+                caps[slot] = 0
+                continue
+            neighbours = self._adj[v]
+            deg = len(neighbours)
+            if deg <= caps[slot]:
+                # Dirty-region rewrite in place.
+                cursor = starts[slot]
+                for w in neighbours:
+                    indices[cursor] = index[w]
+                    cursor += 1
+                lens[slot] = deg
+            else:
+                # Relocate the block to the tail with geometric headroom.
+                self._csr_garbage += caps[slot]
+                cap = _headroom(deg)
+                starts[slot] = len(indices)
+                lens[slot] = deg
+                caps[slot] = cap
+                indices.extend(index[w] for w in neighbours)
+                indices.extend(0 for _ in range(cap - deg))
+        self._dirty.clear()
+        if self._csr_garbage * 2 > len(indices):
+            self._rebuild_csr()
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    def copy(self):
+        """Deep copy preserving vertex insertion order and slot layout."""
+        clone = CompactGraph()
+        clone._adj = {v: set(ns) for v, ns in self._adj.items()}
+        clone._num_edges = self._num_edges
+        clone._reintern()
+        return clone
+
+    def _reintern(self):
+        """Rebuild interning structures from the adjacency dict."""
+        self._index = {v: slot for slot, v in enumerate(self._adj)}
+        self._slot_ids = list(self._adj)
+        self._free_slots = []
+        self._intern_version += 1
+        self._dirty = set()
+        self._csr_built = False
+
+    @classmethod
+    def from_graph(cls, graph):
+        """Compact copy of any backend (vertex insertion order preserved)."""
+        clone = cls()
+        clone._adj = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+        clone._num_edges = graph.num_edges
+        clone._reintern()
+        return clone
+
+    def validate(self):
+        """Graph invariants plus interning / CSR-mirror consistency."""
+        super().validate()
+        if len(self._index) != len(self._adj):
+            raise AssertionError(
+                f"intern drift: {len(self._index)} slots for "
+                f"{len(self._adj)} vertices"
+            )
+        for v, slot in self._index.items():
+            if not 0 <= slot < len(self._slot_ids):
+                raise AssertionError(f"slot {slot} of {v!r} out of range")
+            if self._slot_ids[slot] != v:
+                raise AssertionError(
+                    f"slot table disagrees at {slot}: "
+                    f"{self._slot_ids[slot]!r} != {v!r}"
+                )
+        live = len(self._slot_ids) - len(self._free_slots)
+        if live != len(self._adj):
+            raise AssertionError(
+                f"free-list drift: {live} live slots, {len(self._adj)} vertices"
+            )
+        starts, lens, indices = self.ensure_csr()
+        for v, slot in self._index.items():
+            block = indices[starts[slot] : starts[slot] + lens[slot]]
+            expected = {self._index[w] for w in self._adj[v]}
+            if set(block) != expected or len(block) != len(expected):
+                raise AssertionError(f"CSR mirror drift at vertex {v!r}")
+        return True
+
+    def __repr__(self):
+        return (
+            f"CompactGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"slots={self.num_slots})"
+        )
+
+
+def as_compact(graph):
+    """Bridge: return ``graph`` as a :class:`CompactGraph`.
+
+    Already-compact graphs are returned as-is (no copy); dense graphs are
+    copied.  The copy preserves vertex insertion order, so iteration-order
+    sensitive behaviour (partitioners, the runner's candidate order) is
+    identical across the bridge.
+    """
+    if isinstance(graph, CompactGraph):
+        return graph
+    return CompactGraph.from_graph(graph)
+
+
+def as_adjacency(graph):
+    """Bridge: return ``graph`` as a plain adjacency-set :class:`Graph`."""
+    if type(graph) is Graph:
+        return graph
+    clone = Graph()
+    clone._adj = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    clone._num_edges = graph.num_edges
+    return clone

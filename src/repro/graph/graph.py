@@ -146,13 +146,12 @@ class Graph:
         identifier types an arbitrary-but-deterministic endpoint order is
         used.
         """
-        seen = set()
+        order = {v: i for i, v in enumerate(self._adj)}
         for u, neighbours in self._adj.items():
+            rank = order[u]
             for v in neighbours:
-                key = frozenset((u, v))
-                if key in seen:
-                    continue
-                seen.add(key)
+                if order[v] < rank:
+                    continue  # already emitted from v's side
                 try:
                     yield (u, v) if u <= v else (v, u)
                 except TypeError:
@@ -176,15 +175,18 @@ class Graph:
         return clone
 
     def subgraph(self, vertices):
-        """Induced subgraph over ``vertices`` (missing ids are ignored)."""
+        """Induced subgraph over ``vertices`` (missing ids are ignored).
+
+        The subgraph is built on the same backend as ``self``.
+        """
         keep = {v for v in vertices if v in self._adj}
-        sub = Graph()
+        sub = type(self)()
         for v in keep:
             sub.add_vertex(v)
         for v in keep:
             for w in self._adj[v]:
-                if w in keep and not sub.has_edge(v, w):
-                    sub.add_edge(v, w)
+                if w in keep:
+                    sub.add_edge(v, w)  # add_edge dedups the reverse visit
         return sub
 
     def degree_histogram(self):

@@ -7,19 +7,21 @@ as ints when every id in the file parses as one, else kept as strings —
 mixed files would break id ordering, so the promotion is all-or-nothing.
 """
 
-from repro.graph import Graph
+from repro.graph import make_graph
 
 __all__ = ["read_edgelist", "write_edgelist"]
 
 _COMMENT_PREFIXES = ("#", "%")
 
 
-def read_edgelist(path, directed_dedup=True):
-    """Read an edge list into a :class:`~repro.graph.Graph`.
+def read_edgelist(path, directed_dedup=True, backend="adjacency"):
+    """Read an edge list into a graph on the chosen backend.
 
     ``directed_dedup``: SNAP ships directed pairs (both ``a b`` and
     ``b a``); the undirected graph stores each such tie once (the Graph
     handles duplicates natively — the flag exists only to document intent).
+    ``backend`` names a :data:`repro.graph.GRAPH_BACKENDS` entry
+    (``"adjacency"`` or ``"compact"``).
 
     Returns the graph.  Raises ``ValueError`` on malformed lines.
     """
@@ -43,7 +45,7 @@ def read_edgelist(path, directed_dedup=True):
                 except ValueError:
                     all_int = False
             raw_edges.append((u, v))
-    graph = Graph()
+    graph = make_graph(backend)
     for u, v in raw_edges:
         if all_int:
             u, v = int(u), int(v)

@@ -61,10 +61,21 @@ class PartitionState:
         self._assignment = {}
         self._sizes = [0] * num_partitions
         self._cut_edges = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Assignment
     # ------------------------------------------------------------------
+
+    @property
+    def version(self):
+        """Monotonic counter bumped on every assignment change.
+
+        Derived flat views (the batch sweep's assignment array) compare it
+        against the version they were built from to detect staleness from
+        moves they did not witness.
+        """
+        return self._version
 
     def __contains__(self, vertex):
         return vertex in self._assignment
@@ -139,6 +150,7 @@ class PartitionState:
         self._assignment[vertex] = pid
         self._sizes[pid] += 1
         self._cut_edges += cut_delta
+        self._version += 1
 
     def move(self, vertex, new_pid):
         """Relocate an assigned vertex, updating the cut count in O(deg v)."""
@@ -152,6 +164,29 @@ class PartitionState:
         self._sizes[old_pid] -= 1
         self._sizes[new_pid] += 1
         self._cut_edges += after - before
+        self._version += 1
+
+    def apply_bulk_moves(self, items, cut_delta):
+        """Relocate many vertices at once with a caller-computed cut delta.
+
+        ``items`` yields ``(vertex, old_pid, new_pid)`` for vertices that
+        actually change partition.  The caller guarantees ``cut_delta``
+        equals the sum of the per-move deltas :meth:`move` would have
+        produced (batch application commutes because the final cut count is
+        a function of the final assignment alone).  The batch sweep uses
+        this to skip the per-move ``O(deg v)`` adjacency walks; the
+        equivalence tests cross-check against :meth:`validate`.
+        """
+        assignment = self._assignment
+        sizes = self._sizes
+        count = 0
+        for vertex, old_pid, new_pid in items:
+            assignment[vertex] = new_pid
+            sizes[old_pid] -= 1
+            sizes[new_pid] += 1
+            count += 1
+        self._cut_edges += cut_delta
+        self._version += count
 
     def remove_vertex(self, vertex):
         """Forget a vertex (call *before* the graph drops its edges).
@@ -163,6 +198,7 @@ class PartitionState:
             return None
         self._sizes[pid] -= 1
         self._cut_edges -= self._external_degree(vertex, pid)
+        self._version += 1
         return pid
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.core.balance import VertexBalance
 from repro.core.capacity import QuotaTable
 from repro.core.convergence import ConvergenceDetector
 from repro.core.heuristic import GreedyMaxNeighbours, make_heuristic
+from repro.core.sweep import generic_decisions, make_sweeper, sort_vertices
 from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
 from repro.partitioning.base import PartitionState
 from repro.partitioning.hashing import HashPartitioner
@@ -138,6 +139,7 @@ class PregelSystem:
         self.superstep = 0
         self.reports = []
         self._rng = make_rng(self.config.seed, "pregel_system")
+        self._sweeper = make_sweeper(graph, self.state, self.config.heuristic)
         self._pending_events = []
         self._loads = None
         self._capacities = list(capacities)
@@ -275,18 +277,23 @@ class PregelSystem:
         balance = self.config.balance
         track_active = not getattr(heuristic, "uses_capacity", False)
         candidates = (
-            list(self._active) if track_active else list(self.graph.vertices())
+            sort_vertices(self._active)
+            if track_active
+            else list(self.graph.vertices())
         )
         self._rng.shuffle(candidates)
+        if self._sweeper is not None:
+            decisions = self._sweeper.decisions(candidates, visible)
+        else:
+            decisions = generic_decisions(
+                self.state, heuristic, candidates, visible
+            )
         requested = 0
         blocked = 0
         kept_active = set()
-        for v in candidates:
-            current = self.state.partition_of_or_none(v)
-            if current is None or self.migration.is_migrating(v):
+        for v, current, desired in decisions:
+            if self.migration.is_migrating(v):
                 continue
-            counts = self.state.neighbour_partition_counts(v)
-            desired = heuristic.desired_partition(current, counts, visible)
             if desired == current:
                 continue
             requested += 1
@@ -309,6 +316,8 @@ class PregelSystem:
         def placement_update(vertex_id, new_worker):
             old = self.state.partition_of(vertex_id)
             self.state.move(vertex_id, new_worker)
+            if self._sweeper is not None:
+                self._sweeper.note_move(vertex_id, new_worker)
             load = balance.load_of(self.graph, vertex_id)
             self._loads[old] -= load
             self._loads[new_worker] += load

@@ -1,0 +1,366 @@
+"""Cross-backend equivalence: CompactGraph must be indistinguishable from
+Graph — structurally (under arbitrary mutation sequences) and behaviourally
+(bit-identical AdaptiveRunner / Pregel timelines for fixed seeds)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.sweep as sweep_module
+from repro.core import AdaptiveConfig, AdaptiveRunner, EdgeBalance, VertexBalance
+from repro.core.heuristic import GreedyMaxNeighbours
+from repro.core.sweep import CompactSweeper, make_sweeper
+
+# The batch fast path needs numpy; without it every test below still pins
+# cross-backend equivalence through the portable per-vertex path.
+HAS_NUMPY = sweep_module._np is not None
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="the vectorised sweeper requires numpy"
+)
+from repro.generators import mesh_3d, powerlaw_cluster_graph
+from repro.graph import (
+    GRAPH_BACKENDS,
+    AddEdge,
+    AddVertex,
+    CompactGraph,
+    Graph,
+    RemoveEdge,
+    RemoveVertex,
+    as_adjacency,
+    as_compact,
+    graph_backend,
+    make_graph,
+    to_backend,
+)
+from repro.partitioning import HashPartitioner, balanced_capacities
+
+VERTEX_IDS = st.integers(min_value=0, max_value=25)
+
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add_vertex"), VERTEX_IDS),
+        st.tuples(st.just("remove_vertex"), VERTEX_IDS),
+        st.tuples(st.just("add_edge"), VERTEX_IDS, VERTEX_IDS),
+        st.tuples(st.just("remove_edge"), VERTEX_IDS, VERTEX_IDS),
+        st.tuples(st.just("sync")),  # force a dirty-region CSR repair
+    ),
+    max_size=120,
+)
+
+
+def apply_op(graph, op):
+    kind = op[0]
+    if kind == "add_vertex":
+        return graph.add_vertex(op[1])
+    if kind == "remove_vertex":
+        return graph.remove_vertex(op[1])
+    if kind == "add_edge":
+        if op[1] == op[2]:
+            return None  # self-loops raise identically on both backends
+        return graph.add_edge(op[1], op[2])
+    if kind == "remove_edge":
+        return graph.remove_edge(op[1], op[2])
+    if kind == "sync":
+        if isinstance(graph, CompactGraph):
+            graph.ensure_csr()
+        return None
+    raise AssertionError(kind)
+
+
+def assert_same_topology(dense, compact):
+    assert dense.num_vertices == compact.num_vertices
+    assert dense.num_edges == compact.num_edges
+    assert list(dense.vertices()) == list(compact.vertices())
+    assert sorted(dense.edges()) == sorted(compact.edges())
+    for v in dense.vertices():
+        assert dense.degree(v) == compact.degree(v)
+        assert set(dense.neighbors(v)) == set(compact.neighbors(v))
+    assert sorted(sorted(c) for c in dense.connected_components()) == sorted(
+        sorted(c) for c in compact.connected_components()
+    )
+
+
+class TestStructuralEquivalence:
+    @given(ops=OPERATIONS)
+    @settings(max_examples=80, deadline=None)
+    def test_random_mutation_sequences(self, ops):
+        dense = Graph()
+        compact = CompactGraph()
+        for op in ops:
+            assert apply_op(dense, op) == apply_op(compact, op)
+        assert_same_topology(dense, compact)
+        dense.validate()
+        compact.validate()
+
+    @given(ops=OPERATIONS)
+    @settings(max_examples=40, deadline=None)
+    def test_degree_histogram_and_isolated(self, ops):
+        dense = Graph()
+        compact = CompactGraph()
+        for op in ops:
+            apply_op(dense, op)
+            apply_op(compact, op)
+        assert dense.degree_histogram() == compact.degree_histogram()
+        assert sorted(dense.isolated_vertices()) == sorted(
+            compact.isolated_vertices()
+        )
+        assert dense.average_degree() == compact.average_degree()
+
+
+class TestCsrMirror:
+    def test_in_place_patch_after_edge_removal(self):
+        g = as_compact(mesh_3d(3))
+        g.ensure_csr()
+        assert g.remove_edge(0, 1)
+        starts, lens, _ = g.ensure_csr()
+        assert lens[g.slot_of(0)] == g.degree(0)
+        g.validate()
+
+    def test_relocation_when_capacity_exceeded(self):
+        g = CompactGraph([(0, 1)])
+        g.ensure_csr()
+        # Grow vertex 0's neighbourhood past its reserved headroom.
+        for w in range(2, 40):
+            g.add_edge(0, w)
+        g.validate()  # validate() re-ensures and checks the mirror
+
+    def test_garbage_triggers_full_rebuild(self):
+        g = CompactGraph([(i, i + 1) for i in range(50)])
+        g.ensure_csr()
+        for i in range(0, 50, 2):
+            g.remove_vertex(i)
+        g.ensure_csr()
+        for i in range(100, 140):
+            g.add_edge(i, i + 1)
+        g.validate()
+
+    def test_slot_recycling(self):
+        g = CompactGraph([(0, 1), (1, 2)])
+        slot = g.slot_of(2)
+        g.remove_vertex(2)
+        g.add_vertex(99)
+        assert g.slot_of(99) == slot  # freed slot is reused
+        assert g.id_of(slot) == 99
+        g.validate()
+
+
+class TestBridgesAndRegistry:
+    def test_as_compact_preserves_orders(self):
+        dense = mesh_3d(3)
+        compact = as_compact(dense)
+        assert list(dense.vertices()) == list(compact.vertices())
+        assert dense.num_edges == compact.num_edges
+        assert as_compact(compact) is compact  # no-op on the same backend
+
+    def test_as_adjacency_round_trip(self):
+        compact = as_compact(mesh_3d(3))
+        dense = as_adjacency(compact)
+        assert type(dense) is Graph
+        assert_same_topology(dense, compact)
+        assert as_adjacency(dense) is dense
+
+    def test_registry(self):
+        assert graph_backend("compact") is CompactGraph
+        assert graph_backend("adjacency") is Graph
+        with pytest.raises(ValueError):
+            graph_backend("bogus")
+        assert set(GRAPH_BACKENDS) == {"adjacency", "compact"}
+        g = make_graph("compact", edges=[(1, 2)])
+        assert isinstance(g, CompactGraph) and g.num_edges == 1
+        assert isinstance(to_backend(g, "adjacency"), Graph)
+
+    def test_copy_and_subgraph_stay_compact(self):
+        g = as_compact(mesh_3d(3))
+        assert isinstance(g.copy(), CompactGraph)
+        sub = g.subgraph(range(9))
+        assert isinstance(sub, CompactGraph)
+        sub.validate()
+        dense_sub = as_adjacency(g).subgraph(range(9))
+        assert_same_topology(dense_sub, sub)
+
+    def test_generators_accept_backend(self):
+        compact = mesh_3d(3, graph_cls=CompactGraph)
+        assert isinstance(compact, CompactGraph)
+        assert_same_topology(mesh_3d(3), compact)
+        plaw = powerlaw_cluster_graph(60, m=2, seed=1, graph_cls=CompactGraph)
+        assert_same_topology(
+            powerlaw_cluster_graph(60, m=2, seed=1), plaw
+        )
+
+
+def _runner(graph, seed=0, k=4, **config_kw):
+    caps = balanced_capacities(graph.num_vertices, k, 1.10)
+    state = HashPartitioner().partition(graph, k, list(caps))
+    return AdaptiveRunner(graph, state, AdaptiveConfig(seed=seed, **config_kw))
+
+
+def _paired_runners(make, seed=0, **config_kw):
+    dense = make()
+    compact = as_compact(dense.copy())
+    return (
+        _runner(dense, seed=seed, **config_kw),
+        _runner(compact, seed=seed, **config_kw),
+    )
+
+
+class TestRunnerTimelineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: mesh_3d(6),
+            lambda: powerlaw_cluster_graph(250, m=2, seed=1),
+        ],
+        ids=["mesh", "powerlaw"],
+    )
+    def test_identical_timelines_fixed_seed(self, make, seed):
+        dense, compact = _paired_runners(make, seed=seed)
+        if HAS_NUMPY:
+            assert compact._sweeper is not None  # the fast path is engaged
+        for _ in range(50):
+            assert dense.step() == compact.step()
+        assert dict(dense.state.assignment_items()) == dict(
+            compact.state.assignment_items()
+        )
+        assert dense.state.cut_edges == compact.state.cut_edges
+        assert dense.loads == compact.loads
+        compact.state.validate()  # bulk-move cut bookkeeping stayed exact
+
+    @pytest.mark.parametrize("heuristic", ["hysteresis", "capacity-weighted"])
+    def test_non_greedy_heuristics_use_generic_path(self, heuristic):
+        dense, compact = _paired_runners(
+            lambda: mesh_3d(5), seed=2, heuristic=heuristic
+        )
+        assert compact._sweeper is None  # only the exact greedy rule batches
+        for _ in range(30):
+            assert dense.step() == compact.step()
+
+    def test_full_sweep_mode_matches(self):
+        dense, compact = _paired_runners(
+            lambda: mesh_3d(5), seed=1, track_active=False
+        )
+        for _ in range(30):
+            assert dense.step() == compact.step()
+
+    def test_edge_balance_matches(self):
+        dense, compact = _paired_runners(
+            lambda: powerlaw_cluster_graph(200, m=2, seed=0),
+            seed=4,
+            balance=EdgeBalance(slack=1.2),
+        )
+        for _ in range(30):
+            assert dense.step() == compact.step()
+        assert dense.loads == compact.loads
+
+    def test_dynamic_events_match(self):
+        dense, compact = _paired_runners(lambda: mesh_3d(5), seed=0)
+        events = [
+            AddVertex(900),
+            AddEdge(900, 3),
+            AddEdge(900, 17),
+            RemoveVertex(5),
+            RemoveEdge(0, 1),
+            AddEdge(901, 902),
+            AddVertex(5),
+            AddEdge(5, 900),
+        ]
+        for _ in range(8):
+            assert dense.step() == compact.step()
+        assert dense.apply_events(events) == compact.apply_events(events)
+        for _ in range(30):
+            assert dense.step() == compact.step()
+        assert dict(dense.state.assignment_items()) == dict(
+            compact.state.assignment_items()
+        )
+        compact.graph.validate()
+        compact.state.validate()
+
+    def test_convergence_time_matches(self):
+        dense, compact = _paired_runners(lambda: mesh_3d(6), seed=7)
+        dense.run_until_convergence(max_iterations=400)
+        compact.run_until_convergence(max_iterations=400)
+        assert dense.converged == compact.converged
+        assert dense.convergence_time == compact.convergence_time
+        assert list(dense.timeline) == list(compact.timeline)
+
+    def test_generic_path_on_compact_matches_when_numpy_absent(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(sweep_module, "_np", None)
+        dense, compact = _paired_runners(lambda: mesh_3d(5), seed=0)
+        assert compact._sweeper is None
+        for _ in range(20):
+            assert dense.step() == compact.step()
+
+
+class TestPregelEquivalence:
+    def test_superstep_reports_match_across_backends(self):
+        from repro.pregel import PregelConfig, PregelSystem, VertexProgram
+
+        class Echo(VertexProgram):
+            def initial_value(self, vertex_id, graph):
+                return 0
+
+            def compute(self, ctx, messages):
+                ctx.send_to_neighbors(1)
+
+        dense = mesh_3d(5)
+        compact = as_compact(dense.copy())
+        reports = []
+        for graph in (dense, compact):
+            system = PregelSystem(
+                graph, Echo(), PregelConfig(num_workers=4, seed=0)
+            )
+            reports.append(system.run(25))
+        for dense_report, compact_report in zip(*reports):
+            assert dense_report.cut_edges == compact_report.cut_edges
+            assert dense_report.sizes == compact_report.sizes
+            assert (
+                dense_report.migrations_announced
+                == compact_report.migrations_announced
+            )
+            assert (
+                dense_report.migrations_requested
+                == compact_report.migrations_requested
+            )
+
+
+@needs_numpy
+class TestSweeperInternals:
+    def test_supports_requires_exact_greedy(self):
+        class Sneaky(GreedyMaxNeighbours):
+            def desired_partition(self, current, counts, remaining):
+                return current
+
+        g = as_compact(mesh_3d(3))
+        assert CompactSweeper.supports(g, GreedyMaxNeighbours())
+        assert not CompactSweeper.supports(g, Sneaky())
+        assert not CompactSweeper.supports(mesh_3d(3), GreedyMaxNeighbours())
+
+    def test_external_state_moves_trigger_resync(self):
+        g = as_compact(mesh_3d(4))
+        runner = _runner(g, seed=0)
+        runner.step()
+        state = runner.state
+        # A move applied behind the sweeper's back (version bump) must be
+        # observed by the next step, not silently ignored.
+        vertex = next(iter(state.assignment_items()))[0]
+        state.move(vertex, (state.partition_of(vertex) + 1) % 4)
+        runner.step()
+        sweeper = runner._sweeper
+        index = g.slot_index
+        for v, pid in state.assignment_items():
+            assert sweeper._assign[index[v]] == pid
+
+    def test_make_sweeper_on_non_int_ids(self):
+        g = CompactGraph([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        caps = balanced_capacities(g.num_vertices, 2, 2.0)
+        state = HashPartitioner().partition(g, 2, list(caps))
+        sweeper = make_sweeper(g, state, GreedyMaxNeighbours())
+        assert sweeper is not None
+        runner = AdaptiveRunner(g, state, AdaptiveConfig(seed=0))
+        dense = Graph([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        dense_state = HashPartitioner().partition(dense, 2, list(caps))
+        dense_runner = AdaptiveRunner(dense, dense_state, AdaptiveConfig(seed=0))
+        for _ in range(20):
+            assert dense_runner.step() == runner.step()

@@ -14,6 +14,8 @@ import repro.core.heuristic
 import repro.datasets.catalog
 import repro.generators.mesh
 import repro.generators.powerlaw
+import repro.graph.backend
+import repro.graph.compact
 import repro.graph.graph
 import repro.graph.stream
 import repro.partitioning.registry
@@ -28,6 +30,8 @@ MODULES = [
     repro.datasets.catalog,
     repro.generators.mesh,
     repro.generators.powerlaw,
+    repro.graph.backend,
+    repro.graph.compact,
     repro.graph.graph,
     repro.graph.stream,
     repro.partitioning.registry,
