@@ -6,11 +6,14 @@ Gives downstream users the paper's workflow without writing code:
   save the assignment, print quality metrics;
 * ``watch`` — like ``partition`` on a generated mesh, but render the
   evolving 2-D slice as text frames (the paper's video, offline);
+* ``scenario`` — replay a named dynamic scenario (churning graph) and print
+  its per-round timeline; ``--static`` runs the paired static-hash cluster;
 * ``datasets`` — print the Table-1 catalog;
 * ``generate`` — write a synthetic dataset to an edge-list file.
 """
 
 import argparse
+import json
 import sys
 
 from repro.analysis import format_table
@@ -20,6 +23,7 @@ from repro.generators import mesh_3d
 from repro.graph import GRAPH_BACKENDS
 from repro.io import read_edgelist, save_partition, write_edgelist
 from repro.partitioning import balanced_capacities, make_partitioner
+from repro.scenarios import SCENARIOS, get_scenario, play_scenario, scaled
 from repro.viz import partition_histogram, render_mesh_slice
 
 __all__ = ["build_parser", "main"]
@@ -53,6 +57,25 @@ def build_parser():
     w.add_argument("--frames", type=int, default=6)
     w.add_argument("--iterations-per-frame", type=int, default=10)
     w.add_argument("--seed", type=int, default=0)
+
+    sc = sub.add_parser(
+        "scenario", help="replay a named dynamic scenario round by round"
+    )
+    sc.add_argument("name", nargs="?", help="catalog name (see --list)")
+    sc.add_argument("--list", action="store_true", dest="list_scenarios",
+                    help="print the scenario catalog and exit")
+    sc.add_argument("--backend", default="adjacency",
+                    choices=sorted(GRAPH_BACKENDS))
+    sc.add_argument("--static", action="store_true",
+                    help="no adaptation: the paper's static-hash paired cluster")
+    sc.add_argument("--metrics", default="incremental",
+                    choices=["incremental", "recompute"],
+                    help="recompute = per-round full-recompute cross-check")
+    sc.add_argument("--seed", type=int, default=None,
+                    help="override the scenario's seed")
+    sc.add_argument("--max-rounds", type=int, default=None)
+    sc.add_argument("--json", dest="json_out",
+                    help="write the exact per-round digest to this file")
 
     sub.add_parser("datasets", help="print the Table-1 dataset catalog")
 
@@ -113,6 +136,74 @@ def _cmd_watch(args, out):
     return 0
 
 
+def _cmd_scenario(args, out):
+    if args.list_scenarios or not args.name:
+        rows = [
+            [s.name, s.regime, s.num_partitions, s.description]
+            for s in sorted(SCENARIOS.values(), key=lambda s: s.name)
+        ]
+        out.write(
+            format_table(
+                ["name", "regime", "k", "description"], rows,
+                title="Dynamic scenario catalog",
+            )
+            + "\n"
+        )
+        if not args.name:
+            return 0 if args.list_scenarios else 2
+        return 0
+    scenario = get_scenario(args.name)
+    if args.seed is not None:
+        scenario = scaled(scenario, seed=args.seed)
+    result = play_scenario(
+        scenario,
+        backend=args.backend,
+        adaptive=not args.static,
+        metrics=args.metrics,
+        max_rounds=args.max_rounds,
+    )
+    out.write(
+        f"{scenario.name} [{scenario.regime}] on {args.backend} backend, "
+        f"{'static hash' if args.static else 'adaptive'}, "
+        f"k={scenario.num_partitions}, seed={scenario.seed}\n"
+    )
+    if not result.rounds:
+        out.write("no rounds executed (empty stream or --max-rounds 0)\n")
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(result.digest(), fh, indent=2, sort_keys=True)
+            out.write(f"digest written to {args.json_out}\n")
+        return 0
+    rows = [
+        [r.round, r.events, r.changed, r.migrations, r.num_vertices,
+         r.num_edges, f"{r.cut_ratio:.4f}", max(r.sizes)]
+        for r in result.rounds
+    ]
+    stride = max(1, len(rows) // 24)
+    sampled = rows[::stride]
+    if rows and sampled[-1] is not rows[-1]:
+        sampled.append(rows[-1])
+    out.write(
+        format_table(
+            ["round", "events", "changed", "migr", "|V|", "|E|",
+             "cut_ratio", "max|P|"],
+            sampled,
+            title="per-round timeline",
+        )
+        + "\n"
+    )
+    out.write(
+        f"final cut ratio:  {result.final_cut_ratio():.4f}\n"
+        f"peak cut ratio:   {result.peak_cut_ratio():.4f}\n"
+        f"total migrations: {result.total_migrations()}\n"
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(result.digest(), fh, indent=2, sort_keys=True)
+        out.write(f"digest written to {args.json_out}\n")
+    return 0
+
+
 def _cmd_datasets(out):
     rows = [
         [spec.name, spec.paper_vertices, spec.paper_edges, spec.family,
@@ -147,6 +238,8 @@ def main(argv=None, out=None):
         return _cmd_partition(args, out)
     if args.command == "watch":
         return _cmd_watch(args, out)
+    if args.command == "scenario":
+        return _cmd_scenario(args, out)
     if args.command == "datasets":
         return _cmd_datasets(out)
     if args.command == "generate":

@@ -42,6 +42,7 @@ from repro.core.heuristic import (
     MigrationHeuristic,
     make_heuristic,
 )
+from repro.core.incremental import IncrementalMetrics
 from repro.core.metrics import IterationStats, Timeline
 from repro.core.runner import AdaptiveConfig, AdaptiveRunner, run_to_convergence
 
@@ -55,6 +56,7 @@ __all__ = [
     "GreedyMaxNeighbours",
     "HEURISTICS",
     "HotspotBalance",
+    "IncrementalMetrics",
     "IterationStats",
     "MigrationHeuristic",
     "QuotaTable",

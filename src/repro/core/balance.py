@@ -16,9 +16,16 @@ __all__ = ["BalancePolicy", "EdgeBalance", "HotspotBalance", "VertexBalance"]
 
 
 class BalancePolicy:
-    """Defines the load of a vertex and the capacity vector of a system."""
+    """Defines the load of a vertex and the capacity vector of a system.
+
+    ``degree_sensitive`` declares whether :meth:`load_of` depends on the
+    vertex's current degree.  The incremental metrics engine consults it:
+    degree-insensitive policies need no neighbour-load bookkeeping when the
+    graph mutates, so event application stays O(1) per event.
+    """
 
     name = "abstract"
+    degree_sensitive = False
 
     def load_of(self, graph, vertex):
         """Load units this vertex contributes to its partition."""
@@ -57,6 +64,7 @@ class EdgeBalance(BalancePolicy):
     """
 
     name = "edge"
+    degree_sensitive = True
 
     def __init__(self, slack=1.10):
         if slack < 1.0:
@@ -67,9 +75,10 @@ class EdgeBalance(BalancePolicy):
         return float(max(graph.degree(vertex), 1))
 
     def capacities(self, graph, num_partitions):
-        total_load = 2.0 * graph.num_edges + sum(
-            1 for _ in graph.isolated_vertices()
-        )
+        isolated = getattr(graph, "num_isolated", None)
+        if isolated is None:  # foreign graph-likes without the tracked count
+            isolated = sum(1 for _ in graph.isolated_vertices())
+        total_load = 2.0 * graph.num_edges + isolated
         balanced = max(total_load, num_partitions) / num_partitions
         cap = max(1.0, math.ceil(balanced * self.slack - 1e-9))
         return [cap] * num_partitions
@@ -93,6 +102,10 @@ class HotspotBalance(BalancePolicy):
         self.base = base or VertexBalance()
         self.max_shrink = max_shrink
         self._activity = None
+
+    @property
+    def degree_sensitive(self):
+        return self.base.degree_sensitive
 
     def observe_activity(self, activity):
         """Feed fresh per-partition activity numbers (any positive scale)."""

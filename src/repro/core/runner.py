@@ -11,6 +11,10 @@ graph mutations (from any :mod:`repro.graph.stream` source), which
 re-activate the affected vertices and reset the convergence window, after
 which stepping resumes — the paper's "background algorithm" behaviour
 without the distributed machinery (that lives in :mod:`repro.pregel`).
+Cut, sizes and per-partition loads are maintained as deltas by
+:class:`~repro.core.incremental.IncrementalMetrics`, so long churn runs pay
+O(changes) per round, not O(|V|); ``metrics="recompute"`` re-derives
+everything from scratch each round as a debug cross-check.
 
 An exact *active-set* optimisation keeps long converged phases cheap: the
 paper's greedy rule depends only on a vertex's neighbour locations, so a
@@ -32,6 +36,7 @@ from repro.core.balance import VertexBalance
 from repro.core.capacity import QuotaTable
 from repro.core.convergence import PAPER_QUIET_WINDOW, ConvergenceDetector
 from repro.core.heuristic import GreedyMaxNeighbours, MigrationHeuristic, make_heuristic
+from repro.core.incremental import IncrementalMetrics
 from repro.core.metrics import IterationStats, Timeline
 from repro.core.sweep import generic_decisions, make_sweeper, sort_vertices
 from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
@@ -52,6 +57,13 @@ class AdaptiveConfig:
     the convergence criterion (30); ``heuristic`` may be a name from
     :data:`repro.core.heuristic.HEURISTICS` or an instance; ``balance``
     is a :class:`~repro.core.balance.BalancePolicy`.
+
+    ``metrics`` selects the bookkeeping mode: ``"incremental"`` (default)
+    maintains loads/cut/sizes as deltas per admitted move and applied event;
+    ``"recompute"`` additionally recomputes everything from scratch every
+    round and raises on drift — the debug cross-check, and the baseline the
+    scenario benchmark measures the incremental engine against.  The two
+    modes produce bit-identical timelines (property-tested).
     """
 
     willingness: float = DEFAULT_WILLINGNESS
@@ -61,6 +73,7 @@ class AdaptiveConfig:
     balance: object = field(default_factory=VertexBalance)
     placement: object = field(default_factory=HashPartitioner)
     track_active: bool = True
+    metrics: str = "incremental"
 
     def __post_init__(self):
         if not 0.0 <= self.willingness <= 1.0:
@@ -69,6 +82,8 @@ class AdaptiveConfig:
             self.heuristic = make_heuristic(self.heuristic)
         if not isinstance(self.heuristic, MigrationHeuristic):
             raise TypeError("heuristic must be a MigrationHeuristic or name")
+        if self.metrics not in ("incremental", "recompute"):
+            raise ValueError('metrics must be "incremental" or "recompute"')
 
 
 class AdaptiveRunner:
@@ -82,41 +97,38 @@ class AdaptiveRunner:
         self.detector = ConvergenceDetector(self.config.quiet_window)
         self.timeline = Timeline()
         self.iteration = 0
-        self._loads = None
         self._capacities = None
         self._active = None
         self._sweeper = make_sweeper(graph, state, self.config.heuristic)
         if self._sweeper is not None:
             self._sweeper.warm()  # build the CSR mirror off the hot path
-        self._refresh_balance(full=True)
+        self.metrics = IncrementalMetrics(graph, state, self.config.balance)
+        self._refresh_capacities()
         self._activate_all()
 
     # ------------------------------------------------------------------
     # Balance bookkeeping
     # ------------------------------------------------------------------
 
-    def _refresh_balance(self, full=False):
-        """Recompute capacities (and optionally loads) from the live graph.
+    def _refresh_capacities(self):
+        """Recompute capacities from the live graph (O(k) for the shipped
+        policies).
 
         The balance policy is the single source of truth for capacities —
         ``state.capacities`` is kept in sync so no stale vector set by an
-        initial partitioner can disagree with the quotas.
+        initial partitioner can disagree with the quotas.  Loads are *not*
+        recomputed here: :class:`IncrementalMetrics` maintains them as
+        deltas per admitted move / applied event.
         """
-        balance = self.config.balance
         self._capacities = list(
-            balance.capacities(self.graph, self.state.num_partitions)
+            self.config.balance.capacities(self.graph, self.state.num_partitions)
         )
         self.state.capacities = list(self._capacities)
-        if full:
-            loads = [0.0] * self.state.num_partitions
-            for v, pid in self.state.assignment_items():
-                loads[pid] += balance.load_of(self.graph, v)
-            self._loads = loads
 
     @property
     def loads(self):
         """Copy of the per-partition load vector (in balance-policy units)."""
-        return list(self._loads)
+        return self.metrics.loads
 
     @property
     def capacities(self):
@@ -125,7 +137,7 @@ class AdaptiveRunner:
 
     def remaining_capacities(self):
         """``C_t(i)`` vector: capacity minus current load, per partition."""
-        return [c - l for c, l in zip(self._capacities, self._loads)]
+        return self.metrics.remaining(self._capacities)
 
     # ------------------------------------------------------------------
     # Active-set maintenance
@@ -208,9 +220,7 @@ class AdaptiveRunner:
 
         # Apply all admitted moves together (synchronous semantics: no
         # decision above saw any of these relocations).
-        for v, old_pid, new_pid, load in admitted_moves:
-            self._loads[old_pid] -= load
-            self._loads[new_pid] += load
+        self.metrics.on_moves(admitted_moves)
         if self._sweeper is not None:
             touched = self._sweeper.apply_moves(admitted_moves)
             if self._tracking_active():
@@ -240,6 +250,8 @@ class AdaptiveRunner:
         )
         self.timeline.append(stats)
         self.detector.observe(stats.migrations)
+        if self.config.metrics == "recompute":
+            self.metrics.cross_check()
         return stats
 
     # ------------------------------------------------------------------
@@ -274,7 +286,11 @@ class AdaptiveRunner:
         New vertices are placed by the configured placement strategy (hash
         by default, as in the paper's streaming system); removed vertices
         leave their partition; every touched neighbourhood re-enters the
-        active set and the convergence window resets.
+        active set and the convergence window resets.  Loads, sizes and the
+        cut count are maintained as deltas per applied event (O(1) per event
+        for degree-insensitive balance policies, O(deg) otherwise) — no full
+        recompute happens unless ``metrics="recompute"`` asks for the debug
+        cross-check.
 
         Returns the number of events that changed the graph.
         """
@@ -284,25 +300,42 @@ class AdaptiveRunner:
                 changed += 1
         if changed:
             self.detector.reset()
-            self._refresh_balance(full=True)
+            self._refresh_capacities()
+            if self.config.metrics == "recompute":
+                self.metrics.cross_check()
         return changed
+
+    def _place_new_vertex(self, vertex):
+        """Streaming placement of a just-added vertex, with delta upkeep."""
+        state = self.state
+        self.config.placement.place(state, vertex)
+        self.metrics.on_vertex_placed(vertex)
+        if self._sweeper is not None:
+            pid = state.partition_of_or_none(vertex)
+            if pid is not None:
+                self._sweeper.note_assign(vertex, pid)
 
     def _apply_one(self, event):
         graph = self.graph
         state = self.state
+        metrics = self.metrics
         if isinstance(event, AddVertex):
             if event.vertex in graph:
                 return False
             graph.add_vertex(event.vertex)
-            self.config.placement.place(state, event.vertex)
+            self._place_new_vertex(event.vertex)
             self._activate(event.vertex)
             return True
         if isinstance(event, RemoveVertex):
             if event.vertex not in graph:
                 return False
             neighbours = list(graph.neighbors(event.vertex))
+            snapshot = metrics.pre_remove_vertex(event.vertex)
             state.remove_vertex(event.vertex)  # before edges disappear
+            if self._sweeper is not None:
+                self._sweeper.note_remove(event.vertex)
             graph.remove_vertex(event.vertex)
+            metrics.post_remove_vertex(snapshot)
             self._active.discard(event.vertex)
             for w in neighbours:
                 self._activate(w)
@@ -311,17 +344,23 @@ class AdaptiveRunner:
             for endpoint in (event.u, event.v):
                 if endpoint not in graph:
                     graph.add_vertex(endpoint)
-                    self.config.placement.place(state, endpoint)
-            if not graph.add_edge(event.u, event.v):
+                    self._place_new_vertex(endpoint)
+            if graph.has_edge(event.u, event.v):
                 return False
+            snapshot = metrics.pre_edge(event.u, event.v)
+            graph.add_edge(event.u, event.v)
             state.on_edge_added(event.u, event.v)
+            metrics.post_edge(snapshot)
             self._activate(event.u)
             self._activate(event.v)
             return True
         if isinstance(event, RemoveEdge):
-            if not graph.remove_edge(event.u, event.v):
+            if not graph.has_edge(event.u, event.v):
                 return False
+            snapshot = metrics.pre_edge(event.u, event.v)
+            graph.remove_edge(event.u, event.v)
             state.on_edge_removed(event.u, event.v)
+            metrics.post_edge(snapshot)
             self._activate(event.u)
             self._activate(event.v)
             return True

@@ -139,6 +139,50 @@ class CompactSweeper:
             self._assign[slot] = pid
             self._synced_version = state_version
 
+    def note_assign(self, vertex, pid):
+        """Record a streaming placement (new vertex) just applied to the state.
+
+        Same contract as :meth:`note_move`: fast-forwards only when this
+        assignment is the sole change since the last sync.  The mirror grows
+        geometrically when the new vertex's slot lies beyond it, so long
+        growth scenarios stay amortised O(1) per arrival instead of paying
+        an O(|V|) resync on the next sweep.
+        """
+        if self._assign is None:
+            return
+        state_version = self.state.version
+        if self._synced_version != state_version - 1:
+            return
+        slot = self.graph.slot_index.get(vertex)
+        if slot is None:
+            return
+        if slot >= len(self._assign):
+            grown = _np.full(
+                max(slot + 1, 2 * len(self._assign)), -1, dtype=_np.int64
+            )
+            grown[: len(self._assign)] = self._assign
+            self._assign = grown
+        self._assign[slot] = pid
+        self._synced_version = state_version
+
+    def note_remove(self, vertex):
+        """Record a vertex removal from the state.
+
+        Must be called after ``state.remove_vertex`` but *before* the graph
+        drops the vertex (the slot lookup still needs it).  Fast-forwards
+        under the same sole-change contract as :meth:`note_move`.
+        """
+        if self._assign is None:
+            return
+        state_version = self.state.version
+        if self._synced_version != state_version - 1:
+            return
+        slot = self.graph.slot_index.get(vertex)
+        if slot is None or slot >= len(self._assign):
+            return  # left stale: the next batch pass resyncs fully
+        self._assign[slot] = -1
+        self._synced_version = state_version
+
     def _stale(self):
         return (
             self._assign is None

@@ -13,6 +13,7 @@ Two entry points:
 * :func:`forest_fire_graph` — grow a graph from scratch (for tests).
 """
 
+from repro.core.sweep import sort_vertices
 from repro.graph import AddEdge, AddVertex, Graph, apply_events
 from repro.utils import make_rng
 
@@ -26,7 +27,12 @@ def _burn(graph, ambassador, burn_probability, rng, max_burned):
     order = [ambassador]
     while frontier and len(burned) < max_burned:
         current = frontier.pop()
-        neighbours = [w for w in graph.neighbors(current) if w not in burned]
+        # Canonical order before the shuffle: raw neighbour-*set* iteration
+        # order is not contractually identical across backend bridges, and
+        # scenario replay needs the same events on every backend.
+        neighbours = sort_vertices(
+            w for w in graph.neighbors(current) if w not in burned
+        )
         if not neighbours:
             continue
         rng.shuffle(neighbours)

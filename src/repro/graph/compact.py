@@ -262,6 +262,7 @@ class CompactGraph(Graph):
 
     def _reintern(self):
         """Rebuild interning structures from the adjacency dict."""
+        self._num_isolated = sum(1 for ns in self._adj.values() if not ns)
         self._index = {v: slot for slot, v in enumerate(self._adj)}
         self._slot_ids = list(self._adj)
         self._free_slots = []
@@ -334,4 +335,5 @@ def as_adjacency(graph):
     clone = Graph()
     clone._adj = {v: set(graph.neighbors(v)) for v in graph.vertices()}
     clone._num_edges = graph.num_edges
+    clone._num_isolated = sum(1 for ns in clone._adj.values() if not ns)
     return clone

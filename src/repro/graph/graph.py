@@ -30,11 +30,12 @@ class Graph:
     (3, 2)
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_num_isolated")
 
     def __init__(self, edges=None, vertices=None):
         self._adj = {}
         self._num_edges = 0
+        self._num_isolated = 0
         if vertices is not None:
             for v in vertices:
                 self.add_vertex(v)
@@ -51,6 +52,7 @@ class Graph:
         if v in self._adj:
             return False
         self._adj[v] = set()
+        self._num_isolated += 1
         return True
 
     def remove_vertex(self, v):
@@ -58,8 +60,13 @@ class Graph:
         neighbours = self._adj.pop(v, None)
         if neighbours is None:
             return False
+        if not neighbours:
+            self._num_isolated -= 1
         for w in neighbours:
-            self._adj[w].discard(v)
+            peers = self._adj[w]
+            peers.discard(v)
+            if not peers:
+                self._num_isolated += 1
         self._num_edges -= len(neighbours)
         return True
 
@@ -74,6 +81,10 @@ class Graph:
         self.add_vertex(v)
         if v in self._adj[u]:
             return False
+        if not self._adj[u]:
+            self._num_isolated -= 1
+        if not self._adj[v]:
+            self._num_isolated -= 1
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
@@ -90,6 +101,10 @@ class Graph:
             return False
         adj_u.discard(v)
         self._adj[v].discard(u)
+        if not adj_u:
+            self._num_isolated += 1
+        if not self._adj[v]:
+            self._num_isolated += 1
         self._num_edges -= 1
         return True
 
@@ -115,6 +130,11 @@ class Graph:
     def num_edges(self):
         """Number of undirected edges currently in the graph."""
         return self._num_edges
+
+    @property
+    def num_isolated(self):
+        """Number of vertices with no incident edges (tracked, O(1))."""
+        return self._num_isolated
 
     def has_edge(self, u, v):
         """True when the undirected edge ``{u, v}`` exists."""
@@ -172,6 +192,7 @@ class Graph:
         clone = Graph()
         clone._adj = {v: set(ns) for v, ns in self._adj.items()}
         clone._num_edges = self._num_edges
+        clone._num_isolated = self._num_isolated
         return clone
 
     def subgraph(self, vertices):
@@ -247,6 +268,12 @@ class Graph:
             raise AssertionError(
                 f"edge count drift: counted {edge_count // 2}, "
                 f"stored {self._num_edges}"
+            )
+        isolated = sum(1 for ns in self._adj.values() if not ns)
+        if isolated != self._num_isolated:
+            raise AssertionError(
+                f"isolated count drift: counted {isolated}, "
+                f"stored {self._num_isolated}"
             )
         return True
 

@@ -9,23 +9,40 @@ The paper feeds changes to the system in two regimes:
   by draining a whole :class:`EventStream` slice.
 
 Streams are plain sorted lists of :class:`TimedEvent` so they can be replayed
-deterministically against multiple system configurations.
+deterministically against multiple system configurations.  Events carrying
+the *same* timestamp are totally ordered by a creation-order sequence number,
+so replay order for ties is pinned FIFO — it can never depend on sort
+internals or on the (non-comparable) event payloads.
 """
 
 import bisect
+import itertools
 from dataclasses import dataclass, field
 
 from repro.graph.events import apply_event
 
 __all__ = ["EventStream", "TimedEvent", "batch_by_count", "batch_by_time"]
 
+# Global creation counter: ties on ``time`` resolve to creation order, which
+# for any single producer is FIFO.  The absolute values are meaningless (and
+# process-dependent); only the relative order of events ever matters.
+_SEQUENCE = itertools.count()
+
 
 @dataclass(frozen=True, order=True)
 class TimedEvent:
-    """A mutation event stamped with an arrival time (seconds, arbitrary epoch)."""
+    """A mutation event stamped with an arrival time (seconds, arbitrary epoch).
+
+    Ordering compares ``(time, seq)``.  The event payload is excluded from
+    comparisons: payloads are plain frozen dataclasses with object-typed
+    fields, so comparing them would raise for mixed identifier types — and
+    relying on payload order for equal-time events would make tie order an
+    accident of the payload encoding.
+    """
 
     time: float
     event: object = field(compare=False)
+    seq: int = field(default_factory=lambda: next(_SEQUENCE))
 
 
 class EventStream:
@@ -43,11 +60,14 @@ class EventStream:
         self._events = sorted(timed_events) if timed_events else []
 
     def push(self, time, event):
-        """Insert an event, keeping the stream time-ordered."""
+        """Insert an event, keeping the stream time-ordered.
+
+        Equal-time pushes land after existing events at that time (FIFO).
+        """
         bisect.insort(self._events, TimedEvent(float(time), event))
 
     def extend(self, timed_events):
-        """Bulk insert; re-sorts once."""
+        """Bulk insert; re-sorts once (ties keep creation order)."""
         self._events.extend(timed_events)
         self._events.sort()
 
@@ -72,13 +92,23 @@ class EventStream:
 
     def window(self, t_start, t_end):
         """Events with ``t_start <= time < t_end`` as a list of TimedEvent."""
-        lo = bisect.bisect_left(self._events, TimedEvent(t_start, None))
-        hi = bisect.bisect_left(self._events, TimedEvent(t_end, None))
+        lo = bisect.bisect_left(self._events, t_start, key=_time_of)
+        hi = bisect.bisect_left(self._events, t_end, key=_time_of)
         return self._events[lo:hi]
 
     def events_between(self, t_start, t_end):
         """Bare events (no timestamps) in ``[t_start, t_end)``."""
         return [te.event for te in self.window(t_start, t_end)]
+
+    def sliced(self, t_start, t_end):
+        """New :class:`EventStream` over ``[t_start, t_end)``.
+
+        The slice shares the original's :class:`TimedEvent` records, so
+        relative order (including equal-time FIFO order) is preserved.
+        """
+        sliced = EventStream()
+        sliced._events = self.window(t_start, t_end)
+        return sliced
 
     def replay_into(self, graph, until=None):
         """Apply all events (optionally only those before ``until``) to a graph.
@@ -94,7 +124,12 @@ class EventStream:
         return changed
 
     def merged_with(self, other):
-        """A new stream containing this stream's and ``other``'s events."""
+        """A new stream containing this stream's and ``other``'s events.
+
+        Equal-time events keep each source stream's internal order (the
+        creation-order tie-break is a total order, so the merge is stable
+        and deterministic).
+        """
         merged = EventStream()
         merged._events = sorted(self._events + list(other))
         return merged
@@ -104,6 +139,10 @@ class EventStream:
             f"EventStream(n={len(self._events)}, "
             f"span=[{self.start_time}, {self.end_time}])"
         )
+
+
+def _time_of(te):
+    return te.time
 
 
 def batch_by_time(stream, window):

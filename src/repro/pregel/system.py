@@ -30,6 +30,7 @@ from repro.core.balance import VertexBalance
 from repro.core.capacity import QuotaTable
 from repro.core.convergence import ConvergenceDetector
 from repro.core.heuristic import GreedyMaxNeighbours, make_heuristic
+from repro.core.incremental import IncrementalMetrics
 from repro.core.sweep import generic_decisions, make_sweeper, sort_vertices
 from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
 from repro.partitioning.base import PartitionState
@@ -67,6 +68,7 @@ class PregelConfig:
     seed: int = 0
     checkpoint_interval: int = 10
     quiet_window: int = 30
+    metrics: str = "incremental"
 
     def __post_init__(self):
         if self.num_workers < 1:
@@ -75,6 +77,8 @@ class PregelConfig:
             raise ValueError("willingness must be in [0, 1]")
         if isinstance(self.heuristic, str):
             self.heuristic = make_heuristic(self.heuristic)
+        if self.metrics not in ("incremental", "recompute"):
+            raise ValueError('metrics must be "incremental" or "recompute"')
 
 
 @dataclass
@@ -141,9 +145,8 @@ class PregelSystem:
         self._rng = make_rng(self.config.seed, "pregel_system")
         self._sweeper = make_sweeper(graph, self.state, self.config.heuristic)
         self._pending_events = []
-        self._loads = None
         self._capacities = list(capacities)
-        self._refresh_loads()
+        self.metrics = IncrementalMetrics(graph, self.state, self.config.balance)
         self._active = set(graph.vertices())
         # Superstep 0 has no published capacities yet (the paper's protocol
         # needs one barrier to propagate them), so publish the initial view.
@@ -154,13 +157,6 @@ class PregelSystem:
     # Load / capacity bookkeeping
     # ------------------------------------------------------------------
 
-    def _refresh_loads(self):
-        balance = self.config.balance
-        loads = [0.0] * self.config.num_workers
-        for v, pid in self.state.assignment_items():
-            loads[pid] += balance.load_of(self.graph, v)
-        self._loads = loads
-
     def _refresh_capacities(self):
         self._capacities = list(
             self.config.balance.capacities(self.graph, self.config.num_workers)
@@ -169,7 +165,7 @@ class PregelSystem:
         self.state.capacities = list(self._capacities)
 
     def _remaining_capacities(self):
-        return [c - l for c, l in zip(self._capacities, self._loads)]
+        return self.metrics.remaining(self._capacities)
 
     # ------------------------------------------------------------------
     # Stream mutations
@@ -188,28 +184,40 @@ class PregelSystem:
         if applied:
             self.detector.reset()
             self._refresh_capacities()
-            self._refresh_loads()
         return applied
+
+    def _place_new_vertex(self, vertex):
+        """Streaming placement of a just-added vertex, with delta upkeep."""
+        state = self.state
+        self.config.placement.place(state, vertex)
+        self.metrics.on_vertex_placed(vertex)
+        if self._sweeper is not None:
+            pid = state.partition_of_or_none(vertex)
+            if pid is not None:
+                self._sweeper.note_assign(vertex, pid)
+        self.values[vertex] = self.program.initial_value(vertex, self.graph)
 
     def _apply_event(self, event):
         graph = self.graph
         state = self.state
+        metrics = self.metrics
         if isinstance(event, AddVertex):
             if event.vertex in graph:
                 return False
             graph.add_vertex(event.vertex)
-            self.config.placement.place(state, event.vertex)
-            self.values[event.vertex] = self.program.initial_value(
-                event.vertex, graph
-            )
+            self._place_new_vertex(event.vertex)
             self._active.add(event.vertex)
             return True
         if isinstance(event, RemoveVertex):
             if event.vertex not in graph:
                 return False
             neighbours = list(graph.neighbors(event.vertex))
+            snapshot = metrics.pre_remove_vertex(event.vertex)
             state.remove_vertex(event.vertex)
+            if self._sweeper is not None:
+                self._sweeper.note_remove(event.vertex)
             graph.remove_vertex(event.vertex)
+            metrics.post_remove_vertex(snapshot)
             self.values.pop(event.vertex, None)
             self.halted.discard(event.vertex)
             self._active.discard(event.vertex)
@@ -221,20 +229,23 @@ class PregelSystem:
             for endpoint in (event.u, event.v):
                 if endpoint not in graph:
                     graph.add_vertex(endpoint)
-                    self.config.placement.place(state, endpoint)
-                    self.values[endpoint] = self.program.initial_value(
-                        endpoint, graph
-                    )
-            if not graph.add_edge(event.u, event.v):
+                    self._place_new_vertex(endpoint)
+            if graph.has_edge(event.u, event.v):
                 return False
+            snapshot = metrics.pre_edge(event.u, event.v)
+            graph.add_edge(event.u, event.v)
             state.on_edge_added(event.u, event.v)
+            metrics.post_edge(snapshot)
             self._active.add(event.u)
             self._active.add(event.v)
             return True
         if isinstance(event, RemoveEdge):
-            if not graph.remove_edge(event.u, event.v):
+            if not graph.has_edge(event.u, event.v):
                 return False
+            snapshot = metrics.pre_edge(event.u, event.v)
+            graph.remove_edge(event.u, event.v)
             state.on_edge_removed(event.u, event.v)
+            metrics.post_edge(snapshot)
             if event.u in graph:
                 self._active.add(event.u)
             if event.v in graph:
@@ -319,8 +330,7 @@ class PregelSystem:
             if self._sweeper is not None:
                 self._sweeper.note_move(vertex_id, new_worker)
             load = balance.load_of(self.graph, vertex_id)
-            self._loads[old] -= load
-            self._loads[new_worker] += load
+            self.metrics.on_move(vertex_id, old, new_worker, load)
             self._active.add(vertex_id)
             for w in self.graph.neighbors(vertex_id):
                 self._active.add(w)
@@ -376,6 +386,8 @@ class PregelSystem:
         announced = self._announce_migrations()
         mutations = self._apply_pending_events()
         self._refresh_capacities()
+        if self.config.metrics == "recompute":
+            self.metrics.cross_check()  # per-superstep full-recompute audit
         self.capacity_protocol.publish(self._remaining_capacities())
         self.aggregators.barrier()
         self.checkpointer.maybe_checkpoint(self.superstep, self.values)

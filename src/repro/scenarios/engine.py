@@ -1,0 +1,191 @@
+"""The scenario engine: replay a churn schedule through the adaptive stack.
+
+:func:`play_scenario` is the single entry point the CLI, the benchmarks and
+the golden-timeline regression suite share.  It builds the scenario's seed
+graph on the requested backend, hash-partitions it, optionally lets the
+adaptive algorithm settle, then drains the churn schedule round by round:
+apply one batch of events, run the configured adaptive iterations, record
+one :class:`RoundRecord`.  With ``adaptive=False`` the engine never steps —
+new vertices still land by hash placement, which is exactly the paper's
+static-hash cluster of the paired experiment.
+
+Timelines are a pure function of ``(scenario, adaptive)`` — backend and
+metrics mode provably do not matter (the golden suite pins the former, the
+equivalence property tests the latter).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.balance import VertexBalance
+from repro.core.runner import AdaptiveConfig, AdaptiveRunner
+from repro.graph.stream import batch_by_count, batch_by_time
+from repro.partitioning.base import balanced_capacities
+from repro.partitioning.hashing import HashPartitioner
+
+__all__ = ["RoundRecord", "ScenarioResult", "play_scenario"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observable about one scenario round."""
+
+    round: int
+    time: float
+    events: int          # events offered in this round's batch
+    changed: int         # events that actually changed the graph
+    migrations: int      # migrations executed across the round's iterations
+    cut_edges: int
+    cut_ratio: float
+    sizes: tuple
+    num_vertices: int
+    num_edges: int
+
+
+class ScenarioResult:
+    """A completed scenario run: per-round records plus summaries."""
+
+    def __init__(self, scenario, backend, adaptive, rounds, settle_iterations):
+        self.scenario = scenario
+        self.backend = backend
+        self.adaptive = adaptive
+        self.rounds = rounds
+        self.settle_iterations = settle_iterations
+
+    def __len__(self):
+        return len(self.rounds)
+
+    def series(self, attribute):
+        """Extract one per-round column, e.g. ``result.series("cut_ratio")``."""
+        return [getattr(r, attribute) for r in self.rounds]
+
+    def final_cut_ratio(self):
+        return self.rounds[-1].cut_ratio if self.rounds else None
+
+    def total_migrations(self):
+        return sum(r.migrations for r in self.rounds)
+
+    def peak_cut_ratio(self):
+        return max((r.cut_ratio for r in self.rounds), default=None)
+
+    def digest(self):
+        """JSON-able exact record for golden-timeline comparison.
+
+        Floats survive a JSON round-trip exactly (``repr`` round-trips), so
+        fixtures written from one run compare ``==`` against any later run.
+        """
+        return {
+            "scenario": self.scenario.name,
+            "seed": self.scenario.seed,
+            "adaptive": self.adaptive,
+            "rounds": [
+                {
+                    "round": r.round,
+                    "events": r.events,
+                    "changed": r.changed,
+                    "migrations": r.migrations,
+                    "cut_edges": r.cut_edges,
+                    "cut_ratio": r.cut_ratio,
+                    "sizes": list(r.sizes),
+                    "num_vertices": r.num_vertices,
+                    "num_edges": r.num_edges,
+                }
+                for r in self.rounds
+            ],
+        }
+
+    def __repr__(self):
+        return (
+            f"ScenarioResult({self.scenario.name!r}, backend={self.backend!r}, "
+            f"adaptive={self.adaptive}, rounds={len(self.rounds)})"
+        )
+
+
+def _batches(scenario, stream):
+    """Yield ``(time, events)`` rounds according to the scenario's regime."""
+    if scenario.regime == "continuous":
+        yield from batch_by_time(stream, scenario.window)
+    else:
+        for i, events in enumerate(batch_by_count(stream, scenario.batch_size)):
+            yield float(i), events
+
+
+def play_scenario(
+    scenario,
+    backend="adjacency",
+    adaptive=True,
+    metrics="incremental",
+    max_rounds=None,
+):
+    """Run ``scenario`` end to end; returns a :class:`ScenarioResult`.
+
+    ``adaptive=False`` replays the identical event sequence without any
+    migration iterations (the static-hash paired cluster).  ``metrics``
+    forwards to :class:`~repro.core.runner.AdaptiveConfig` — pass
+    ``"recompute"`` to cross-check every round against full recomputation.
+    ``max_rounds`` truncates long streams (benchmarks use it; golden
+    fixtures never do).
+    """
+    graph = scenario.build_graph(backend)
+    capacities = balanced_capacities(
+        max(1, graph.num_vertices), scenario.num_partitions, scenario.slack
+    )
+    state = HashPartitioner().partition(
+        graph, scenario.num_partitions, list(capacities)
+    )
+    config = AdaptiveConfig(
+        willingness=scenario.willingness,
+        quiet_window=scenario.quiet_window,
+        seed=scenario.seed,
+        # The scenario's slack must reach the balance policy: the runner
+        # refreshes capacities from it, not from the initial vector above.
+        balance=VertexBalance(slack=scenario.slack),
+        metrics=metrics,
+    )
+    runner = AdaptiveRunner(graph, state, config)
+    if adaptive and scenario.settle_iterations:
+        runner.run_until_convergence(max_iterations=scenario.settle_iterations)
+    settle_iterations = runner.iteration
+
+    stream = scenario.build_stream(graph)
+    rounds = []
+
+    def record(index, time, offered, changed, migrations):
+        sizes = state.sizes
+        rounds.append(
+            RoundRecord(
+                round=index,
+                time=time,
+                events=offered,
+                changed=changed,
+                migrations=migrations,
+                cut_edges=state.cut_edges,
+                cut_ratio=state.cut_ratio(),
+                sizes=tuple(sizes),
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+            )
+        )
+
+    index = 0
+    for time, events in _batches(scenario, stream):
+        if max_rounds is not None and index >= max_rounds:
+            break
+        changed = runner.apply_events(events)
+        migrations = 0
+        if adaptive:
+            for _ in range(scenario.steps_per_round):
+                migrations += runner.step().migrations
+        record(index, time, len(events), changed, migrations)
+        index += 1
+
+    if adaptive:
+        # Cooldown rounds carry no stream time; -1.0 marks them (NaN would
+        # break the golden fixtures' exact equality).
+        for _ in range(scenario.cooldown_rounds):
+            migrations = 0
+            for _ in range(scenario.steps_per_round):
+                migrations += runner.step().migrations
+            record(index, -1.0, 0, 0, migrations)
+            index += 1
+
+    return ScenarioResult(scenario, backend, adaptive, rounds, settle_iterations)

@@ -1,0 +1,123 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` bundles the three things a dynamic experiment needs —
+a seed-graph generator, a churn schedule and the runner configuration — as
+plain data, so a scenario can be named, listed, replayed bit-for-bit on any
+backend, serialised into a golden fixture and compared across paired system
+configurations (adaptive vs static hash), exactly the paper's methodology.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.generators.forest_fire import forest_fire_graph
+from repro.generators.mesh import grid_2d, mesh_3d
+from repro.generators.powerlaw import powerlaw_cluster_graph
+from repro.generators.random_graphs import erdos_renyi_graph, ring_lattice
+from repro.graph.backend import make_graph, to_backend
+from repro.scenarios.churn import make_churn
+
+__all__ = ["GRAPH_KINDS", "GraphSpec", "ChurnSpec", "Scenario", "scaled"]
+
+
+def _empty_graph():
+    return make_graph("adjacency")
+
+
+GRAPH_KINDS = {
+    "mesh": mesh_3d,
+    "grid": grid_2d,
+    "powerlaw": powerlaw_cluster_graph,
+    "erdos-renyi": erdos_renyi_graph,
+    "ring": ring_lattice,
+    "forest-fire": forest_fire_graph,
+    "empty": _empty_graph,
+}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A named generator plus its keyword arguments."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in GRAPH_KINDS:
+            raise ValueError(
+                f"unknown graph kind {self.kind!r}; choose from {sorted(GRAPH_KINDS)}"
+            )
+
+    def build(self, backend="adjacency"):
+        """Generate the seed graph and bridge it onto ``backend``."""
+        graph = GRAPH_KINDS[self.kind](**self.params)
+        return to_backend(graph, backend)
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A named churn schedule plus its keyword arguments (seed excluded)."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def build(self, graph, seed=0):
+        """Generate the event stream against the (settled) base graph."""
+        return make_churn(self.kind, graph, seed=seed, **self.params)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replayable dynamic experiment.
+
+    ``regime`` selects how the stream drains into rounds: ``"continuous"``
+    slices it into fixed ``window``-length time batches (the Twitter mode —
+    empty windows still tick), ``"buffered"`` into ``batch_size``-event
+    batches (the CDR mode).  Per round the engine applies the batch, then
+    runs ``steps_per_round`` adaptive iterations; after the stream drains it
+    appends ``cooldown_rounds`` pure-adaptation rounds so re-convergence is
+    part of the timeline.  ``settle_iterations`` bounds the pre-churn
+    convergence run that gives adaptation a settled starting point.
+    """
+
+    name: str
+    description: str
+    graph: GraphSpec
+    churn: ChurnSpec
+    regime: str = "continuous"
+    window: float = 2.0
+    batch_size: int = 64
+    num_partitions: int = 4
+    willingness: float = 0.5
+    quiet_window: int = 10
+    slack: float = 1.10
+    seed: int = 0
+    settle_iterations: int = 200
+    steps_per_round: int = 2
+    cooldown_rounds: int = 10
+
+    def __post_init__(self):
+        if self.regime not in ("continuous", "buffered"):
+            raise ValueError('regime must be "continuous" or "buffered"')
+        if self.regime == "continuous" and self.window <= 0:
+            raise ValueError("continuous regime needs a positive window")
+        if self.regime == "buffered" and self.batch_size < 1:
+            raise ValueError("buffered regime needs batch_size >= 1")
+        if self.num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if self.steps_per_round < 0 or self.cooldown_rounds < 0:
+            raise ValueError("steps_per_round/cooldown_rounds must be >= 0")
+
+    def build_graph(self, backend="adjacency"):
+        return self.graph.build(backend)
+
+    def build_stream(self, graph):
+        return self.churn.build(graph, seed=self.seed)
+
+
+def scaled(scenario, **overrides):
+    """A copy of ``scenario`` with field overrides (name kept unless given).
+
+    Convenience for benchmarks that take a registry scenario up to stress
+    scale: ``scaled(s, graph=GraphSpec(...), window=30.0)``.
+    """
+    return replace(scenario, **overrides)

@@ -6,6 +6,22 @@ from repro.generators import mesh_3d, powerlaw_cluster_graph
 from repro.graph import Graph
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json fixtures from the current code "
+        "(then re-run without the flag and commit the diff deliberately)",
+    )
+
+
+@pytest.fixture
+def regen_golden(request):
+    """True when this run should rewrite the golden fixtures."""
+    return request.config.getoption("--regen-golden")
+
+
 @pytest.fixture
 def triangle():
     """A 3-clique."""

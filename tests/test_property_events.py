@@ -1,0 +1,138 @@
+"""Property tests for the event algebra and stream tie ordering.
+
+Two families:
+
+* **Inverse replay** — applying a whole event *sequence* forward and then
+  replaying the recorded inverses backward restores the graph exactly
+  (``test_property_graph`` covers single events; scenarios replay long
+  sequences, so the composition property gets pinned here too);
+* **FIFO tie order** — equal-time events in an :class:`EventStream` are
+  totally ordered by creation sequence, so push / extend / merge / slice all
+  preserve a deterministic first-in-first-out order for ties.  This is the
+  regression test for the tie-order bug: ordering used to fall through to
+  the dataclass comparison of the non-comparable payload field.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    AddEdge,
+    AddVertex,
+    EventStream,
+    Graph,
+    RemoveEdge,
+    RemoveVertex,
+    TimedEvent,
+    apply_event,
+    apply_events,
+    invert_event,
+)
+
+VERTEX_IDS = st.integers(min_value=0, max_value=15)
+TIMES = st.sampled_from([0.0, 1.0, 2.0, 3.0])
+
+
+def event_strategy():
+    add_vertex = st.builds(AddVertex, VERTEX_IDS)
+    remove_vertex = st.builds(RemoveVertex, VERTEX_IDS)
+    edge_pair = st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1])
+    add_edge = edge_pair.map(lambda p: AddEdge(*p))
+    remove_edge = edge_pair.map(lambda p: RemoveEdge(*p))
+    return st.one_of(add_vertex, remove_vertex, add_edge, remove_edge)
+
+
+EDGES = st.sets(
+    st.tuples(VERTEX_IDS, VERTEX_IDS).filter(lambda p: p[0] != p[1]),
+    max_size=25,
+)
+
+
+@given(edges=EDGES, events=st.lists(event_strategy(), max_size=50))
+@settings(max_examples=120, deadline=None)
+def test_apply_then_inverted_replay_restores_graph(edges, events):
+    graph = Graph(edges=list(edges))
+    vertices_before = set(graph.vertices())
+    adjacency_before = {v: set(graph.neighbors(v)) for v in graph.vertices()}
+    edges_before = graph.num_edges
+    undo_stack = []
+    for event in events:
+        undo_stack.append(invert_event(event, graph))
+        apply_event(graph, event)
+    for inverse in reversed(undo_stack):
+        apply_events(graph, inverse)
+    graph.validate()
+    assert set(graph.vertices()) == vertices_before
+    assert {v: set(graph.neighbors(v)) for v in graph.vertices()} == adjacency_before
+    assert graph.num_edges == edges_before
+
+
+# ----------------------------------------------------------------------
+# FIFO tie order
+# ----------------------------------------------------------------------
+
+
+@given(times=st.lists(TIMES, max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_push_is_fifo_for_equal_times(times):
+    stream = EventStream()
+    for i, t in enumerate(times):
+        stream.push(t, ("tag", i))  # payloads are deliberately non-comparable
+    drained = [te.event[1] for te in stream]
+    assert sorted(drained) == list(range(len(times)))  # nothing lost
+    grouped = {}
+    for te in stream:
+        grouped.setdefault(te.time, []).append(te.event[1])
+    for time, pushed_order in grouped.items():
+        assert pushed_order == sorted(pushed_order), (
+            f"pushes at t={time} were reordered: {pushed_order}"
+        )
+
+
+@given(times=st.lists(TIMES, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_extend_preserves_creation_order_for_ties(times):
+    records = [TimedEvent(t, ("tag", i)) for i, t in enumerate(times)]
+    stream = EventStream()
+    stream.extend(reversed(records))  # adversarial insertion order
+    grouped = {}
+    for te in stream:
+        grouped.setdefault(te.time, []).append(te.event[1])
+    for created_order in grouped.values():
+        assert created_order == sorted(created_order)
+
+
+@given(times_a=st.lists(TIMES, max_size=25), times_b=st.lists(TIMES, max_size=25))
+@settings(max_examples=100, deadline=None)
+def test_merge_is_stable_per_source_stream(times_a, times_b):
+    a = EventStream()
+    for i, t in enumerate(times_a):
+        a.push(t, ("a", i))
+    b = EventStream()
+    for i, t in enumerate(times_b):
+        b.push(t, ("b", i))
+    merged = a.merged_with(b)
+    assert len(merged) == len(a) + len(b)
+    assert [te.time for te in merged] == sorted(te.time for te in merged)
+    # Each source's events appear in exactly their original relative order.
+    from_a = [te.event for te in merged if te.event[0] == "a"]
+    from_b = [te.event for te in merged if te.event[0] == "b"]
+    assert from_a == [te.event for te in a]
+    assert from_b == [te.event for te in b]
+
+
+@given(
+    times=st.lists(TIMES, max_size=30),
+    bounds=st.tuples(TIMES, TIMES).map(sorted),
+)
+@settings(max_examples=100, deadline=None)
+def test_slice_preserves_order_and_half_open_window(times, bounds):
+    lo, hi = bounds
+    stream = EventStream()
+    for i, t in enumerate(times):
+        stream.push(t, ("tag", i))
+    sliced = stream.sliced(lo, hi)
+    assert all(lo <= te.time < hi for te in sliced)
+    # The slice is exactly the matching subsequence, order preserved.
+    expected = [te.event for te in stream if lo <= te.time < hi]
+    assert [te.event for te in sliced] == expected

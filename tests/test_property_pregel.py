@@ -83,7 +83,7 @@ def test_partition_state_consistent_after_system_run(edges, seed):
     assert len(state) == graph.num_vertices
     assert state.cut_edges == state.recompute_cut_edges()
     # loads mirror sizes under the default vertex-balance policy
-    assert system._loads == [float(s) for s in state.sizes]
+    assert system.metrics.loads == [float(s) for s in state.sizes]
 
 
 @given(
