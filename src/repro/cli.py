@@ -7,7 +7,10 @@ Gives downstream users the paper's workflow without writing code:
 * ``watch`` — like ``partition`` on a generated mesh, but render the
   evolving 2-D slice as text frames (the paper's video, offline);
 * ``scenario`` — replay a named dynamic scenario (churning graph) and print
-  its per-round timeline; ``--static`` runs the paired static-hash cluster;
+  its per-round timeline; ``--static`` runs the paired static-hash cluster,
+  ``--engine pregel`` replays through the sharded cluster simulation (with
+  ``--executor inline|thread|process``), ``--spec file`` loads a user
+  JSON/TOML scenario instead of a catalog name;
 * ``datasets`` — print the Table-1 catalog;
 * ``generate`` — write a synthetic dataset to an edge-list file.
 """
@@ -17,13 +20,21 @@ import json
 import sys
 
 from repro.analysis import format_table
+from repro.cluster import EXECUTORS, make_executor
 from repro.core import AdaptiveConfig, AdaptiveRunner
 from repro.datasets import CATALOG, build_dataset, dataset_names
 from repro.generators import mesh_3d
 from repro.graph import GRAPH_BACKENDS
 from repro.io import read_edgelist, save_partition, write_edgelist
 from repro.partitioning import balanced_capacities, make_partitioner
-from repro.scenarios import SCENARIOS, get_scenario, play_scenario, scaled
+from repro.scenarios import (
+    ENGINES,
+    SCENARIOS,
+    get_scenario,
+    load_scenario,
+    play_scenario,
+    scaled,
+)
 from repro.viz import partition_histogram, render_mesh_slice
 
 __all__ = ["build_parser", "main"]
@@ -64,8 +75,19 @@ def build_parser():
     sc.add_argument("name", nargs="?", help="catalog name (see --list)")
     sc.add_argument("--list", action="store_true", dest="list_scenarios",
                     help="print the scenario catalog and exit")
+    sc.add_argument("--spec", default=None,
+                    help="load the scenario from a JSON/TOML spec file "
+                    "instead of the catalog")
     sc.add_argument("--backend", default="adjacency",
                     choices=sorted(GRAPH_BACKENDS))
+    sc.add_argument("--engine", default="adaptive", choices=sorted(ENGINES),
+                    help="adaptive = logical round loop; pregel = sharded "
+                    "distributed simulation (messages + migration protocol)")
+    sc.add_argument("--executor", default=None, choices=sorted(EXECUTORS),
+                    help="pregel engine only: where shard compute runs "
+                    "(default inline)")
+    sc.add_argument("--workers", type=int, default=None,
+                    help="worker count for --executor thread/process")
     sc.add_argument("--static", action="store_true",
                     help="no adaptation: the paper's static-hash paired cluster")
     sc.add_argument("--metrics", default="incremental",
@@ -137,7 +159,7 @@ def _cmd_watch(args, out):
 
 
 def _cmd_scenario(args, out):
-    if args.list_scenarios or not args.name:
+    if args.list_scenarios or not (args.name or args.spec):
         rows = [
             [s.name, s.regime, s.num_partitions, s.description]
             for s in sorted(SCENARIOS.values(), key=lambda s: s.name)
@@ -149,10 +171,33 @@ def _cmd_scenario(args, out):
             )
             + "\n"
         )
-        if not args.name:
+        if not (args.name or args.spec):
             return 0 if args.list_scenarios else 2
         return 0
-    scenario = get_scenario(args.name)
+    if args.engine != "pregel" and (
+        args.executor is not None or args.workers is not None
+    ):
+        out.write(
+            "--executor/--workers only apply to --engine pregel "
+            "(the adaptive engine has no shard executors)\n"
+        )
+        return 2
+    if args.workers is not None and args.executor in (None, "inline"):
+        out.write(
+            "--workers needs a parallel executor: add "
+            "--executor thread or --executor process\n"
+        )
+        return 2
+    if args.spec is not None:
+        if args.name is not None:
+            out.write(
+                f"got both a catalog name ({args.name!r}) and --spec "
+                f"({args.spec!r}); pass one or the other\n"
+            )
+            return 2
+        scenario = load_scenario(args.spec)
+    else:
+        scenario = get_scenario(args.name)
     if args.seed is not None:
         scenario = scaled(scenario, seed=args.seed)
     result = play_scenario(
@@ -161,9 +206,17 @@ def _cmd_scenario(args, out):
         adaptive=not args.static,
         metrics=args.metrics,
         max_rounds=args.max_rounds,
+        engine=args.engine,
+        executor=make_executor(args.executor, args.workers)
+        if args.engine == "pregel"
+        else None,
     )
+    engine_label = args.engine
+    if args.engine == "pregel":
+        engine_label += f" ({args.executor or 'inline'} executor)"
     out.write(
         f"{scenario.name} [{scenario.regime}] on {args.backend} backend, "
+        f"{engine_label} engine, "
         f"{'static hash' if args.static else 'adaptive'}, "
         f"k={scenario.num_partitions}, seed={scenario.seed}\n"
     )
@@ -176,7 +229,9 @@ def _cmd_scenario(args, out):
         return 0
     rows = [
         [r.round, r.events, r.changed, r.migrations, r.num_vertices,
-         r.num_edges, f"{r.cut_ratio:.4f}", max(r.sizes)]
+         r.num_edges, f"{r.cut_ratio:.4f}", f"{r.imbalance:.3f}",
+         f"{r.quiet_iterations}{'*' if r.converged else ''}",
+         f"{r.superstep_cost:.1f}"]
         for r in result.rounds
     ]
     stride = max(1, len(rows) // 24)
@@ -186,9 +241,9 @@ def _cmd_scenario(args, out):
     out.write(
         format_table(
             ["round", "events", "changed", "migr", "|V|", "|E|",
-             "cut_ratio", "max|P|"],
+             "cut_ratio", "imbal", "quiet", "cost"],
             sampled,
-            title="per-round timeline",
+            title="per-round timeline (quiet: window fill, * = converged)",
         )
         + "\n"
     )
@@ -196,6 +251,7 @@ def _cmd_scenario(args, out):
         f"final cut ratio:  {result.final_cut_ratio():.4f}\n"
         f"peak cut ratio:   {result.peak_cut_ratio():.4f}\n"
         f"total migrations: {result.total_migrations()}\n"
+        f"modelled cost:    {result.total_cost():.1f}\n"
     )
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as fh:

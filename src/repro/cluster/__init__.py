@@ -1,0 +1,45 @@
+"""Sharded BSP superstep execution with pluggable executors.
+
+The paper's system is distributed: vertices live on separate workers and
+supersteps advance through compute → message exchange → barrier.  This
+package gives the reproduction that execution shape for real:
+
+* :mod:`shard` — :class:`Shard`: one worker's resident vertex state and its
+  compute pass, exchanged with the coordinator as plain picklable
+  task/delta/patch records;
+* :mod:`executor` — where shard compute runs: :class:`InlineExecutor`
+  (serial reference), :class:`ThreadExecutor`, :class:`ProcessExecutor`
+  (persistent worker processes with shard affinity);
+* :mod:`coordinator` — :class:`Coordinator`, the sharded drop-in for
+  :class:`~repro.pregel.system.PregelSystem`: same protocols and barrier
+  order, compute fanned out per shard and merged deterministically.
+
+Results are bit-identical across executors by construction (deltas merge in
+shard-id order; all order-dependent work stays in the coordinator), which
+``tests/test_cluster_golden.py`` pins with golden superstep timelines.
+"""
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.executor import (
+    EXECUTORS,
+    Executor,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.cluster.shard import Shard, ShardDelta, ShardPatch, ShardTask
+
+__all__ = [
+    "Coordinator",
+    "EXECUTORS",
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "Shard",
+    "ShardDelta",
+    "ShardPatch",
+    "ShardTask",
+    "ThreadExecutor",
+    "make_executor",
+]

@@ -1,0 +1,264 @@
+"""The coordinator: a :class:`PregelSystem` whose compute phase is sharded.
+
+:class:`Coordinator` keeps every semantic of the single-process system —
+the superstep order, the migration and capacity protocols, fault recovery,
+incremental metrics, stream mutations — and swaps the compute phase for a
+BSP fan-out over :class:`~repro.cluster.shard.Shard` objects driven by a
+pluggable :class:`~repro.cluster.executor.Executor`:
+
+1. **compute** — the inbox splits by resident shard, every shard runs the
+   shared compute loop (possibly in other threads/processes) and returns a
+   :class:`ShardDelta`;
+2. **merge** — deltas fold into the authoritative state *in shard-id
+   order*: values, halt votes, the message outbox (pre-combined per worker,
+   so keys never collide), aggregator contributions, per-worker compute
+   cost.  The merge order is what makes results a pure function of the
+   configuration — bit-identical across executors;
+3. **barrier** — exactly the base class's barrier.  Everything it changes
+   (announced migrations, stream mutations, fault recoveries) lands in a
+   dirty set, and :meth:`_after_barrier` turns that into per-shard
+   :class:`ShardPatch` records applied just before the next compute.
+
+Sharding follows the paper's worker model: **one shard per worker
+(partition)**, so a migration between partitions is a migration between
+shards and the executor's worker count is purely a throughput knob.
+"""
+
+from repro.cluster.executor import make_executor
+from repro.cluster.shard import Shard, ShardPatch, ShardTask
+from repro.core.sweep import sort_vertices
+from repro.graph.events import AddVertex, RemoveVertex
+from repro.pregel.system import PregelSystem
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator(PregelSystem):
+    """A simulated Pregel cluster whose supersteps run on sharded executors.
+
+    Drop-in for :class:`PregelSystem`: same constructor plus ``executor``
+    (None, an executor name — ``"inline"`` / ``"thread"`` / ``"process"`` —
+    or an :class:`~repro.cluster.executor.Executor` instance).  Call
+    :meth:`close` (or use ``with``) to release executor workers.
+    """
+
+    def __init__(self, graph, program, config=None, fault_plan=None,
+                 executor=None):
+        self._dirty = set()
+        self._vertex_shard = {}
+        self._pending_patches = {}
+        super().__init__(graph, program, config, fault_plan)
+        combiner = program.combiner()
+        continuous = self.config.continuous
+        shards = {
+            sid: Shard(sid, program, combiner, continuous)
+            for sid in range(self.config.num_workers)
+        }
+        for v in graph.vertices():
+            pid = self.state.partition_of(v)
+            shards[pid].admit(
+                v, self.values[v], tuple(graph.neighbors(v)), False
+            )
+            self._vertex_shard[v] = pid
+        self._dirty.clear()  # initial build covered everything
+        self.executor = make_executor(executor)
+        try:
+            self.executor.start(shards)
+        except BaseException:
+            self.executor.stop()
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self):
+        """Stop the executor (idempotent)."""
+        self.executor.stop()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # The sharded compute phase
+    # ------------------------------------------------------------------
+
+    def _compute_phase(self, inbox):
+        """Fan the compute phase out over the shards and merge the deltas."""
+        num_workers = self.config.num_workers
+        shard_inbox = {sid: {} for sid in range(num_workers)}
+        for vertex, messages in inbox.items():
+            sid = self._vertex_shard.get(vertex)
+            if sid is not None:
+                shard_inbox[sid][vertex] = messages
+        agg_previous = {
+            name: self.aggregators.previous(name)
+            for name in self.aggregators.names()
+        }
+        num_vertices = self.graph.num_vertices
+        tasks = {
+            sid: ShardTask(
+                superstep=self.superstep,
+                inbox=shard_inbox[sid],
+                num_vertices=num_vertices,
+                agg_previous=agg_previous,
+            )
+            for sid in range(num_workers)
+        }
+        patches = self._pending_patches
+        self._pending_patches = {}
+        deltas = self.executor.step(tasks, patches)
+
+        per_worker = [0.0] * num_workers
+        computed = 0
+        for sid in sorted(deltas):
+            delta = deltas[sid]
+            computed += delta.computed
+            self.values.update(delta.values)
+            self.halted.difference_update(delta.halted_removed)
+            self.halted.update(delta.halted_added)
+            self.router.absorb(delta.outbox)
+            for name, value in delta.aggregated:
+                self.aggregators.contribute(name, value)
+            # One shard per worker: the shard's compute IS the worker's.
+            per_worker[sid] += delta.compute_units
+            self.network.count_compute(delta.compute_units)
+        return computed, per_worker
+
+    # ------------------------------------------------------------------
+    # Dirty tracking: every barrier mutation that shards must learn about
+    # ------------------------------------------------------------------
+
+    def _placement_update(self, vertex_id, new_worker):
+        super()._placement_update(vertex_id, new_worker)
+        self._dirty.add(vertex_id)
+
+    def _place_new_vertex(self, vertex):
+        super()._place_new_vertex(vertex)
+        self._dirty.add(vertex)
+
+    def _apply_event(self, event):
+        pre_neighbours = ()
+        if isinstance(event, RemoveVertex) and event.vertex in self.graph:
+            pre_neighbours = list(self.graph.neighbors(event.vertex))
+        changed = super()._apply_event(event)
+        if changed:
+            if isinstance(event, (AddVertex, RemoveVertex)):
+                self._dirty.add(event.vertex)
+                self._dirty.update(pre_neighbours)
+            else:  # edge events: both endpoints' adjacency changed
+                self._dirty.add(event.u)
+                self._dirty.add(event.v)
+        return changed
+
+    def _maybe_fail_worker(self):
+        worker = super()._maybe_fail_worker()
+        if worker is not None:
+            # Victims' values rolled back to the checkpoint; resync them.
+            self._dirty.update(
+                v for v, pid in self.state.assignment_items() if pid == worker
+            )
+        return worker
+
+    # ------------------------------------------------------------------
+    # Barrier: dirty set -> shard patches
+    # ------------------------------------------------------------------
+
+    def _after_barrier(self):
+        """Turn this barrier's dirty set into next superstep's patches.
+
+        Processing the dirty set in canonical vertex order makes every
+        shard's insertion (and therefore compute) order a pure function of
+        the run's history — the executor-independence invariant.
+        """
+        if not self._dirty:
+            return
+        patches = {}
+
+        def patch_for(sid):
+            patch = patches.get(sid)
+            if patch is None:
+                patch = patches[sid] = ShardPatch()
+            return patch
+
+        for vertex in sort_vertices(self._dirty):
+            old_sid = self._vertex_shard.get(vertex)
+            if vertex in self.graph:
+                sid = self.state.partition_of_or_none(vertex)
+                if sid is None:  # unplaceable vertex: treat as non-resident
+                    if old_sid is not None:
+                        patch_for(old_sid).removes.append(vertex)
+                        del self._vertex_shard[vertex]
+                    continue
+                if old_sid is not None and old_sid != sid:
+                    patch_for(old_sid).removes.append(vertex)
+                patch_for(sid).upserts[vertex] = (
+                    self.values[vertex],
+                    tuple(self.graph.neighbors(vertex)),
+                    vertex in self.halted,
+                )
+                self._vertex_shard[vertex] = sid
+            elif old_sid is not None:
+                patch_for(old_sid).removes.append(vertex)
+                del self._vertex_shard[vertex]
+        self._dirty.clear()
+        self._pending_patches = patches
+
+    # ------------------------------------------------------------------
+    # Debug / test support
+    # ------------------------------------------------------------------
+
+    def shard_consistency_check(self):
+        """Assert the shard mirror matches the authoritative state.
+
+        Flushes any pending patches (equivalent to what the next compute
+        would do first), gathers every shard's residents through the
+        executor — so process execution checks genuinely worker-resident
+        state — and compares membership, placement, values and halt flags
+        against the coordinator's.  Raises :class:`AssertionError` on drift.
+        """
+        if self._pending_patches:
+            self.executor.apply(self._pending_patches)
+            self._pending_patches = {}
+        seen = {}
+        for sid, (values, halted) in self.executor.snapshot().items():
+            for vertex, value in values.items():
+                if vertex in seen:
+                    raise AssertionError(
+                        f"vertex {vertex!r} resident on shards "
+                        f"{seen[vertex]} and {sid}"
+                    )
+                seen[vertex] = sid
+                if self._vertex_shard.get(vertex) != sid:
+                    raise AssertionError(
+                        f"vertex {vertex!r} on shard {sid}, coordinator "
+                        f"says {self._vertex_shard.get(vertex)}"
+                    )
+                if self.values.get(vertex, _MISSING) != value:
+                    raise AssertionError(
+                        f"value drift for {vertex!r}: shard has {value!r}, "
+                        f"coordinator has {self.values.get(vertex)!r}"
+                    )
+                if (vertex in halted) != (vertex in self.halted):
+                    raise AssertionError(f"halt-flag drift for {vertex!r}")
+        for vertex in self.graph.vertices():
+            if vertex not in seen:
+                raise AssertionError(f"vertex {vertex!r} resident nowhere")
+        return True
+
+
+class _Missing:
+    """Sentinel that is unequal to everything (even None values)."""
+
+    def __eq__(self, other):
+        return False
+
+    def __ne__(self, other):
+        return True
+
+
+_MISSING = _Missing()

@@ -1,0 +1,347 @@
+"""Pluggable shard executors: where the compute phase actually runs.
+
+The coordinator hands every executor the same work each superstep — a
+:class:`~repro.cluster.shard.ShardTask` per shard, plus the previous
+barrier's :class:`~repro.cluster.shard.ShardPatch` records — and gets back
+one :class:`~repro.cluster.shard.ShardDelta` per shard.  Because shard
+compute is a pure function of (shard state, task) and the coordinator merges
+deltas in shard-id order, **the choice of executor cannot change any
+result**; it only changes wall-clock.  Three backends ship:
+
+* :class:`InlineExecutor` — runs shards sequentially in the calling thread.
+  The deterministic reference; zero overhead, no parallelism.
+* :class:`ThreadExecutor` — a thread pool.  Python's GIL serialises pure-
+  Python compute, so this wins only when programs release the GIL (numpy,
+  I/O); it mainly exercises the concurrency contract cheaply.
+* :class:`ProcessExecutor` — long-lived worker processes, each owning a
+  fixed subset of shards (shard ``i`` lives on worker ``i % workers``).
+  Shards ship once at start; per superstep only tasks, patches and deltas
+  cross the pipe.  Requires picklable programs, values and messages.  This
+  is the backend that actually scales superstep-heavy workloads
+  (``benchmarks/bench_cluster.py`` pins ≥2× with four workers).
+
+Executors are context managers; :meth:`Executor.stop` is idempotent.
+"""
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = [
+    "EXECUTORS",
+    "Executor",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "ThreadExecutor",
+    "make_executor",
+]
+
+
+class Executor:
+    """The executor protocol the coordinator drives."""
+
+    name = "abstract"
+
+    def start(self, shards):
+        """Take ownership of ``{shard_id: Shard}`` before the first superstep."""
+        raise NotImplementedError
+
+    def step(self, tasks, patches):
+        """Run one superstep: apply ``patches`` (previous barrier's changes),
+        then compute every shard's task.
+
+        ``tasks`` maps shard id → :class:`ShardTask` (every shard, every
+        superstep); ``patches`` maps shard id → :class:`ShardPatch` and may
+        be empty.  Returns ``{shard_id: ShardDelta}``.  Completion order is
+        the executor's business — the coordinator merges in shard-id order.
+        """
+        raise NotImplementedError
+
+    def apply(self, patches):
+        """Apply ``{shard_id: ShardPatch}`` without computing (flush path).
+
+        :meth:`step` already applies its patches; this exists so
+        consistency checks can flush pending patches out of band.
+        """
+        raise NotImplementedError
+
+    def snapshot(self):
+        """``{shard_id: (values, halted)}`` — test/debug consistency view."""
+        raise NotImplementedError
+
+    def stop(self):
+        """Release workers; idempotent, safe after a failed start."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False
+
+
+def _step_shard(shard, task, patch):
+    if patch is not None:
+        shard.apply_patch(patch)
+    return shard.run_superstep(task)
+
+
+class InlineExecutor(Executor):
+    """Sequential in-thread execution — the deterministic serial reference."""
+
+    name = "inline"
+
+    def __init__(self):
+        self._shards = {}
+
+    def start(self, shards):
+        self._shards = dict(shards)
+
+    def step(self, tasks, patches):
+        return {
+            sid: _step_shard(self._shards[sid], tasks[sid], patches.get(sid))
+            for sid in sorted(tasks)
+        }
+
+    def apply(self, patches):
+        for sid in sorted(patches):
+            self._shards[sid].apply_patch(patches[sid])
+
+    def snapshot(self):
+        return {sid: shard.snapshot() for sid, shard in self._shards.items()}
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution (shared memory, GIL-bound for pure Python)."""
+
+    name = "thread"
+
+    def __init__(self, workers=None):
+        self._requested_workers = workers
+        self._pool = None
+        self._shards = {}
+
+    def start(self, shards):
+        self._shards = dict(shards)
+        workers = self._requested_workers or min(
+            len(self._shards) or 1, os.cpu_count() or 1
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+
+    def step(self, tasks, patches):
+        futures = {
+            sid: self._pool.submit(
+                _step_shard, self._shards[sid], tasks[sid], patches.get(sid)
+            )
+            for sid in sorted(tasks)
+        }
+        return {sid: future.result() for sid, future in futures.items()}
+
+    def apply(self, patches):
+        for sid in sorted(patches):
+            self._shards[sid].apply_patch(patches[sid])
+
+    def snapshot(self):
+        return {sid: shard.snapshot() for sid, shard in self._shards.items()}
+
+    def stop(self):
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _process_worker_main(conn):
+    """Worker loop: owns its shards for the life of the run."""
+    shards = {}
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        kind, payload = message
+        try:
+            if kind == "init":
+                shards = payload
+                conn.send(("ok", None))
+            elif kind == "step":
+                deltas = {}
+                for sid in sorted(payload):
+                    task, patch = payload[sid]
+                    deltas[sid] = _step_shard(shards[sid], task, patch)
+                conn.send(("ok", deltas))
+            elif kind == "apply":
+                for sid in sorted(payload):
+                    shards[sid].apply_patch(payload[sid])
+                conn.send(("ok", None))
+            elif kind == "snapshot":
+                conn.send(
+                    ("ok", {sid: shard.snapshot() for sid, shard in shards.items()})
+                )
+            elif kind == "stop":
+                conn.send(("ok", None))
+                return
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown command {kind!r}"))
+        except Exception:  # surface worker-side failures to the coordinator
+            conn.send(("error", traceback.format_exc()))
+
+
+class ProcessExecutor(Executor):
+    """Persistent worker processes with shard affinity.
+
+    ``workers`` processes are spawned at :meth:`start`; shard ``i`` lives on
+    worker ``i % workers`` for the whole run, so per-superstep traffic is
+    tasks + patches in, deltas out — never whole shards.  ``mp_context``
+    names a :mod:`multiprocessing` start method (default: ``"fork"`` where
+    available, else the platform default) — with ``"spawn"``, shard state is
+    shipped through the pipe at start, so programs and values must pickle.
+    """
+
+    name = "process"
+
+    def __init__(self, workers=4, mp_context=None):
+        if workers < 1:
+            raise ValueError("need at least one worker process")
+        self._workers = workers
+        self._context_name = mp_context
+        self._procs = []
+        self._pipes = []
+        self._owner = {}
+
+    def _context(self):
+        if self._context_name is not None:
+            return multiprocessing.get_context(self._context_name)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def start(self, shards):
+        ctx = self._context()
+        workers = min(self._workers, max(1, len(shards)))
+        assignments = [{} for _ in range(workers)]
+        for sid, shard in shards.items():
+            worker = sid % workers
+            assignments[worker][sid] = shard
+            self._owner[sid] = worker
+        try:
+            for worker in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_process_worker_main,
+                    args=(child_conn,),
+                    daemon=True,
+                    name=f"repro-shard-worker-{worker}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._pipes.append(parent_conn)
+            for worker in range(workers):
+                self._pipes[worker].send(("init", assignments[worker]))
+            for worker in range(workers):
+                self._receive(worker)
+        except BaseException:
+            self.stop()  # no leaked worker processes on a failed start
+            raise
+
+    def _receive(self, worker):
+        try:
+            status, payload = self._pipes[worker].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard worker {worker} died (pipe closed); shard state or "
+                "messages may not be picklable"
+            ) from None
+        if status == "error":
+            raise RuntimeError(f"shard worker {worker} failed:\n{payload}")
+        return payload
+
+    def _broadcast(self, per_worker_payload, kind):
+        touched = sorted(per_worker_payload)
+        for worker in touched:
+            self._pipes[worker].send((kind, per_worker_payload[worker]))
+        merged = {}
+        for worker in touched:
+            result = self._receive(worker)
+            if result:
+                merged.update(result)
+        return merged
+
+    def step(self, tasks, patches):
+        per_worker = {}
+        for sid, task in tasks.items():
+            per_worker.setdefault(self._owner[sid], {})[sid] = (
+                task,
+                patches.get(sid),
+            )
+        return self._broadcast(per_worker, "step")
+
+    def apply(self, patches):
+        per_worker = {}
+        for sid, patch in patches.items():
+            per_worker.setdefault(self._owner[sid], {})[sid] = patch
+        self._broadcast(per_worker, "apply")
+
+    def snapshot(self):
+        for pipe in self._pipes:
+            pipe.send(("snapshot", None))
+        merged = {}
+        for worker in range(len(self._pipes)):
+            merged.update(self._receive(worker))
+        return merged
+
+    def stop(self):
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker, proc in enumerate(self._procs):
+            try:
+                self._pipes[worker].recv()
+            except (EOFError, OSError):
+                pass
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - defensive cleanup
+                proc.terminate()
+                proc.join(timeout=5)
+            self._pipes[worker].close()
+        self._procs = []
+        self._pipes = []
+        self._owner = {}
+
+
+EXECUTORS = {
+    "inline": InlineExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def make_executor(spec=None, workers=None):
+    """Resolve an executor spec: None/name/instance → a fresh :class:`Executor`.
+
+    ``None`` means :class:`InlineExecutor` (the deterministic default); a
+    string looks up :data:`EXECUTORS`; an :class:`Executor` instance passes
+    through unchanged (``workers`` is then ignored).
+    """
+    if spec is None:
+        return InlineExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    try:
+        factory = EXECUTORS[spec]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown executor {spec!r}; choose from {sorted(EXECUTORS)} "
+            "or pass an Executor instance"
+        ) from None
+    if factory is InlineExecutor:
+        return factory()
+    if workers is None:
+        return factory()
+    return factory(workers)

@@ -1,0 +1,225 @@
+"""One shard of the sharded execution layer.
+
+A :class:`Shard` owns the vertices of one partition (worker): their values,
+halted flags and a local read-only adjacency mirror.  Per superstep it runs
+the shared compute loop (:func:`~repro.pregel.compute.compute_block`) over
+its residents and emits everything the superstep produced as a
+:class:`ShardDelta` — new values, a pre-combined outbox, halt transitions,
+aggregator contributions and per-worker compute cost.  The coordinator
+merges deltas at the barrier **in shard-id order**, so a superstep's outcome
+is independent of which thread or process ran which shard: bit-identical
+across every :mod:`~repro.cluster.executor` backend.
+
+Between supersteps the coordinator keeps shards current with
+:class:`ShardPatch` records (vertex upserts + evictions) covering whatever
+the barrier changed: stream mutations, announced migrations, fault
+recoveries.  Everything here is plain picklable data — that is the whole
+contract :class:`~repro.cluster.executor.ProcessExecutor` needs.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.sweep import sort_vertices
+from repro.pregel.compute import compute_block
+
+__all__ = ["Shard", "ShardDelta", "ShardPatch", "ShardTask"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One superstep's input for one shard."""
+
+    superstep: int
+    inbox: dict            # vertex id -> message list (this shard's slice)
+    num_vertices: int      # global vertex count (a master statistic)
+    agg_previous: dict     # aggregator name -> last barrier's folded value
+
+
+@dataclass
+class ShardPatch:
+    """Barrier-produced state changes for one shard.
+
+    ``upserts`` maps vertex id → ``(value, neighbours, halted)`` in
+    canonical vertex order (the coordinator builds it sorted, so shard
+    insertion order — and with it compute order — is executor-independent);
+    ``removes`` lists evicted vertex ids.  Removes apply first: a vertex
+    migrating between two shards appears as a remove on one and an upsert
+    on the other.
+    """
+
+    upserts: dict = field(default_factory=dict)
+    removes: list = field(default_factory=list)
+
+
+@dataclass
+class ShardDelta:
+    """Everything one shard's compute pass produced for the barrier.
+
+    ``compute_units`` is also the shard's worker compute load: one shard
+    per worker, so the coordinator attributes it to ``shard_id`` directly.
+    """
+
+    shard_id: int
+    computed: int
+    values: dict           # vertex id -> value, for every computed vertex
+    outbox: list           # ((source_worker, target_id), payload) in send order
+    halted_added: list
+    halted_removed: list
+    aggregated: list       # (name, value) contributions in call order
+    compute_units: float
+
+
+class _ShardGraph:
+    """The graph surface :class:`VertexContext` reads, shard-locally.
+
+    Neighbour lists are immutable tuples maintained by patches; the global
+    vertex count is a master-provided statistic refreshed per task.
+    """
+
+    __slots__ = ("_adj", "num_vertices")
+
+    def __init__(self, adj):
+        self._adj = adj
+        self.num_vertices = 0
+
+    def neighbors(self, v):
+        return self._adj[v]
+
+    def degree(self, v):
+        return len(self._adj[v])
+
+
+class _ShardRouter:
+    """Shard-local outbox with :class:`MessageRouter`'s send semantics.
+
+    Combining happens here, per ``(source_worker, target)`` key, exactly as
+    the real router does it — and since a worker's vertices all live on one
+    shard (source worker ≡ shard id), the keys this router produces can
+    never collide with another shard's, which is what makes the barrier
+    merge order-trivial.
+    """
+
+    __slots__ = ("_worker", "_combiner", "outbox")
+
+    def __init__(self, worker, combiner):
+        self._worker = worker
+        self._combiner = combiner
+        self.outbox = {}
+
+    def send(self, source_id, target_id, message):
+        key = (self._worker, target_id)
+        if self._combiner is not None:
+            existing = self.outbox.get(key)
+            if existing is not None:
+                self.outbox[key] = self._combiner(existing, message)
+                return
+            self.outbox[key] = message
+        else:
+            self.outbox.setdefault(key, []).append(message)
+
+
+class _ShardAggregators:
+    """Aggregator facade: reads last barrier's snapshot, records contributions."""
+
+    __slots__ = ("_previous", "contributions")
+
+    def __init__(self, previous):
+        self._previous = previous
+        self.contributions = []
+
+    def contribute(self, name, value):
+        if name not in self._previous:
+            raise KeyError(f"aggregator {name!r} not registered")
+        self.contributions.append((name, value))
+
+    def previous(self, name):
+        return self._previous[name]
+
+
+class Shard:
+    """The resident vertex state of one worker, plus its compute pass."""
+
+    def __init__(self, shard_id, program, combiner, continuous):
+        self.shard_id = shard_id
+        self.program = program
+        self.continuous = continuous
+        self.values = {}
+        self.halted = set()
+        self._adj = {}
+        self._combiner = combiner
+        self.graph = _ShardGraph(self._adj)
+        # Per-superstep scratch, bound during run_superstep.
+        self.router = None
+        self.aggregators = None
+        self._compute_units = 0.0
+        self._computed_ids = None
+
+    def __len__(self):
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # Membership (driven by coordinator patches)
+    # ------------------------------------------------------------------
+
+    def admit(self, vertex, value, neighbours, halted):
+        """Upsert one resident; an existing vertex keeps its compute slot."""
+        self.values[vertex] = value
+        self._adj[vertex] = tuple(neighbours)
+        if halted:
+            self.halted.add(vertex)
+        else:
+            self.halted.discard(vertex)
+
+    def evict(self, vertex):
+        """Drop one resident (migration departure or stream removal)."""
+        self.values.pop(vertex, None)
+        self._adj.pop(vertex, None)
+        self.halted.discard(vertex)
+
+    def apply_patch(self, patch):
+        """Apply one barrier's changes (removes first, then upserts)."""
+        for vertex in patch.removes:
+            self.evict(vertex)
+        for vertex, (value, neighbours, halted) in patch.upserts.items():
+            self.admit(vertex, value, neighbours, halted)
+
+    # ------------------------------------------------------------------
+    # Compute (the host contract of compute_block)
+    # ------------------------------------------------------------------
+
+    def note_cost(self, vertex, cost):
+        self._compute_units += cost
+        self._computed_ids.append(vertex)
+
+    def run_superstep(self, task):
+        """Run the compute pass for ``task``; returns the :class:`ShardDelta`."""
+        self.router = _ShardRouter(self.shard_id, self._combiner)
+        self.aggregators = _ShardAggregators(task.agg_previous)
+        self.graph.num_vertices = task.num_vertices
+        self._compute_units = 0.0
+        self._computed_ids = []
+        halted_before = set(self.halted)
+        computed = compute_block(
+            self, list(self.values), task.inbox, task.superstep
+        )
+        delta = ShardDelta(
+            shard_id=self.shard_id,
+            computed=computed,
+            values={v: self.values[v] for v in self._computed_ids},
+            outbox=list(self.router.outbox.items()),
+            halted_added=sort_vertices(self.halted - halted_before),
+            halted_removed=sort_vertices(halted_before - self.halted),
+            aggregated=self.aggregators.contributions,
+            compute_units=self._compute_units,
+        )
+        self.router = None
+        self.aggregators = None
+        self._computed_ids = None
+        return delta
+
+    def snapshot(self):
+        """Picklable ``(values, halted)`` view for consistency checks."""
+        return dict(self.values), set(self.halted)
+
+    def __repr__(self):
+        return f"Shard(id={self.shard_id}, residents={len(self.values)})"

@@ -263,6 +263,15 @@ class AdaptiveRunner:
         return self.detector.converged
 
     @property
+    def quiet_iterations(self):
+        """Consecutive migration-free iterations so far (window fill).
+
+        The scenario engine surfaces this per round so timelines show how
+        close the system is to re-convergence after each churn batch.
+        """
+        return self.detector.quiet_iterations
+
+    @property
     def convergence_time(self):
         """Iterations of useful work before the quiet window (paper metric)."""
         return self.detector.convergence_time

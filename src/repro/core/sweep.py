@@ -92,6 +92,9 @@ class CompactSweeper:
         self._synced_version = None
         self._id_lookup = None  # dense id -> slot table (int ids only)
         self._id_lookup_version = None
+        self._id_lookup_rebuilds = 0  # observability: streaming churn tests
+        self._id_lookup_dict_path = False  # sticky "use the dict path" flag
+        self._id_lookup_pending = None  # anticipated removal awaiting proof
 
     # ------------------------------------------------------------------
     # Assignment mirror
@@ -146,8 +149,11 @@ class CompactSweeper:
         assignment is the sole change since the last sync.  The mirror grows
         geometrically when the new vertex's slot lies beyond it, so long
         growth scenarios stay amortised O(1) per arrival instead of paying
-        an O(|V|) resync on the next sweep.
+        an O(|V|) resync on the next sweep.  The dense id → slot lookup
+        table is delta-extended here too (its own contract, keyed on the
+        graph's intern version rather than the state's move version).
         """
+        self._note_intern_assign(vertex)
         if self._assign is None:
             return
         state_version = self.state.version
@@ -170,8 +176,11 @@ class CompactSweeper:
 
         Must be called after ``state.remove_vertex`` but *before* the graph
         drops the vertex (the slot lookup still needs it).  Fast-forwards
-        under the same sole-change contract as :meth:`note_move`.
+        under the same sole-change contract as :meth:`note_move`; the dense
+        id → slot table retires the vertex's entry in advance of the
+        interning bump the caller is about to make.
         """
+        self._note_intern_remove(vertex)
         if self._assign is None:
             return
         state_version = self.state.version
@@ -190,34 +199,148 @@ class CompactSweeper:
             or len(self._assign) < self.graph.num_slots
         )
 
+    def _rebuild_id_lookup(self):
+        """From-scratch O(|V|) build of the dense id → slot table.
+
+        Chooses the dict path (``_id_lookup = None``) when ids are not all
+        modest non-negative ints; the cap at 4× the vertex count keeps
+        sparse id spaces from exploding memory.  The delta hooks
+        (:meth:`_note_intern_assign` / :meth:`_note_intern_remove`) keep
+        either decision current under streaming churn, so this runs once —
+        ``_id_lookup_rebuilds`` counts it, and the churn regression test
+        pins that it stays at one.
+        """
+        graph = self.graph
+        self._id_lookup_rebuilds += 1
+        self._id_lookup = None
+        self._id_lookup_dict_path = True
+        self._id_lookup_pending = None
+        self._id_lookup_version = graph.intern_version
+        ids = graph.slot_index
+        if ids:
+            top = -1
+            for v in ids:
+                if type(v) is not int or v < 0:
+                    top = None
+                    break
+                if v > top:
+                    top = v
+            if top is not None and top < 4 * len(ids) + 1024:
+                lookup = _np.full(top + 1, -1, dtype=_np.int64)
+                for v, slot in ids.items():
+                    lookup[v] = slot
+                self._id_lookup = lookup
+                self._id_lookup_dict_path = False
+        else:
+            self._id_lookup = _np.full(1, -1, dtype=_np.int64)
+            self._id_lookup_dict_path = False
+
+    def _note_intern_assign(self, vertex):
+        """Delta-extend the id → slot table for a just-interned vertex.
+
+        Same sole-change contract as the assignment mirror, keyed on the
+        graph's ``intern_version``: fast-forward only when this interning is
+        the only one since the table was last in sync; anything else leaves
+        the table stale for the next query's full rebuild.
+        """
+        graph = self.graph
+        version = graph.intern_version
+        if self._id_lookup_version != version - 1:
+            return
+        if self._id_lookup_dict_path:
+            self._id_lookup_version = version  # dict path needs no upkeep
+            return
+        lookup = self._id_lookup
+        if lookup is None:
+            return  # never built: the first query builds from scratch
+        if type(vertex) is not int or vertex < 0:
+            # A non-int id ends table eligibility; fall to the dict path.
+            self._id_lookup = None
+            self._id_lookup_dict_path = True
+            self._id_lookup_version = version
+            return
+        slot = graph.slot_index.get(vertex)
+        if slot is None:
+            return  # contract violation: stay stale, rebuild on next query
+        if vertex >= len(lookup):
+            if vertex >= 4 * graph.num_vertices + 1024:
+                # Id space went sparse; the dict path is the right regime.
+                self._id_lookup = None
+                self._id_lookup_dict_path = True
+                self._id_lookup_version = version
+                return
+            grown = _np.full(
+                max(vertex + 1, 2 * len(lookup)), -1, dtype=_np.int64
+            )
+            grown[: len(lookup)] = lookup
+            self._id_lookup = lookup = grown
+        lookup[vertex] = slot
+        self._id_lookup_version = version
+
+    def _note_intern_remove(self, vertex):
+        """Delta-retire a vertex's table entry ahead of its un-interning.
+
+        Called (via :meth:`note_remove`) *before* the graph drops the
+        vertex, so the anticipated ``intern_version`` bump is credited in
+        advance.  The credit is provisional: the vertex is remembered in
+        ``_id_lookup_pending``, and the next query refuses to trust the
+        table until it confirms the vertex really left the intern index —
+        a caller that aborts mid-removal therefore costs one rebuild, never
+        a wrong answer.
+        """
+        version = self.graph.intern_version
+        if self._id_lookup_version != version:
+            return  # already stale; the next query rebuilds anyway
+        if not self._confirm_pending_removal():
+            return  # an earlier anticipation never landed: now stale
+        if self._id_lookup_dict_path:
+            self._id_lookup_version = version + 1
+            self._id_lookup_pending = vertex
+            return
+        lookup = self._id_lookup
+        if lookup is None:
+            return
+        if type(vertex) is int and 0 <= vertex < len(lookup):
+            lookup[vertex] = -1
+            self._id_lookup_version = version + 1
+            self._id_lookup_pending = vertex
+        else:  # out-of-table id with a live table: force a rebuild
+            self._id_lookup_version = None
+
+    def _confirm_pending_removal(self):
+        """Settle an outstanding anticipated removal; False when it failed.
+
+        An anticipated removal may only be trusted once the vertex is
+        confirmed gone from the intern index: a caller that aborted after
+        ``note_remove`` left the table holding a wrong ``-1`` under a
+        "synced" version.  Confirmation runs before every query and before
+        accepting a *new* anticipation (never overwrite an unconfirmed
+        one — a later coincidental version match must not launder it).
+        On failure the table is marked stale, so the cost is one rebuild,
+        never a wrong answer.
+        """
+        vertex = self._id_lookup_pending
+        if vertex is None:
+            return True
+        self._id_lookup_pending = None
+        if vertex in self.graph.slot_index:
+            self._id_lookup_version = None  # abort detected: force rebuild
+            return False
+        return True
+
     def _candidate_slots(self, candidates):
         """Vectorised id → slot mapping for the candidate list.
 
         When every vertex id is a modest non-negative int (the common case:
         generators and edge lists produce dense ints) a flat lookup table
         maps the whole candidate array in one gather; otherwise fall back to
-        one dict lookup per candidate.
+        one dict lookup per candidate.  The table is delta-maintained from
+        :meth:`note_assign` / :meth:`note_remove`, so interning churn does
+        not trigger O(|V|) rebuilds.
         """
-        graph = self.graph
-        if self._id_lookup_version != graph.intern_version:
-            self._id_lookup = None
-            self._id_lookup_version = graph.intern_version
-            ids = graph.slot_index
-            if ids:
-                top = -1
-                for v in ids:
-                    if type(v) is not int or v < 0:
-                        top = None
-                        break
-                    if v > top:
-                        top = v
-                # Cap table size at 4x the vertex count so sparse id spaces
-                # do not explode memory; beyond that the dict path is fine.
-                if top is not None and top < 4 * len(ids) + 1024:
-                    lookup = _np.full(top + 1, -1, dtype=_np.int64)
-                    for v, slot in ids.items():
-                        lookup[v] = slot
-                    self._id_lookup = lookup
+        self._confirm_pending_removal()
+        if self._id_lookup_version != self.graph.intern_version:
+            self._rebuild_id_lookup()
         if self._id_lookup is not None:
             return self._id_lookup[_np.asarray(candidates, dtype=_np.int64)]
         index = self.graph.slot_index

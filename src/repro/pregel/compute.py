@@ -1,0 +1,61 @@
+"""The shard-callable compute loop shared by both execution engines.
+
+:func:`compute_block` is the paper's *compute phase* over one block of
+vertices, written as a pure function of a **host** — the object that owns
+the block's state.  Two hosts exist:
+
+* :class:`~repro.pregel.system.PregelSystem` passes itself and the whole
+  vertex set: the classic single-process reference loop;
+* :class:`~repro.cluster.shard.Shard` passes itself and its resident
+  vertices: the sharded execution layer runs one block per shard, possibly
+  in another thread or process.
+
+The host contract is exactly what :class:`~repro.pregel.vertex.VertexContext`
+reads plus the loop's own needs:
+
+==================  =====================================================
+attribute            contract
+==================  =====================================================
+``program``          the :class:`VertexProgram` being run
+``continuous``       ignore vote-to-halt (the paper's always-on mode)
+``values``           mutable mapping vertex id → value
+``halted``           mutable set of halted vertex ids
+``graph``            ``neighbors(v)`` / ``degree(v)`` / ``num_vertices``
+``router``           ``send(source_id, target_id, message)``
+``aggregators``      ``contribute(name, value)`` / ``previous(name)``
+``note_cost(v, c)``  account one vertex's modelled compute cost
+==================  =====================================================
+
+Because every effect flows through the host, a block's outcome is a pure
+function of (host state, inbox, superstep) — the property the cluster layer
+relies on for bit-identical results across executors.
+"""
+
+from repro.pregel.vertex import VertexContext
+
+__all__ = ["compute_block"]
+
+
+def compute_block(host, vertex_ids, inbox, superstep):
+    """Run the host's program over ``vertex_ids`` against ``inbox``.
+
+    ``inbox`` maps vertex id → message list (absent = no mail).  Halted
+    vertices without mail are skipped unless the host is ``continuous``;
+    mail wakes a halted vertex.  ``host.note_cost`` is called exactly once
+    per computed vertex.  Returns the number of vertices computed.
+    """
+    program = host.program
+    continuous = host.continuous
+    halted = host.halted
+    computed = 0
+    for v in vertex_ids:
+        messages = inbox.get(v, ())
+        if not continuous and v in halted and not messages:
+            continue
+        if messages:
+            halted.discard(v)
+        ctx = VertexContext(host, v, superstep)
+        program.compute(ctx, list(messages))
+        host.note_cost(v, program.compute_cost(ctx, messages))
+        computed += 1
+    return computed

@@ -53,6 +53,22 @@ class MessageRouter:
         else:
             self._outbox.setdefault(key, []).append(message)
 
+    def absorb(self, entries):
+        """Merge shard-produced outbox entries into this superstep's outbox.
+
+        ``entries`` iterates ``((source_worker, target_id), payload)`` pairs
+        in the producing shard's send order, where ``payload`` follows this
+        router's combining convention (a combined message with a combiner
+        installed, else a message list).  The cluster layer calls this once
+        per shard at the barrier, in shard-id order; keys never collide
+        across shards because a worker's vertices live on exactly one shard,
+        so a plain insert preserves both combining semantics and the
+        deterministic delivery order.
+        """
+        outbox = self._outbox
+        for key, payload in entries:
+            outbox[key] = payload
+
     def deliver(self):
         """Flush outboxes into inboxes, counting local vs remote traffic.
 

@@ -37,11 +37,11 @@ from repro.partitioning.base import PartitionState
 from repro.partitioning.hashing import HashPartitioner
 from repro.pregel.aggregators import Aggregators, SumAggregator
 from repro.pregel.capacity_protocol import CapacityProtocol
+from repro.pregel.compute import compute_block
 from repro.pregel.fault import Checkpointer, FaultPlan
 from repro.pregel.messages import MessageRouter
 from repro.pregel.migration import MigrationProtocol
 from repro.pregel.network import NetworkStats
-from repro.pregel.vertex import VertexContext
 from repro.utils import make_rng
 
 __all__ = ["PregelConfig", "PregelSystem", "SuperstepReport"]
@@ -257,26 +257,25 @@ class PregelSystem:
     # Superstep phases
     # ------------------------------------------------------------------
 
+    @property
+    def continuous(self):
+        """The host contract of :func:`~repro.pregel.compute.compute_block`."""
+        return self.config.continuous
+
+    def note_cost(self, vertex, cost):
+        """Account one vertex's modelled compute cost (compute-host hook)."""
+        pid = self.state.partition_of_or_none(vertex)
+        if pid is not None:
+            self._per_worker_costs[pid] += cost
+        self.network.count_compute(cost)
+
     def _compute_phase(self, inbox):
         """Run the user program; returns (computed_count, per_worker_cost)."""
-        per_worker = [0.0] * self.config.num_workers
-        computed = 0
-        continuous = self.config.continuous
-        for v in list(self.graph.vertices()):
-            messages = inbox.get(v, ())
-            if not continuous and v in self.halted and not messages:
-                continue
-            if messages:
-                self.halted.discard(v)
-            ctx = VertexContext(self, v, self.superstep)
-            self.program.compute(ctx, list(messages))
-            cost = self.program.compute_cost(ctx, messages)
-            pid = self.state.partition_of_or_none(v)
-            if pid is not None:
-                per_worker[pid] += cost
-            self.network.count_compute(cost)
-            computed += 1
-        return computed, per_worker
+        self._per_worker_costs = [0.0] * self.config.num_workers
+        computed = compute_block(
+            self, list(self.graph.vertices()), inbox, self.superstep
+        )
+        return computed, self._per_worker_costs
 
     def _partitioning_phase(self):
         """Background migration decisions; returns (requested, blocked)."""
@@ -320,22 +319,25 @@ class PregelSystem:
             self._active = kept_active
         return requested, blocked
 
+    def _placement_update(self, vertex_id, new_worker):
+        """Flip one announced migration in the placement, with delta upkeep.
+
+        A method (not a closure) so the sharded
+        :class:`~repro.cluster.coordinator.Coordinator` can observe moves.
+        """
+        old = self.state.partition_of(vertex_id)
+        self.state.move(vertex_id, new_worker)
+        if self._sweeper is not None:
+            self._sweeper.note_move(vertex_id, new_worker)
+        load = self.config.balance.load_of(self.graph, vertex_id)
+        self.metrics.on_move(vertex_id, old, new_worker, load)
+        self._active.add(vertex_id)
+        for w in self.graph.neighbors(vertex_id):
+            self._active.add(w)
+
     def _announce_migrations(self):
         """Apply this superstep's migration announcements to the placement."""
-        balance = self.config.balance
-
-        def placement_update(vertex_id, new_worker):
-            old = self.state.partition_of(vertex_id)
-            self.state.move(vertex_id, new_worker)
-            if self._sweeper is not None:
-                self._sweeper.note_move(vertex_id, new_worker)
-            load = balance.load_of(self.graph, vertex_id)
-            self.metrics.on_move(vertex_id, old, new_worker, load)
-            self._active.add(vertex_id)
-            for w in self.graph.neighbors(vertex_id):
-                self._active.add(w)
-
-        return self.migration.announce_barrier(placement_update)
+        return self.migration.announce_barrier(self._placement_update)
 
     def _maybe_fail_worker(self):
         """Execute a scheduled worker failure; returns the worker or None."""
@@ -357,6 +359,13 @@ class PregelSystem:
         self.router.pending_inbox.clear()
         self.network.count_recovery()
         return worker
+
+    def _after_barrier(self):
+        """Hook at the very end of the barrier (all state settled).
+
+        The sharded :class:`~repro.cluster.coordinator.Coordinator` builds
+        its shard patches here; the single-process system needs nothing.
+        """
 
     # ------------------------------------------------------------------
     # The superstep
@@ -392,6 +401,7 @@ class PregelSystem:
         self.aggregators.barrier()
         self.checkpointer.maybe_checkpoint(self.superstep, self.values)
         failed_worker = self._maybe_fail_worker()
+        self._after_barrier()
         traffic = self.network.barrier(self.superstep)
 
         self.detector.observe(len(announced))

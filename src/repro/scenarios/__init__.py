@@ -11,7 +11,10 @@ first-class, regression-testable workloads:
   churn schedule + runner configuration;
 * :mod:`engine` — :func:`play_scenario`, replaying a scenario through
   :class:`~repro.core.runner.AdaptiveRunner` round by round (or without
-  adaptation: the static-hash paired cluster);
+  adaptation: the static-hash paired cluster), or — ``engine="pregel"`` —
+  through the sharded :class:`~repro.cluster.coordinator.Coordinator` on
+  any executor backend;
+* :mod:`io` — user-defined scenario specs from JSON/TOML files;
 * :mod:`registry` — the named catalog (``repro scenario --list``).
 
 Timelines are bit-for-bit reproducible across backends and metrics modes;
@@ -19,7 +22,13 @@ Timelines are bit-for-bit reproducible across backends and metrics modes;
 """
 
 from repro.scenarios.churn import CHURNS, make_churn
-from repro.scenarios.engine import RoundRecord, ScenarioResult, play_scenario
+from repro.scenarios.engine import (
+    ENGINES,
+    RoundRecord,
+    ScenarioResult,
+    play_scenario,
+)
+from repro.scenarios.io import load_scenario, scenario_from_dict
 from repro.scenarios.registry import (
     SCENARIOS,
     get_scenario,
@@ -30,6 +39,7 @@ from repro.scenarios.spec import GRAPH_KINDS, ChurnSpec, GraphSpec, Scenario, sc
 
 __all__ = [
     "CHURNS",
+    "ENGINES",
     "GRAPH_KINDS",
     "ChurnSpec",
     "GraphSpec",
@@ -38,9 +48,11 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "get_scenario",
+    "load_scenario",
     "make_churn",
     "play_scenario",
     "register_scenario",
     "scaled",
+    "scenario_from_dict",
     "scenario_names",
 ]

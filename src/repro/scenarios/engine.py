@@ -1,28 +1,46 @@
-"""The scenario engine: replay a churn schedule through the adaptive stack.
+"""The scenario engine: replay a churn schedule through an execution stack.
 
 :func:`play_scenario` is the single entry point the CLI, the benchmarks and
-the golden-timeline regression suite share.  It builds the scenario's seed
-graph on the requested backend, hash-partitions it, optionally lets the
-adaptive algorithm settle, then drains the churn schedule round by round:
-apply one batch of events, run the configured adaptive iterations, record
-one :class:`RoundRecord`.  With ``adaptive=False`` the engine never steps —
-new vertices still land by hash placement, which is exactly the paper's
-static-hash cluster of the paired experiment.
+the golden-timeline regression suites share.  Two engines replay the same
+churn schedule:
 
-Timelines are a pure function of ``(scenario, adaptive)`` — backend and
-metrics mode provably do not matter (the golden suite pins the former, the
-equivalence property tests the latter).
+* ``engine="adaptive"`` (default) — the logical round loop: build the seed
+  graph, hash-partition it, optionally let the adaptive algorithm settle,
+  then drain the schedule round by round through
+  :class:`~repro.core.runner.AdaptiveRunner`.  With ``adaptive=False`` the
+  engine never steps — new vertices still land by hash placement, which is
+  exactly the paper's static-hash cluster of the paired experiment.
+* ``engine="pregel"`` — the full distributed simulation: the same rounds
+  drive a sharded :class:`~repro.cluster.coordinator.Coordinator` (vertex
+  program + messages + deferred-migration protocol + capacity broadcasts),
+  one superstep per adaptive iteration, on any
+  :mod:`~repro.cluster.executor` backend.  The per-superstep
+  :class:`~repro.pregel.system.SuperstepReport` timeline is exposed via
+  :meth:`ScenarioResult.superstep_digest` and is bit-identical across
+  executors (the cluster golden suite pins it).
+
+Timelines are a pure function of ``(scenario, engine, adaptive[, program])``
+— backend, metrics mode and executor provably do not matter (the golden
+suites pin the first two, the cross-executor suite the third).
 """
 
 from dataclasses import dataclass
 
+from repro.analysis.cost_model import CostModel
 from repro.core.balance import VertexBalance
 from repro.core.runner import AdaptiveConfig, AdaptiveRunner
 from repro.graph.stream import batch_by_count, batch_by_time
 from repro.partitioning.base import balanced_capacities
 from repro.partitioning.hashing import HashPartitioner
+from repro.pregel.network import SuperstepTraffic
 
-__all__ = ["RoundRecord", "ScenarioResult", "play_scenario"]
+__all__ = ["ENGINES", "RoundRecord", "ScenarioResult", "play_scenario"]
+
+ENGINES = ("adaptive", "pregel")
+
+# One model for every engine's "modelled superstep cost" column, so numbers
+# are comparable across engines and scenarios.
+_COST_MODEL = CostModel()
 
 
 @dataclass(frozen=True)
@@ -39,17 +57,24 @@ class RoundRecord:
     sizes: tuple
     num_vertices: int
     num_edges: int
+    imbalance: float     # max partition size over the balanced load
+    quiet_iterations: int  # convergence-window fill after the round
+    converged: bool      # quiet window full at end of round
+    superstep_cost: float  # modelled cost of the round's iterations
 
 
 class ScenarioResult:
     """A completed scenario run: per-round records plus summaries."""
 
-    def __init__(self, scenario, backend, adaptive, rounds, settle_iterations):
+    def __init__(self, scenario, backend, adaptive, rounds, settle_iterations,
+                 engine="adaptive", reports=None):
         self.scenario = scenario
         self.backend = backend
         self.adaptive = adaptive
         self.rounds = rounds
         self.settle_iterations = settle_iterations
+        self.engine = engine
+        self.reports = reports  # pregel engine: the SuperstepReport timeline
 
     def __len__(self):
         return len(self.rounds)
@@ -67,6 +92,10 @@ class ScenarioResult:
     def peak_cut_ratio(self):
         return max((r.cut_ratio for r in self.rounds), default=None)
 
+    def total_cost(self):
+        """Modelled cost summed over every round."""
+        return sum(r.superstep_cost for r in self.rounds)
+
     def digest(self):
         """JSON-able exact record for golden-timeline comparison.
 
@@ -76,6 +105,7 @@ class ScenarioResult:
         return {
             "scenario": self.scenario.name,
             "seed": self.scenario.seed,
+            "engine": self.engine,
             "adaptive": self.adaptive,
             "rounds": [
                 {
@@ -88,15 +118,62 @@ class ScenarioResult:
                     "sizes": list(r.sizes),
                     "num_vertices": r.num_vertices,
                     "num_edges": r.num_edges,
+                    "imbalance": r.imbalance,
+                    "quiet_iterations": r.quiet_iterations,
+                    "converged": r.converged,
+                    "superstep_cost": r.superstep_cost,
                 }
                 for r in self.rounds
             ],
         }
 
+    def superstep_digest(self):
+        """JSON-able exact :class:`SuperstepReport` timeline (pregel engine).
+
+        This is the record the cross-executor golden suite pins: every
+        executor backend must reproduce it bit-for-bit.
+        """
+        if self.reports is None:
+            raise ValueError(
+                "superstep timelines exist only for engine='pregel' runs"
+            )
+        return {
+            "scenario": self.scenario.name,
+            "seed": self.scenario.seed,
+            "engine": self.engine,
+            "adaptive": self.adaptive,
+            "supersteps": [
+                {
+                    "superstep": r.superstep,
+                    "requested": r.migrations_requested,
+                    "announced": r.migrations_announced,
+                    "blocked": r.migrations_blocked,
+                    "cut_edges": r.cut_edges,
+                    "cut_ratio": r.cut_ratio,
+                    "sizes": list(r.sizes),
+                    "computed": r.computed_vertices,
+                    "mutations": r.mutations_applied,
+                    "failed_worker": r.failed_worker,
+                    "per_worker_compute": list(r.per_worker_compute),
+                    "traffic": {
+                        "local": r.traffic.local_messages,
+                        "remote": r.traffic.remote_messages,
+                        "migrations": r.traffic.migrations,
+                        "notifications": r.traffic.migration_notifications,
+                        "capacity": r.traffic.capacity_messages,
+                        "compute_units": r.traffic.compute_units,
+                        "recovery": r.traffic.recovery_events,
+                    },
+                }
+                for r in self.reports
+            ],
+        }
+
     def __repr__(self):
         return (
-            f"ScenarioResult({self.scenario.name!r}, backend={self.backend!r}, "
-            f"adaptive={self.adaptive}, rounds={len(self.rounds)})"
+            f"ScenarioResult({self.scenario.name!r}, engine={self.engine!r}, "
+            f"backend={self.backend!r}, adaptive={self.adaptive}, "
+            f"rounds={len(self.rounds)})"
         )
 
 
@@ -115,16 +192,58 @@ def play_scenario(
     adaptive=True,
     metrics="incremental",
     max_rounds=None,
+    engine="adaptive",
+    executor=None,
+    program=None,
 ):
     """Run ``scenario`` end to end; returns a :class:`ScenarioResult`.
 
     ``adaptive=False`` replays the identical event sequence without any
-    migration iterations (the static-hash paired cluster).  ``metrics``
-    forwards to :class:`~repro.core.runner.AdaptiveConfig` — pass
-    ``"recompute"`` to cross-check every round against full recomputation.
-    ``max_rounds`` truncates long streams (benchmarks use it; golden
-    fixtures never do).
+    migration activity (the static-hash paired cluster).  ``metrics``
+    forwards to the execution config — pass ``"recompute"`` to cross-check
+    every round against full recomputation.  ``max_rounds`` truncates long
+    streams (benchmarks use it; golden fixtures never do).
+
+    ``engine="pregel"`` replays the scenario through the sharded
+    :class:`~repro.cluster.coordinator.Coordinator`; ``executor`` then
+    selects the backend (None/name/instance, see
+    :func:`~repro.cluster.executor.make_executor`) and ``program`` the
+    vertex program (default: PageRank).  Both are ignored by the adaptive
+    engine.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "pregel":
+        return _play_pregel(
+            scenario, backend, adaptive, metrics, max_rounds, executor, program
+        )
+    return _play_adaptive(scenario, backend, adaptive, metrics, max_rounds)
+
+
+# ----------------------------------------------------------------------
+# engine="adaptive": the logical round loop
+# ----------------------------------------------------------------------
+
+
+def _adaptive_round_cost(scenario, step_stats):
+    """Modelled cost of one adaptive round, via the shared cost model.
+
+    The logical runner exchanges no application messages, so the modelled
+    cost covers what the distributed system would have paid for the round's
+    partitioning work: one heuristic evaluation per active vertex (compute
+    units), the admitted migrations, and the per-iteration capacity
+    broadcast (k·(k−1) messages each).
+    """
+    k = scenario.num_partitions
+    traffic = SuperstepTraffic(
+        migrations=sum(s.migrations for s in step_stats),
+        capacity_messages=k * (k - 1) * len(step_stats),
+        compute_units=float(sum(s.active_vertices for s in step_stats)),
+    )
+    return _COST_MODEL.time_of(traffic)
+
+
+def _play_adaptive(scenario, backend, adaptive, metrics, max_rounds):
     graph = scenario.build_graph(backend)
     capacities = balanced_capacities(
         max(1, graph.num_vertices), scenario.num_partitions, scenario.slack
@@ -149,7 +268,7 @@ def play_scenario(
     stream = scenario.build_stream(graph)
     rounds = []
 
-    def record(index, time, offered, changed, migrations):
+    def record(index, time, offered, changed, step_stats):
         sizes = state.sizes
         rounds.append(
             RoundRecord(
@@ -157,12 +276,16 @@ def play_scenario(
                 time=time,
                 events=offered,
                 changed=changed,
-                migrations=migrations,
+                migrations=sum(s.migrations for s in step_stats),
                 cut_edges=state.cut_edges,
                 cut_ratio=state.cut_ratio(),
                 sizes=tuple(sizes),
                 num_vertices=graph.num_vertices,
                 num_edges=graph.num_edges,
+                imbalance=state.imbalance(),
+                quiet_iterations=runner.quiet_iterations,
+                converged=runner.converged,
+                superstep_cost=_adaptive_round_cost(scenario, step_stats),
             )
         )
 
@@ -171,21 +294,117 @@ def play_scenario(
         if max_rounds is not None and index >= max_rounds:
             break
         changed = runner.apply_events(events)
-        migrations = 0
+        step_stats = []
         if adaptive:
             for _ in range(scenario.steps_per_round):
-                migrations += runner.step().migrations
-        record(index, time, len(events), changed, migrations)
+                step_stats.append(runner.step())
+        record(index, time, len(events), changed, step_stats)
         index += 1
 
     if adaptive:
         # Cooldown rounds carry no stream time; -1.0 marks them (NaN would
         # break the golden fixtures' exact equality).
         for _ in range(scenario.cooldown_rounds):
-            migrations = 0
-            for _ in range(scenario.steps_per_round):
-                migrations += runner.step().migrations
-            record(index, -1.0, 0, 0, migrations)
+            step_stats = [
+                runner.step() for _ in range(scenario.steps_per_round)
+            ]
+            record(index, -1.0, 0, 0, step_stats)
             index += 1
 
     return ScenarioResult(scenario, backend, adaptive, rounds, settle_iterations)
+
+
+# ----------------------------------------------------------------------
+# engine="pregel": the sharded distributed simulation
+# ----------------------------------------------------------------------
+
+
+def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
+                 program):
+    from repro.apps.pagerank import PageRank
+    from repro.cluster.coordinator import Coordinator
+    from repro.pregel.system import PregelConfig
+
+    if scenario.steps_per_round < 1:
+        raise ValueError(
+            "the pregel engine needs steps_per_round >= 1: stream mutations "
+            "apply at superstep barriers, so a round must run at least one"
+        )
+    graph = scenario.build_graph(backend)
+    if program is None:
+        program = PageRank()
+    config = PregelConfig(
+        num_workers=scenario.num_partitions,
+        adaptive=adaptive,
+        continuous=True,
+        willingness=scenario.willingness,
+        balance=VertexBalance(slack=scenario.slack),
+        seed=scenario.seed,
+        quiet_window=scenario.quiet_window,
+        metrics=metrics,
+    )
+    system = Coordinator(graph, program, config, executor=executor)
+    try:
+        settle_iterations = 0
+        if adaptive and scenario.settle_iterations:
+            while (
+                not system.partitioning_converged
+                and settle_iterations < scenario.settle_iterations
+            ):
+                system.run_superstep()
+                settle_iterations += 1
+
+        stream = scenario.build_stream(graph)
+        state = system.state
+        rounds = []
+
+        def run_round(index, time, events):
+            system.inject_events(events)
+            reports = [
+                system.run_superstep()
+                for _ in range(scenario.steps_per_round)
+            ]
+            rounds.append(
+                RoundRecord(
+                    round=index,
+                    time=time,
+                    events=len(events),
+                    changed=sum(r.mutations_applied for r in reports),
+                    migrations=sum(r.migrations_announced for r in reports),
+                    cut_edges=state.cut_edges,
+                    cut_ratio=state.cut_ratio(),
+                    sizes=tuple(state.sizes),
+                    num_vertices=graph.num_vertices,
+                    num_edges=graph.num_edges,
+                    imbalance=state.imbalance(),
+                    quiet_iterations=system.detector.quiet_iterations,
+                    converged=system.detector.converged,
+                    superstep_cost=sum(
+                        _COST_MODEL.time_of(r.traffic) for r in reports
+                    ),
+                )
+            )
+
+        index = 0
+        for time, events in _batches(scenario, stream):
+            if max_rounds is not None and index >= max_rounds:
+                break
+            run_round(index, time, events)
+            index += 1
+
+        if adaptive:
+            for _ in range(scenario.cooldown_rounds):
+                run_round(index, -1.0, [])
+                index += 1
+
+        return ScenarioResult(
+            scenario,
+            backend,
+            adaptive,
+            rounds,
+            settle_iterations,
+            engine="pregel",
+            reports=list(system.reports),
+        )
+    finally:
+        system.close()

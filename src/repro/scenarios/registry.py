@@ -108,6 +108,25 @@ register_scenario(
 
 register_scenario(
     Scenario(
+        name="mesh-growth-flash",
+        description="growing FEM mesh hit mid-stream by a hub flash crowd "
+        "(composed churn: growth ⊕ flash-crowd)",
+        graph=GraphSpec("mesh", {"nx": 6}),
+        churn=(
+            ChurnSpec("growth", {"num_vertices": 54, "duration": 32.0}),
+            ChurnSpec(
+                "flash-crowd",
+                {"num_fans": 40, "at": 16.0, "duration": 4.0},
+                seed_offset=1,
+            ),
+        ),
+        regime="continuous",
+        window=2.0,
+    )
+)
+
+register_scenario(
+    Scenario(
         name="cdr-weekly",
         description="buffered weekly subscriber churn over a month of CDRs (Fig. 9)",
         graph=GraphSpec("empty"),

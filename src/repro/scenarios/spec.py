@@ -55,14 +55,23 @@ class GraphSpec:
 
 @dataclass(frozen=True)
 class ChurnSpec:
-    """A named churn schedule plus its keyword arguments (seed excluded)."""
+    """A named churn schedule plus its keyword arguments (seed excluded).
+
+    ``seed_offset`` decorrelates the RNG streams of composed schedules: a
+    scenario composing two specs of the same kind would otherwise hand both
+    the identical stream.  The effective seed is ``scenario.seed +
+    seed_offset``.
+    """
 
     kind: str
     params: dict = field(default_factory=dict)
+    seed_offset: int = 0
 
     def build(self, graph, seed=0):
         """Generate the event stream against the (settled) base graph."""
-        return make_churn(self.kind, graph, seed=seed, **self.params)
+        return make_churn(
+            self.kind, graph, seed=seed + self.seed_offset, **self.params
+        )
 
 
 @dataclass(frozen=True)
@@ -77,12 +86,19 @@ class Scenario:
     appends ``cooldown_rounds`` pure-adaptation rounds so re-convergence is
     part of the timeline.  ``settle_iterations`` bounds the pre-churn
     convergence run that gives adaptation a settled starting point.
+
+    ``churn`` is one :class:`ChurnSpec` or a tuple of them; multiple specs
+    compose by time-merging their streams
+    (:meth:`~repro.graph.stream.EventStream.merged_with`) — e.g. a flash
+    crowd landing on top of a diurnal drip.  Equal-time ordering across the
+    merged parts is the streams' FIFO creation order, so composition is as
+    deterministic as its parts.
     """
 
     name: str
     description: str
     graph: GraphSpec
-    churn: ChurnSpec
+    churn: object  # ChurnSpec or tuple of ChurnSpecs
     regime: str = "continuous"
     window: float = 2.0
     batch_size: int = 64
@@ -96,6 +112,16 @@ class Scenario:
     cooldown_rounds: int = 10
 
     def __post_init__(self):
+        churn = self.churn
+        if isinstance(churn, ChurnSpec):
+            churn = (churn,)
+        else:
+            churn = tuple(churn)
+        if not churn or not all(isinstance(c, ChurnSpec) for c in churn):
+            raise TypeError(
+                "churn must be a ChurnSpec or a non-empty sequence of them"
+            )
+        object.__setattr__(self, "churn", churn)  # frozen: normalised form
         if self.regime not in ("continuous", "buffered"):
             raise ValueError('regime must be "continuous" or "buffered"')
         if self.regime == "continuous" and self.window <= 0:
@@ -111,7 +137,12 @@ class Scenario:
         return self.graph.build(backend)
 
     def build_stream(self, graph):
-        return self.churn.build(graph, seed=self.seed)
+        """The scenario's event stream: composed parts time-merged."""
+        streams = [spec.build(graph, seed=self.seed) for spec in self.churn]
+        merged = streams[0]
+        for stream in streams[1:]:
+            merged = merged.merged_with(stream)
+        return merged
 
 
 def scaled(scenario, **overrides):

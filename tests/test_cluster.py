@@ -1,0 +1,292 @@
+"""The sharded execution layer: executors, determinism, shard consistency.
+
+The suite runs its cross-executor cases on every backend named in
+``REPRO_CLUSTER_EXECUTORS`` (comma-separated; default all three) — the CI
+executor-matrix job sets it to exercise inline and process in isolation.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.connected_components import ConnectedComponents
+from repro.apps.pagerank import PageRank
+from repro.cluster import (
+    Coordinator,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.cluster.shard import Shard
+from repro.generators import mesh_3d, powerlaw_cluster_graph
+from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.pregel.fault import FaultPlan
+from repro.pregel.system import PregelConfig, PregelSystem
+
+EXECUTOR_NAMES = [
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_CLUSTER_EXECUTORS", "inline,thread,process"
+    ).split(",")
+    if name.strip()
+]
+
+
+def _executor(name):
+    # Small worker counts keep the suite light; determinism must not
+    # depend on them (shard-id merge order is the invariant).
+    if name == "process":
+        return ProcessExecutor(workers=2)
+    if name == "thread":
+        return ThreadExecutor(workers=2)
+    return InlineExecutor()
+
+
+def _report_digest(reports):
+    return [
+        (
+            r.superstep,
+            r.migrations_requested,
+            r.migrations_announced,
+            r.migrations_blocked,
+            r.cut_edges,
+            tuple(r.sizes),
+            r.computed_vertices,
+            r.mutations_applied,
+            r.failed_worker,
+            tuple(r.per_worker_compute),
+            r.traffic.local_messages,
+            r.traffic.remote_messages,
+            r.traffic.migrations,
+            r.traffic.capacity_messages,
+            r.traffic.compute_units,
+        )
+        for r in reports
+    ]
+
+
+def _churn_run(executor_name, metrics="incremental", check_each_step=False):
+    """A 14-superstep run with churn, migrations and one worker failure."""
+    graph = mesh_3d(6)
+    config = PregelConfig(
+        num_workers=4, seed=3, quiet_window=5, metrics=metrics
+    )
+    fault_plan = FaultPlan().add(9, 2)
+    system = Coordinator(
+        graph,
+        PageRank(),
+        config,
+        fault_plan=fault_plan,
+        executor=_executor(executor_name),
+    )
+    try:
+        for step in range(14):
+            if step == 4:
+                system.inject_events(
+                    [
+                        AddVertex(1000),
+                        AddEdge(1000, 0),
+                        RemoveVertex(43),
+                        AddEdge(1000, 87),
+                        AddEdge(1001, 1002),
+                        RemoveEdge(0, 1),
+                    ]
+                )
+            if step == 7:
+                system.inject_events([RemoveVertex(1001), AddEdge(1002, 5)])
+            system.run_superstep()
+            if check_each_step:
+                system.shard_consistency_check()
+        return (
+            _report_digest(system.reports),
+            dict(system.values),
+            dict(system.state.assignment_items()),
+            set(system.halted),
+        )
+    finally:
+        system.close()
+
+
+class TestCrossExecutorDeterminism:
+    def test_churn_run_identical_across_executors(self):
+        """Reports, values, placement and halt state match bit-for-bit."""
+        results = {name: _churn_run(name) for name in EXECUTOR_NAMES}
+        reference_name = EXECUTOR_NAMES[0]
+        reference = results[reference_name]
+        for name, result in results.items():
+            for got, want, what in zip(
+                result,
+                reference,
+                ("reports", "values", "assignment", "halted"),
+            ):
+                assert got == want, (
+                    f"{what} diverged between {name} and {reference_name}"
+                )
+
+    @pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+    def test_shard_state_consistent_throughout(self, executor_name):
+        _churn_run(executor_name, check_each_step=True)
+
+    @pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+    def test_metrics_modes_identical_and_cross_checked(self, executor_name):
+        """Shard-merged incremental metrics == per-superstep recompute.
+
+        ``metrics="recompute"`` re-derives loads/sizes/cut from scratch at
+        every barrier and raises on drift, so a green recompute run *is*
+        the property; equality of the two timelines shows the audit is
+        observationally free.
+        """
+        incremental = _churn_run(executor_name, metrics="incremental")
+        recompute = _churn_run(executor_name, metrics="recompute")
+        assert incremental == recompute
+
+    def test_worker_count_does_not_change_results(self):
+        graph = mesh_3d(5)
+
+        def run(executor):
+            system = Coordinator(
+                graph.copy(),
+                PageRank(),
+                PregelConfig(num_workers=6, seed=1, quiet_window=5),
+                executor=executor,
+            )
+            try:
+                system.run(6)
+                return _report_digest(system.reports), dict(system.values)
+            finally:
+                system.close()
+
+        reference = run(InlineExecutor())
+        for workers in (1, 3, 5):
+            assert run(ProcessExecutor(workers=workers)) == reference
+
+
+class TestAgainstSerialReference:
+    @pytest.mark.parametrize("executor_name", EXECUTOR_NAMES)
+    def test_reports_match_single_process_system(self, executor_name):
+        """On a static graph the sharded system IS the serial system.
+
+        Superstep reports (counts, cut, sizes, traffic) match bit-for-bit;
+        vertex values may differ in float summation order when a vertex
+        receives from several workers, so they are compared only through an
+        order-insensitive program below.
+        """
+        config = PregelConfig(num_workers=4, seed=2, quiet_window=5)
+        serial = PregelSystem(mesh_3d(5), PageRank(), config)
+        serial.run(8)
+        clustered = Coordinator(
+            mesh_3d(5), PageRank(), config, executor=_executor(executor_name)
+        )
+        try:
+            clustered.run(8)
+            assert _report_digest(clustered.reports) == _report_digest(
+                serial.reports
+            )
+        finally:
+            clustered.close()
+
+    def test_values_match_for_order_insensitive_programs(self):
+        graph_factory = lambda: powerlaw_cluster_graph(120, m=2, seed=3)  # noqa: E731
+        config = PregelConfig(num_workers=4, seed=2, quiet_window=5)
+        serial = PregelSystem(graph_factory(), ConnectedComponents(), config)
+        serial.run(10)
+        clustered = Coordinator(
+            graph_factory(),
+            ConnectedComponents(),
+            config,
+            executor=InlineExecutor(),
+        )
+        try:
+            clustered.run(10)
+            assert clustered.values == serial.values
+            assert clustered.halted == serial.halted
+        finally:
+            clustered.close()
+
+    def test_non_continuous_mode_reaches_quiescence(self):
+        config = PregelConfig(
+            num_workers=3, seed=0, continuous=False, adaptive=False
+        )
+        system = Coordinator(mesh_3d(4), ConnectedComponents(), config)
+        try:
+            reports = system.run_until_quiescent(max_supersteps=200)
+            assert len(reports) < 200
+            assert len(system.halted) == system.graph.num_vertices
+            components = set(system.values.values())
+            assert len(components) == 1  # the mesh is connected
+        finally:
+            system.close()
+
+
+class _ExplodingProgram(PageRank):
+    """Module-level (picklable) program that fails during compute."""
+
+    def compute(self, ctx, messages):
+        raise RuntimeError("boom in worker")
+
+
+class _LambdaCombinerProgram(PageRank):
+    """A program whose combiner cannot be pickled (lambda)."""
+
+    def combiner(self):
+        return lambda a, b: a + b
+
+
+class TestExecutors:
+    def test_make_executor_resolution(self):
+        assert isinstance(make_executor(None), InlineExecutor)
+        assert isinstance(make_executor("inline"), InlineExecutor)
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+        instance = InlineExecutor()
+        assert make_executor(instance) is instance
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_process_executor_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(workers=0)
+
+    def test_executor_context_manager_and_idempotent_stop(self):
+        with ProcessExecutor(workers=1) as executor:
+            executor.start({0: Shard(0, PageRank(), None, True)})
+            assert executor.snapshot() == {0: ({}, set())}
+        executor.stop()  # second stop must be a no-op
+
+    def test_process_executor_surfaces_worker_failures(self):
+        system = Coordinator(
+            mesh_3d(3),
+            _ExplodingProgram(),
+            PregelConfig(num_workers=2, seed=0),
+            executor=ProcessExecutor(workers=1),
+        )
+        try:
+            # The program raises inside the worker process; the traceback
+            # must surface as a coordinator-side RuntimeError.
+            with pytest.raises(RuntimeError, match="shard worker 0"):
+                system.run_superstep()
+        finally:
+            system.close()
+
+    def test_unpicklable_shard_state_fails_fast_without_leaking(self):
+        # The lambda combiner cannot cross the pipe; construction must
+        # raise (any pickling error) and leave no worker processes behind.
+        with pytest.raises(Exception):
+            Coordinator(
+                mesh_3d(3),
+                _LambdaCombinerProgram(),
+                PregelConfig(num_workers=2, seed=0),
+                executor=ProcessExecutor(workers=1),
+            )
+
+    def test_close_is_part_of_coordinator_context_manager(self):
+        with Coordinator(
+            mesh_3d(3),
+            PageRank(),
+            PregelConfig(num_workers=2, seed=0),
+            executor=ProcessExecutor(workers=1),
+        ) as system:
+            system.run(2)
+        # Exiting the context stopped the workers; a fresh close is a no-op.
+        system.close()

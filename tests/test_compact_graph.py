@@ -364,3 +364,137 @@ class TestSweeperInternals:
         dense_runner = AdaptiveRunner(dense, dense_state, AdaptiveConfig(seed=0))
         for _ in range(20):
             assert dense_runner.step() == runner.step()
+
+
+class TestIdLookupDeltaMaintenance:
+    """The dense id → slot table must survive streaming churn without
+    O(|V|) rebuilds — it is delta-updated from note_assign/note_remove
+    under the same sole-change contract as the assignment mirror."""
+
+    def _churn_events(self, graph, rng, next_id):
+        vertices = list(graph.vertices())
+        return [
+            AddVertex(next_id),
+            AddEdge(next_id, rng.choice(vertices)),
+            RemoveVertex(rng.choice(vertices)),
+        ]
+
+    @needs_numpy
+    def test_no_rebuild_under_streaming_churn(self):
+        import random
+
+        g = as_compact(mesh_3d(6))
+        runner = _runner(g, seed=1)
+        for _ in range(3):
+            runner.step()
+        sweeper = runner._sweeper
+        baseline = sweeper._id_lookup_rebuilds
+        assert baseline >= 1  # the initial build happened
+        rng = random.Random(0)
+        next_id = 216
+        for _ in range(150):
+            runner.apply_events(self._churn_events(g, rng, next_id))
+            next_id += 1
+            runner.step()
+        assert sweeper._id_lookup_rebuilds == baseline, (
+            "interning churn forced a full id-lookup rebuild"
+        )
+        # The delta-maintained table is exact.
+        assert sweeper._id_lookup is not None
+        for v, slot in g.slot_index.items():
+            assert sweeper._id_lookup[v] == slot
+        runner.metrics.cross_check()
+
+    def test_churn_timeline_matches_dense_backend(self):
+        """Delta maintenance must not change a single decision."""
+        import random
+
+        def run(backend_graph):
+            runner = _runner(backend_graph, seed=5)
+            rng = random.Random(7)
+            next_id = 216
+            stats = []
+            for _ in range(40):
+                runner.apply_events(
+                    self._churn_events(backend_graph, rng, next_id)
+                )
+                next_id += 1
+                stats.append(runner.step())
+            return stats
+
+        dense = mesh_3d(6)
+        compact = as_compact(dense.copy())
+        assert run(dense) == run(compact)
+
+    @needs_numpy
+    def test_sparse_ids_fall_back_to_dict_path(self):
+        g = as_compact(mesh_3d(4))
+        runner = _runner(g, seed=0)
+        runner.step()
+        sweeper = runner._sweeper
+        assert sweeper._id_lookup is not None
+        # An id far beyond 4x the vertex count ends table eligibility …
+        runner.apply_events([AddVertex(10_000_000), AddEdge(10_000_000, 0)])
+        runner.step()
+        assert sweeper._id_lookup is None
+        assert sweeper._id_lookup_dict_path
+        rebuilds = sweeper._id_lookup_rebuilds
+        # … and later churn stays on the dict path without rebuilding.
+        runner.apply_events([AddVertex(10_000_001), RemoveVertex(10_000_000)])
+        runner.step()
+        assert sweeper._id_lookup_rebuilds == rebuilds
+        runner.metrics.cross_check()
+
+    @needs_numpy
+    def test_non_int_arrival_falls_back_safely(self):
+        g = as_compact(mesh_3d(4))
+        runner = _runner(g, seed=0)
+        runner.step()
+        sweeper = runner._sweeper
+        assert sweeper._id_lookup is not None
+        runner.apply_events([AddEdge("late-comer", 0)])
+        runner.step()
+        assert sweeper._id_lookup is None  # dict path from here on
+        runner.apply_events([RemoveVertex("late-comer")])
+        runner.step()
+        runner.metrics.cross_check()
+        runner.state.validate()
+
+    @needs_numpy
+    def test_unwitnessed_interning_triggers_rebuild(self):
+        """Interning the sweeper never saw must stay stale-safe."""
+        g = as_compact(mesh_3d(4))
+        runner = _runner(g, seed=0)
+        runner.step()
+        sweeper = runner._sweeper
+        rebuilds = sweeper._id_lookup_rebuilds
+        # Mutate the graph + state behind the sweeper's back.
+        g.add_vertex(900)
+        g.add_edge(900, 0)
+        runner.state.assign(900, 0)
+        runner.metrics.on_vertex_placed(900)
+        runner._activate(900)
+        runner.step()
+        assert sweeper._id_lookup_rebuilds == rebuilds + 1
+        assert sweeper._id_lookup[900] == g.slot_index[900]
+
+    @needs_numpy
+    def test_aborted_removal_never_yields_wrong_slots(self):
+        """note_remove's anticipatory credit must be confirmed at query
+        time: a caller that aborts before the graph drops the vertex costs
+        a rebuild, never a wrong slot (the 'stale, never wrong' contract)."""
+        g = as_compact(mesh_3d(3))
+        runner = _runner(g, seed=0, k=2)
+        runner.step()
+        sweeper = runner._sweeper
+        victim = next(iter(g.vertices()))
+        # Simulate the aborted protocol: state + sweeper told, graph never.
+        runner.state.remove_vertex(victim)
+        sweeper.note_remove(victim)
+        # An unrelated interning lands the graph on the anticipated version.
+        g.add_vertex(2000)
+        runner.state.assign(2000, 0)
+        sweeper.note_assign(2000, 0)
+        slots = sweeper._candidate_slots([victim, 2000])
+        assert slots[0] == g.slot_index[victim]  # not a stale -1
+        assert slots[1] == g.slot_index[2000]

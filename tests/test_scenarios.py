@@ -67,7 +67,7 @@ class TestSpecs:
 
 class TestRegistry:
     def test_catalog_covers_every_churn_regime(self):
-        used = {s.churn.kind for s in SCENARIOS.values()}
+        used = {part.kind for s in SCENARIOS.values() for part in s.churn}
         assert used == set(CHURNS), "every churn factory needs a catalog entry"
 
     def test_names_sorted_and_resolvable(self):
