@@ -16,6 +16,7 @@ Gives downstream users the paper's workflow without writing code:
 """
 
 import argparse
+import contextlib
 import json
 import sys
 
@@ -200,17 +201,24 @@ def _cmd_scenario(args, out):
         scenario = get_scenario(args.name)
     if args.seed is not None:
         scenario = scaled(scenario, seed=args.seed)
-    result = play_scenario(
-        scenario,
-        backend=args.backend,
-        adaptive=not args.static,
-        metrics=args.metrics,
-        max_rounds=args.max_rounds,
-        engine=args.engine,
-        executor=make_executor(args.executor, args.workers)
+    # Context-managed executor: worker processes stop on every exit path
+    # (including a scenario that raises before or during replay).  The
+    # adaptive engine has no executor; nullcontext keeps one call site.
+    executor_cm = (
+        make_executor(args.executor, args.workers)
         if args.engine == "pregel"
-        else None,
+        else contextlib.nullcontext()
     )
+    with executor_cm as executor:
+        result = play_scenario(
+            scenario,
+            backend=args.backend,
+            adaptive=not args.static,
+            metrics=args.metrics,
+            max_rounds=args.max_rounds,
+            engine=args.engine,
+            executor=executor,
+        )
     engine_label = args.engine
     if args.engine == "pregel":
         engine_label += f" ({args.executor or 'inline'} executor)"

@@ -26,6 +26,7 @@ Executors are context managers; :meth:`Executor.stop` is idempotent.
 import multiprocessing
 import os
 import traceback
+import weakref
 from concurrent.futures import ThreadPoolExecutor
 
 __all__ = [
@@ -189,6 +190,31 @@ def _process_worker_main(conn):
             conn.send(("error", traceback.format_exc()))
 
 
+def _reap_workers(procs, pipes):
+    """Last-resort worker teardown: no acks, straight to the signals.
+
+    Runs from the :mod:`weakref` finalizer when a :class:`ProcessExecutor`
+    is garbage-collected without :meth:`~Executor.stop` — the polite
+    stop-message protocol needs live pipes and a caller willing to wait, so
+    the reaper just terminates, escalates to kill for anything that shrugs
+    off SIGTERM, and closes the pipes.  Deliberately module-level: a bound
+    method would keep the executor alive and the finalizer would never run.
+    """
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=2)
+        if proc.is_alive():
+            proc.kill()
+            proc.join(timeout=2)
+    for pipe in pipes:
+        try:
+            pipe.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
 class ProcessExecutor(Executor):
     """Persistent worker processes with shard affinity.
 
@@ -198,9 +224,19 @@ class ProcessExecutor(Executor):
     names a :mod:`multiprocessing` start method (default: ``"fork"`` where
     available, else the platform default) — with ``"spawn"``, shard state is
     shipped through the pipe at start, so programs and values must pickle.
+
+    Worker lifetime is belt-and-braces: :meth:`stop` waits briefly for the
+    polite ack, then ``terminate()``, then ``kill()`` for workers stuck in
+    uninterruptible state; and a :func:`weakref.finalize` registered at
+    :meth:`start` reaps the processes even when a caller drops the executor
+    without ever calling :meth:`stop`.
     """
 
     name = "process"
+
+    # Bounded waits (seconds): ack on the pipe, SIGTERM grace, SIGKILL grace.
+    _ACK_TIMEOUT = 1.0
+    _JOIN_TIMEOUT = 5.0
 
     def __init__(self, workers=4, mp_context=None):
         if workers < 1:
@@ -210,6 +246,7 @@ class ProcessExecutor(Executor):
         self._procs = []
         self._pipes = []
         self._owner = {}
+        self._reaper = None
 
     def _context(self):
         if self._context_name is not None:
@@ -240,6 +277,12 @@ class ProcessExecutor(Executor):
                 child_conn.close()
                 self._procs.append(proc)
                 self._pipes.append(parent_conn)
+            # Reap on garbage collection: a caller that never reaches
+            # stop() (crash between supersteps, dropped reference) must not
+            # orphan workers for the life of the parent process.
+            self._reaper = weakref.finalize(
+                self, _reap_workers, list(self._procs), list(self._pipes)
+            )
             for worker in range(workers):
                 self._pipes[worker].send(("init", assignments[worker]))
             for worker in range(workers):
@@ -247,6 +290,16 @@ class ProcessExecutor(Executor):
         except BaseException:
             self.stop()  # no leaked worker processes on a failed start
             raise
+
+    def _send(self, worker, message):
+        """Send to one worker, surfacing a dead process as a clear error."""
+        try:
+            self._pipes[worker].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker {worker} died (pipe closed); it may have "
+                "crashed or been killed mid-run"
+            ) from exc
 
     def _receive(self, worker):
         try:
@@ -263,7 +316,7 @@ class ProcessExecutor(Executor):
     def _broadcast(self, per_worker_payload, kind):
         touched = sorted(per_worker_payload)
         for worker in touched:
-            self._pipes[worker].send((kind, per_worker_payload[worker]))
+            self._send(worker, (kind, per_worker_payload[worker]))
         merged = {}
         for worker in touched:
             result = self._receive(worker)
@@ -287,8 +340,8 @@ class ProcessExecutor(Executor):
         self._broadcast(per_worker, "apply")
 
     def snapshot(self):
-        for pipe in self._pipes:
-            pipe.send(("snapshot", None))
+        for worker in range(len(self._pipes)):
+            self._send(worker, ("snapshot", None))
         merged = {}
         for worker in range(len(self._pipes)):
             merged.update(self._receive(worker))
@@ -302,14 +355,23 @@ class ProcessExecutor(Executor):
                 pass
         for worker, proc in enumerate(self._procs):
             try:
-                self._pipes[worker].recv()
+                # Bounded ack wait: a hard-stuck worker never answers, and
+                # an unbounded recv() would hang the whole teardown.
+                if self._pipes[worker].poll(self._ACK_TIMEOUT):
+                    self._pipes[worker].recv()
             except (EOFError, OSError):
                 pass
-            proc.join(timeout=5)
+            proc.join(timeout=self._JOIN_TIMEOUT)
             if proc.is_alive():  # pragma: no cover - defensive cleanup
                 proc.terminate()
-                proc.join(timeout=5)
+                proc.join(timeout=self._JOIN_TIMEOUT)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=self._JOIN_TIMEOUT)
             self._pipes[worker].close()
+        if self._reaper is not None:
+            self._reaper.detach()  # workers are down; nothing left to reap
+            self._reaper = None
         self._procs = []
         self._pipes = []
         self._owner = {}

@@ -52,6 +52,16 @@ class IncrementalMetrics:
         self._loads = None
         self.rebuild()
 
+    @property
+    def degree_sensitive(self):
+        """Whether the bound balance policy's loads depend on degrees.
+
+        The batched ingestion path consults this: degree-sensitive loads
+        need per-event neighbour snapshots, so batching falls back to the
+        per-event loop for those policies.
+        """
+        return self._degree_sensitive
+
     # ------------------------------------------------------------------
     # Full recompute
     # ------------------------------------------------------------------
@@ -101,6 +111,38 @@ class IncrementalMetrics:
         pid = self.state.partition_of_or_none(vertex)
         if pid is not None:
             self._loads[pid] += self.balance.load_of(self.graph, vertex)
+
+    def on_vertices_placed(self, placements):
+        """Bulk :meth:`on_vertex_placed` for a batch of ``(vertex, pid)``.
+
+        Contract: each pid is the vertex's current assignment in the state
+        (the batched ingestion path passes the placements straight from
+        ``place_many``).  Per-bucket addition order matches the per-event
+        path — placements arrive in first-appearance order either way — so
+        even fractional user loads sum bit-identically.
+        """
+        loads = self._loads
+        balance = self.balance
+        graph = self.graph
+        for vertex, pid in placements:
+            loads[pid] += balance.load_of(graph, vertex)
+
+    def apply_edge_flips(self, pid_u, pid_v, signs):
+        """Vectorised cut update for a batch of *net* edge flips.
+
+        ``pid_u`` / ``pid_v`` are integer arrays of endpoint partitions
+        (−1 = unassigned) for each edge whose presence actually flips
+        across the batch; ``signs`` holds +1 per added edge, −1 per
+        removed.  Only edges with both endpoints assigned to different
+        partitions touch the cut; the summed delta lands on the state in
+        one call.  Loads are untouched — callers guarantee a
+        degree-insensitive balance policy (the batched path falls back to
+        per-event application otherwise).  Returns the applied delta.
+        """
+        cut = (pid_u >= 0) & (pid_v >= 0) & (pid_u != pid_v)
+        delta = int(signs[cut].sum())
+        self.state.apply_cut_delta(delta)
+        return delta
 
     def pre_remove_vertex(self, vertex):
         """Call *before* removing ``vertex`` from state and graph.

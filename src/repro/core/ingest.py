@@ -1,0 +1,399 @@
+"""Batched event ingestion: array-at-a-time churn application.
+
+:meth:`AdaptiveRunner.apply_events` historically walked one event at a time
+— fifteen-odd Python calls per event — which capped the rolling-window
+scenarios far below the paper's "millions of users" scale.  This module is
+the bulk path it dispatches to instead: an
+:class:`~repro.graph.events.EventBatch` splits the round's events into runs,
+vertex events stay per-event (they touch interning, placement and neighbour
+bookkeeping), and each run of edge events becomes one vectorised job over
+the :class:`~repro.graph.compact.CompactGraph` CSR mirror:
+
+* endpoint ids map to slots through the sweeper's dense id → slot table
+  (one gather), new endpoints are interned and hash-placed in bulk;
+* events grouped by canonical pair replay as a *toggle chain*: an edge's
+  presence after any event equals that event's kind, so per-event change
+  flags reduce to ``kind != previous kind`` (seeded with one vectorised
+  CSR presence probe per unique pair) — no per-event graph queries;
+* only pairs whose presence actually *flips* across the run touch the
+  graph (one bulk ``add_edges`` / ``remove_edges`` pass, CSR dirty regions
+  marked once) and the cut (one vectorised delta from endpoint-partition
+  arrays);
+* the endpoints of every changed event re-enter the active set, exactly
+  the vertices the per-event path would have re-activated one by one.
+
+**Equivalence is the contract**: assignment, metrics, active set and the
+RNG stream come out bit-identical to the per-event loop.  The ingestor
+exists only where that is provable — compact graph, numpy present, exact
+:class:`~repro.partitioning.hashing.HashPartitioner` placement (per-vertex
+pure, so batch placement commutes) and a degree-insensitive balance policy
+(edge events then cannot move loads).  Everything else — and any batch the
+loop would abort mid-way (unknown event types, self-loop adds) — falls back
+to the per-event loop.  The golden timelines (which now exercise this path
+on the compact backend), the batch-vs-loop property suite and the
+``metrics="recompute"`` cross-check all pin the equivalence.
+"""
+
+from itertools import compress as _compress
+
+from repro.partitioning.hashing import HashPartitioner
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+__all__ = ["BatchIngestor", "make_ingestor"]
+
+
+def make_ingestor(runner):
+    """A :class:`BatchIngestor` when the bulk path applies, else None.
+
+    The gate mirrors :func:`~repro.core.sweep.make_sweeper`'s philosophy:
+    engage only where equivalence with the per-event loop is structural.
+    Exact-type checks are deliberate — a placement or balance subclass
+    could override the behaviours the bulk path relies on.
+    """
+    if _np is None:
+        return None
+    if runner.config.batch_events == "off":
+        return None
+    graph = runner.graph
+    if not (hasattr(graph, "ensure_csr") and hasattr(graph, "slot_ids")):
+        return None
+    if type(runner.config.placement) is not HashPartitioner:
+        return None
+    if runner.metrics.degree_sensitive:
+        return None
+    return BatchIngestor(runner)
+
+
+class BatchIngestor:
+    """Applies an :class:`EventBatch` through a runner's bookkeeping stack."""
+
+    def __init__(self, runner):
+        self.runner = runner
+
+    def apply(self, batch):
+        """Apply every segment in order; returns the changed-event count."""
+        runner = self.runner
+        changed = 0
+        for segment in batch.segments:
+            if segment[0] == "loop":
+                for event in segment[1]:
+                    if runner._apply_one(event):
+                        changed += 1
+            else:
+                _, kinds, us, vs = segment
+                changed += self._apply_edge_run(kinds, us, vs)
+        return changed
+
+    # ------------------------------------------------------------------
+    # id → slot resolution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_int_array(ids):
+        """``ids`` as an int64 array, or None when they are not plain ints."""
+        try:
+            arr = _np.asarray(ids)
+        except (ValueError, TypeError, OverflowError):
+            return None
+        if arr.ndim != 1 or arr.dtype.kind not in "iu":
+            return None
+        return arr.astype(_np.int64, copy=False)
+
+    def _slots_of(self, ids):
+        """Slot array for a list of vertex ids (−1 for absent ids)."""
+        sweeper = self.runner._sweeper
+        if sweeper is not None:
+            arr = self._as_int_array(ids)
+            if arr is not None:
+                slots = sweeper.lookup_slots(arr)
+                if slots is not None:
+                    return slots
+        index = self.runner.graph.slot_index
+        return _np.fromiter(
+            (index.get(v, -1) for v in ids), _np.int64, count=len(ids)
+        )
+
+    def _intern_new_endpoints(self, kinds_arr, us, vs, su, sv):
+        """Create + place endpoints that add events reference for the first
+        time, in first-appearance order (u before v, exactly like the loop).
+
+        Remove events never create endpoints; an id they alone mention
+        simply stays absent (slot −1) and every event touching it is a
+        no-op, as in the per-event path.  Returns refreshed slot arrays.
+        """
+        runner = self.runner
+        missing_u = su < 0
+        missing_v = sv < 0
+        add_missing = _np.flatnonzero(kinds_arr & (missing_u | missing_v))
+        if not len(add_missing):
+            return su, sv
+        new_ids = []
+        seen = set()
+        for i in add_missing.tolist():
+            if missing_u[i]:
+                u = us[i]
+                if u not in seen:
+                    seen.add(u)
+                    new_ids.append(u)
+            if missing_v[i]:
+                v = vs[i]
+                if v not in seen:
+                    seen.add(v)
+                    new_ids.append(v)
+        graph = runner.graph
+        graph.add_vertices(new_ids)
+        # Placement before any edge lands: each new vertex is placed while
+        # isolated, exactly when the per-event path would have placed it.
+        placements = runner.config.placement.place_many(runner.state, new_ids)
+        runner.metrics.on_vertices_placed(placements)
+        if runner._sweeper is not None:
+            runner._sweeper.note_assign_many(placements)
+        return self._slots_of(us), self._slots_of(vs)
+
+    # ------------------------------------------------------------------
+    # The edge-run kernel
+    # ------------------------------------------------------------------
+
+    def _present0(self, lo, hi):
+        """Pre-run edge-presence probe for unique slot pairs.
+
+        Two regimes, picked by what is cheaper *right now*: when the CSR
+        mirror is (nearly) clean — typical for cancellation-heavy buffered
+        rounds, where few edges ever net-flip — :meth:`ensure_csr` costs
+        little and the probe is one fully vectorised gather; when the
+        mirror carries lots of dirty slots, repairing it just for a probe
+        would drag the sweeper's per-round cost into the ingestion hot
+        path, so per-pair adjacency lookups win instead.
+        """
+        graph = self.runner.graph
+        m = len(lo)
+        if graph.dirty_slot_count * 4 <= m:
+            return self._present0_csr(lo, hi, m)
+        ids = graph.slot_ids
+        has_edge = graph.has_edge
+        return _np.fromiter(
+            (
+                has_edge(ids[a], ids[b])
+                for a, b in zip(lo.tolist(), hi.tolist())
+            ),
+            _np.bool_,
+            count=m,
+        )
+
+    def _present0_csr(self, lo, hi, m):
+        """Vectorised presence probe: gather each pair's smaller-degree
+        endpoint's CSR block and scan it for the other endpoint."""
+        graph = self.runner.graph
+        starts_a, lens_a, indices_a = graph.ensure_csr()
+        starts = _np.frombuffer(starts_a, dtype=_np.int64)
+        lens = _np.frombuffer(lens_a, dtype=_np.int64)
+        present = _np.zeros(m, dtype=bool)
+        swap = lens[hi] < lens[lo]
+        probe = _np.where(swap, hi, lo)
+        other = _np.where(swap, lo, hi)
+        deg = lens[probe]
+        total = int(deg.sum())
+        if not total:
+            return present
+        indices = _np.frombuffer(indices_a, dtype=_np.int64)
+        cum = _np.zeros(m, dtype=_np.int64)
+        _np.cumsum(deg[:-1], out=cum[1:])
+        pos = (
+            _np.arange(total, dtype=_np.int64)
+            - _np.repeat(cum, deg)
+            + _np.repeat(starts[probe], deg)
+        )
+        row = _np.repeat(_np.arange(m, dtype=_np.int64), deg)
+        match = indices[pos] == other[row]
+        present[row[match]] = True
+        return present
+
+    def _apply_edge_run(self, kinds, us, vs):
+        """One vectorised pass over a run of edge events; returns changed.
+
+        Events are grouped by canonical pair (stable sort, so a pair's
+        events keep their temporal order).  Pairs touched by exactly one
+        event — the common case — apply straight through the graph's
+        flag-returning bulk mutators: the membership check application does
+        anyway *is* the presence probe, so no separate graph query happens.
+        Pairs with several events replay as a *toggle chain*: an edge's
+        presence after any event equals that event's kind, so per-event
+        change flags reduce to ``kind != previous kind`` seeded with one
+        presence probe per pair — and only the pairs whose presence
+        actually flips across the run touch the graph at all.  An edge
+        added and expired inside one buffered round therefore costs one
+        probe, not two mutations.
+        """
+        runner = self.runner
+        graph = runner.graph
+        n = len(kinds)
+        kinds_arr = _np.fromiter(kinds, _np.bool_, count=n)
+        su = self._slots_of(us)
+        sv = self._slots_of(vs)
+        if (kinds_arr & ((su < 0) | (sv < 0))).any():
+            su, sv = self._intern_new_endpoints(kinds_arr, us, vs, su, sv)
+        valid = (su >= 0) & (sv >= 0)
+        if valid.all():
+            vidx = None
+            lo = _np.minimum(su, sv)
+            hi = _np.maximum(su, sv)
+            k_v = kinds_arr
+        else:
+            # Endpoints only remove events mention can be absent for the
+            # whole run; every event touching them is a no-op.
+            vidx = _np.flatnonzero(valid)
+            if not len(vidx):
+                return 0
+            lo = _np.minimum(su[vidx], sv[vidx])
+            hi = _np.maximum(su[vidx], sv[vidx])
+            k_v = kinds_arr[vidx]
+        key = lo * graph.num_slots + hi
+        order = _np.argsort(key, kind="stable")
+        key_s = key[order]
+        k_s = k_v[order]
+        m = len(key_s)
+        first = _np.empty(m, dtype=bool)
+        first[0] = True
+        _np.not_equal(key_s[1:], key_s[:-1], out=first[1:])
+        starts = _np.flatnonzero(first)
+        gsize = _np.diff(_np.append(starts, m))
+        orig = order if vidx is None else vidx[order]
+
+        changed = _np.zeros(n, dtype=bool)
+        cut_su = []
+        cut_sv = []
+        cut_sign = []
+
+        singles = starts[gsize == 1]
+        if len(singles):
+            spos = orig[singles]  # original event positions, one per pair
+            s_changed = self._apply_singles(us, vs, spos, kinds_arr[spos])
+            changed[spos] = s_changed
+            hit = spos[s_changed]
+            if len(hit):
+                cut_su.append(su[hit])
+                cut_sv.append(sv[hit])
+                cut_sign.append(_np.where(kinds_arr[hit], 1, -1))
+
+        multis = _np.flatnonzero(gsize > 1)
+        if len(multis):
+            self._apply_multis(
+                multis, starts, gsize, k_s, lo, hi, order, orig, changed,
+                cut_su, cut_sv, cut_sign,
+            )
+
+        if cut_su:
+            slots_u = _np.concatenate(cut_su)
+            slots_v = _np.concatenate(cut_sv)
+            signs = _np.concatenate(cut_sign)
+            sweeper = runner._sweeper
+            if sweeper is not None:
+                pid_u = sweeper.assignment_of_slots(slots_u)
+                pid_v = sweeper.assignment_of_slots(slots_v)
+            else:
+                pid_u = self._pids_from_state(slots_u)
+                pid_v = self._pids_from_state(slots_v)
+            runner.metrics.apply_edge_flips(pid_u, pid_v, signs)
+
+        total_changed = int(changed.sum())
+        if total_changed:
+            # Re-activate the endpoints of every changed event — exactly
+            # the vertices the per-event path activates (edge runs never
+            # remove vertices, so membership is the sequential result).
+            # When every vertex is already active — the ingest-a-backlog-
+            # before-stepping regime — the update cannot change membership
+            # and is skipped wholesale (the active set only ever holds live
+            # vertices, so length equality is set equality).
+            active = runner._active
+            if len(active) != graph.num_vertices:
+                selectors = changed.tolist()
+                active.update(_compress(us, selectors))
+                active.update(_compress(vs, selectors))
+        return total_changed
+
+    def _apply_singles(self, us, vs, spos, s_kind):
+        """Apply single-event pairs through the flag-returning bulk ops."""
+        graph = self.runner.graph
+        changed = _np.empty(len(spos), dtype=bool)
+        add_pos = spos[s_kind].tolist()
+        if add_pos:
+            flags = graph.add_edges(
+                zip(map(us.__getitem__, add_pos), map(vs.__getitem__, add_pos))
+            )
+            changed[s_kind] = _np.fromiter(
+                flags, _np.bool_, count=len(add_pos)
+            )
+        stay = ~s_kind
+        rem_pos = spos[stay].tolist()
+        if rem_pos:
+            flags = graph.remove_edges(
+                zip(map(us.__getitem__, rem_pos), map(vs.__getitem__, rem_pos))
+            )
+            changed[stay] = _np.fromiter(flags, _np.bool_, count=len(rem_pos))
+        return changed
+
+    def _apply_multis(self, multis, starts, gsize, k_s, lo, hi, order, orig,
+                      changed, cut_su, cut_sv, cut_sign):
+        """Toggle-chain replay of pairs touched by several events."""
+        graph = self.runner.graph
+        mstarts = starts[multis]
+        msizes = gsize[multis]
+        total = int(msizes.sum())
+        ends = _np.cumsum(msizes)
+        offs = _np.arange(total, dtype=_np.int64) - _np.repeat(
+            ends - msizes, msizes
+        )
+        midx = _np.repeat(mstarts, msizes) + offs  # sorted positions
+        mk = k_s[midx]
+        mfirst = offs == 0
+        pair_lo = lo[order[mstarts]]
+        pair_hi = hi[order[mstarts]]
+        present0 = self._present0(pair_lo, pair_hi)
+        prev = _np.empty(total, dtype=bool)
+        prev[1:] = mk[:-1]
+        prev[mfirst] = present0
+        mchanged = mk != prev
+        changed[orig[midx]] = mchanged
+        mlast = _np.empty(total, dtype=bool)
+        mlast[:-1] = mfirst[1:]
+        mlast[-1] = True
+        final = mk[mlast]
+        flip = final != present0
+        if not flip.any():
+            return
+        f_lo = pair_lo[flip]
+        f_hi = pair_hi[flip]
+        f_add = final[flip]
+        cut_su.append(f_lo)
+        cut_sv.append(f_hi)
+        cut_sign.append(_np.where(f_add, 1, -1))
+        id_of = graph.slot_ids.__getitem__
+        if f_add.any():
+            graph.add_edges(
+                zip(
+                    map(id_of, f_lo[f_add].tolist()),
+                    map(id_of, f_hi[f_add].tolist()),
+                )
+            )
+        drop = ~f_add
+        if drop.any():
+            graph.remove_edges(
+                zip(
+                    map(id_of, f_lo[drop].tolist()),
+                    map(id_of, f_hi[drop].tolist()),
+                )
+            )
+
+    def _pids_from_state(self, slots):
+        """Endpoint partitions straight from the state (no sweeper mirror)."""
+        ids = self.runner.graph.slot_ids
+        get = self.runner.state.partition_of_or_none
+        out = _np.empty(len(slots), dtype=_np.int64)
+        for i, s in enumerate(slots.tolist()):
+            pid = get(ids[s])
+            out[i] = -1 if pid is None else pid
+        return out

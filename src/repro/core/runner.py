@@ -37,9 +37,16 @@ from repro.core.capacity import QuotaTable
 from repro.core.convergence import PAPER_QUIET_WINDOW, ConvergenceDetector
 from repro.core.heuristic import GreedyMaxNeighbours, MigrationHeuristic, make_heuristic
 from repro.core.incremental import IncrementalMetrics
+from repro.core.ingest import make_ingestor
 from repro.core.metrics import IterationStats, Timeline
 from repro.core.sweep import generic_decisions, make_sweeper, sort_vertices
-from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.graph.events import (
+    AddEdge,
+    AddVertex,
+    EventBatch,
+    RemoveEdge,
+    RemoveVertex,
+)
 from repro.partitioning.hashing import HashPartitioner
 from repro.utils import make_rng
 
@@ -64,6 +71,14 @@ class AdaptiveConfig:
     round and raises on drift — the debug cross-check, and the baseline the
     scenario benchmark measures the incremental engine against.  The two
     modes produce bit-identical timelines (property-tested).
+
+    ``batch_events`` controls the bulk ingestion path of
+    :meth:`AdaptiveRunner.apply_events`: ``"auto"`` (default) applies event
+    batches array-at-a-time where that is provably equivalent to the
+    per-event loop (compact graph, numpy, hash placement,
+    degree-insensitive balance — see :mod:`repro.core.ingest`); ``"off"``
+    forces the per-event loop everywhere, which is also the baseline the
+    scale benchmark measures the batch path against.
     """
 
     willingness: float = DEFAULT_WILLINGNESS
@@ -74,6 +89,7 @@ class AdaptiveConfig:
     placement: object = field(default_factory=HashPartitioner)
     track_active: bool = True
     metrics: str = "incremental"
+    batch_events: str = "auto"
 
     def __post_init__(self):
         if not 0.0 <= self.willingness <= 1.0:
@@ -84,6 +100,8 @@ class AdaptiveConfig:
             raise TypeError("heuristic must be a MigrationHeuristic or name")
         if self.metrics not in ("incremental", "recompute"):
             raise ValueError('metrics must be "incremental" or "recompute"')
+        if self.batch_events not in ("auto", "off"):
+            raise ValueError('batch_events must be "auto" or "off"')
 
 
 class AdaptiveRunner:
@@ -103,6 +121,7 @@ class AdaptiveRunner:
         if self._sweeper is not None:
             self._sweeper.warm()  # build the CSR mirror off the hot path
         self.metrics = IncrementalMetrics(graph, state, self.config.balance)
+        self._ingestor = make_ingestor(self)
         self._refresh_capacities()
         self._activate_all()
 
@@ -301,12 +320,26 @@ class AdaptiveRunner:
         recompute happens unless ``metrics="recompute"`` asks for the debug
         cross-check.
 
+        Where the batched path applies (see
+        :class:`AdaptiveConfig.batch_events` and :mod:`repro.core.ingest`),
+        runs of edge events are applied array-at-a-time with bit-identical
+        results; anything the bulk path cannot reproduce exactly falls back
+        to the per-event loop below.
+
         Returns the number of events that changed the graph.
         """
-        changed = 0
-        for event in events:
-            if self._apply_one(event):
-                changed += 1
+        if not isinstance(events, list):
+            events = list(events)
+        changed = None
+        if self._ingestor is not None and events:
+            batch = EventBatch.from_events(events)
+            if not batch.unsupported:
+                changed = self._ingestor.apply(batch)
+        if changed is None:
+            changed = 0
+            for event in events:
+                if self._apply_one(event):
+                    changed += 1
         if changed:
             self.detector.reset()
             self._refresh_capacities()

@@ -101,14 +101,18 @@ class CompactSweeper:
     # ------------------------------------------------------------------
 
     def warm(self):
-        """Build the CSR mirror and assignment array eagerly.
+        """Build the CSR mirror, assignment array and id table eagerly.
 
-        Called at runner construction so the first iteration pays no
-        one-time build cost; cheap when already warm.
+        Called at runner construction so neither the first iteration nor
+        the first ingested batch pays a one-time build cost; cheap when
+        already warm.
         """
         self.graph.ensure_csr()
         if self._stale():
             self._resync()
+        self._confirm_pending_removal()
+        if self._id_lookup_version != self.graph.intern_version:
+            self._rebuild_id_lookup()
 
     def _resync(self):
         """Rebuild the slot-indexed assignment array from the state."""
@@ -169,6 +173,49 @@ class CompactSweeper:
             grown[: len(self._assign)] = self._assign
             self._assign = grown
         self._assign[slot] = pid
+        self._synced_version = state_version
+
+    def note_assign_many(self, placements):
+        """Bulk :meth:`note_assign` for a batch of streaming placements.
+
+        Contract: the ``n`` placements are the *only* assignment changes
+        since the mirror's last sync (state version advanced by exactly
+        ``n``) and the *only* interns since the id-table's last sync — the
+        shape the batched ingestion path produces by placing every new
+        endpoint through one ``place_many`` call.  Anything else leaves the
+        structures stale for the next query's full resync, exactly like the
+        single-event hooks.
+        """
+        n = len(placements)
+        if n == 0:
+            return
+        if n == 1:
+            self.note_assign(*placements[0])
+            return
+        self._note_intern_assign_many(placements)
+        if self._assign is None:
+            return
+        state_version = self.state.version
+        if self._synced_version != state_version - n:
+            return
+        index = self.graph.slot_index
+        slots = []
+        for vertex, _ in placements:
+            slot = index.get(vertex)
+            if slot is None:
+                return  # contract violation: stay stale, resync on next pass
+            slots.append(slot)
+        assign = self._assign
+        top = max(slots)
+        if top >= len(assign):
+            grown = _np.full(
+                max(top + 1, 2 * len(assign)), -1, dtype=_np.int64
+            )
+            grown[: len(assign)] = assign
+            self._assign = assign = grown
+        assign[_np.fromiter(slots, _np.int64, count=n)] = _np.fromiter(
+            (pid for _, pid in placements), _np.int64, count=n
+        )
         self._synced_version = state_version
 
     def note_remove(self, vertex):
@@ -277,6 +324,52 @@ class CompactSweeper:
         lookup[vertex] = slot
         self._id_lookup_version = version
 
+    def _note_intern_assign_many(self, placements):
+        """Bulk :meth:`_note_intern_assign` under the batch contract.
+
+        Fast-forwards the dense id → slot table only when these ``n``
+        interns are the only ones since the table's last sync; a non-int or
+        out-of-regime id flips to the dict path just like the single hook.
+        """
+        graph = self.graph
+        version = graph.intern_version
+        n = len(placements)
+        if self._id_lookup_version != version - n:
+            return
+        if self._id_lookup_dict_path:
+            self._id_lookup_version = version  # dict path needs no upkeep
+            return
+        lookup = self._id_lookup
+        if lookup is None:
+            return  # never built: the first query builds from scratch
+        index = graph.slot_index
+        limit = 4 * graph.num_vertices + 1024
+        top = len(lookup) - 1
+        slots = []
+        for vertex, _ in placements:
+            if type(vertex) is not int or vertex < 0 or vertex >= limit:
+                # Table regime over (non-int id or sparse id space): the
+                # dict path is the right home from here on.
+                self._id_lookup = None
+                self._id_lookup_dict_path = True
+                self._id_lookup_version = version
+                return
+            slot = index.get(vertex)
+            if slot is None:
+                return  # contract violation: stay stale, rebuild on query
+            slots.append(slot)
+            if vertex > top:
+                top = vertex
+        if top >= len(lookup):
+            grown = _np.full(
+                max(top + 1, 2 * len(lookup)), -1, dtype=_np.int64
+            )
+            grown[: len(lookup)] = lookup
+            self._id_lookup = lookup = grown
+        ids = _np.fromiter((v for v, _ in placements), _np.int64, count=n)
+        lookup[ids] = _np.fromiter(slots, _np.int64, count=n)
+        self._id_lookup_version = version
+
     def _note_intern_remove(self, vertex):
         """Delta-retire a vertex's table entry ahead of its un-interning.
 
@@ -327,6 +420,34 @@ class CompactSweeper:
             self._id_lookup_version = None  # abort detected: force rebuild
             return False
         return True
+
+    def lookup_slots(self, ids):
+        """Slot array for an int64 id array; −1 for absent ids.
+
+        Unlike :meth:`_candidate_slots` (whose candidates are always live
+        vertices), the batched ingestion path probes ids that may not be
+        interned yet, so out-of-table ids resolve to −1 instead of
+        faulting.  Returns None when the dense table doesn't apply (non-int
+        id space) — callers then fall back to dict lookups.
+        """
+        self._confirm_pending_removal()
+        if self._id_lookup_version != self.graph.intern_version:
+            self._rebuild_id_lookup()
+        lookup = self._id_lookup
+        if lookup is None:
+            return None
+        if len(ids) and 0 <= int(ids.min()) and int(ids.max()) < len(lookup):
+            return lookup[ids]
+        inside = (ids >= 0) & (ids < len(lookup))
+        slots = _np.full(len(ids), -1, dtype=_np.int64)
+        slots[inside] = lookup[ids[inside]]
+        return slots
+
+    def assignment_of_slots(self, slots):
+        """Partition ids (−1 = unassigned) of a slot array, via the mirror."""
+        if self._stale():
+            self._resync()
+        return self._assign[slots]
 
     def _candidate_slots(self, candidates):
         """Vectorised id → slot mapping for the candidate list.

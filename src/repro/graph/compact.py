@@ -100,6 +100,25 @@ class CompactGraph(Graph):
         return self._index
 
     @property
+    def slot_ids(self):
+        """The slot → id table (read-only by convention; None = hole).
+
+        Batch kernels index this list directly instead of calling
+        :meth:`id_of` per slot.
+        """
+        return self._slot_ids
+
+    @property
+    def dirty_slot_count(self):
+        """Number of slots awaiting a CSR dirty-region repair.
+
+        Batch kernels consult this to decide whether a vectorised CSR probe
+        (which would first pay :meth:`ensure_csr`'s repair of exactly these
+        slots) beats per-pair adjacency lookups.
+        """
+        return len(self._dirty) if self._csr_built else self.num_slots
+
+    @property
     def intern_version(self):
         """Monotonic counter bumped when the id ↔ slot mapping changes.
 
@@ -161,6 +180,84 @@ class CompactGraph(Graph):
         self._dirty.add(self._index[u])
         self._dirty.add(self._index[v])
         return True
+
+    # ------------------------------------------------------------------
+    # Bulk mutation (single pass; dirty regions marked once per batch)
+    # ------------------------------------------------------------------
+
+    def add_edges(self, pairs):
+        """Bulk :meth:`add_edge` in one pass over the adjacency dict.
+
+        Semantically identical to the per-edge loop (endpoints created as
+        needed, duplicates skipped, self-loops rejected) and returns the
+        same per-pair change flags, but every per-edge method dispatch
+        collapses into one tight loop with bound locals — the difference
+        between a million-event churn round being graph-bound or
+        interpreter-bound.
+        """
+        adj = self._adj
+        index = self._index
+        dirty_add = self._dirty.add
+        flags = []
+        flag = flags.append
+        added = 0
+        isolated = 0
+        for u, v in pairs:
+            if u == v:
+                raise ValueError(f"self-loop on vertex {u!r} is not allowed")
+            nu = adj.get(u)
+            if nu is None:
+                self.add_vertex(u)
+                nu = adj[u]
+            nv = adj.get(v)
+            if nv is None:
+                self.add_vertex(v)
+                nv = adj[v]
+            if v in nu:
+                flag(False)
+                continue
+            if not nu:
+                isolated -= 1
+            if not nv:
+                isolated -= 1
+            nu.add(v)
+            nv.add(u)
+            added += 1
+            dirty_add(index[u])
+            dirty_add(index[v])
+            flag(True)
+        self._num_edges += added
+        self._num_isolated += isolated
+        return flags
+
+    def remove_edges(self, pairs):
+        """Bulk :meth:`remove_edge` in one pass (absent edges flag False)."""
+        adj = self._adj
+        index = self._index
+        dirty_add = self._dirty.add
+        flags = []
+        flag = flags.append
+        removed = 0
+        isolated = 0
+        for u, v in pairs:
+            nu = adj.get(u)
+            if nu is None or v not in nu:
+                flag(False)
+                continue
+            nv = adj[v]
+            nu.discard(v)
+            nv.discard(u)
+            if not nu:
+                isolated += 1
+            if not nv:
+                isolated += 1
+            removed += 1
+            dirty_add(index[u])
+            dirty_add(index[v])
+            flag(True)
+        self._num_edges -= removed
+        self._num_isolated += isolated
+        return flags
 
     # ------------------------------------------------------------------
     # CSR mirror maintenance

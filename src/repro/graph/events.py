@@ -12,6 +12,7 @@ from dataclasses import dataclass
 __all__ = [
     "AddEdge",
     "AddVertex",
+    "EventBatch",
     "EventKind",
     "GraphEvent",
     "RemoveEdge",
@@ -84,6 +85,92 @@ class RemoveEdge(GraphEvent):
     @property
     def kind(self):
         return EventKind.REMOVE_EDGE
+
+
+class EventBatch:
+    """A list of events regrouped into bulk-appliable segments.
+
+    The batched ingestion path (:mod:`repro.core.ingest`) cannot reorder
+    events freely — an add and a remove of the same edge must keep their
+    relative order — but it *can* treat a maximal run of consecutive edge
+    events as one array job, because edge events only interact through the
+    pair they touch.  ``segments`` therefore holds, in original order:
+
+    * ``("edges", kinds, us, vs)`` — a run of :class:`AddEdge` /
+      :class:`RemoveEdge` events as parallel arrays (``kinds[i]`` True for
+      an add), ready for vectorised application;
+    * ``("loop", events)`` — a run of vertex events (:class:`AddVertex` /
+      :class:`RemoveVertex`), which mutate interning, placement and
+      neighbour bookkeeping in ways that stay per-event.
+
+    ``unsupported`` is True when the batch contains something whose exact
+    per-event behaviour the bulk path must not re-order or anticipate: an
+    unknown event type or a self-loop :class:`AddEdge` (both raise from the
+    per-event loop *mid-batch*, leaving earlier events applied — only the
+    loop reproduces that).  Callers then fall back to per-event application
+    of the original list.
+    """
+
+    __slots__ = ("segments", "num_events", "num_edge_events", "unsupported")
+
+    def __init__(self):
+        self.segments = []
+        self.num_events = 0
+        self.num_edge_events = 0
+        self.unsupported = False
+
+    @classmethod
+    def from_events(cls, events):
+        """Segment ``events`` (construction stops early if unsupported)."""
+        batch = cls()
+        segments = batch.segments
+        add_edge_cls = AddEdge
+        remove_edge_cls = RemoveEdge
+        add_vertex_cls = AddVertex
+        remove_vertex_cls = RemoveVertex
+        k_app = u_app = v_app = loop_app = None
+        for event in events:
+            kind = type(event)
+            if kind is add_edge_cls:
+                u = event.u
+                v = event.v
+                if u == v:
+                    batch.unsupported = True  # the loop path raises here
+                    break
+                if k_app is None:
+                    kinds, us, vs = [], [], []
+                    segments.append(("edges", kinds, us, vs))
+                    k_app, u_app, v_app = kinds.append, us.append, vs.append
+                    loop_app = None
+                k_app(True)
+                u_app(u)
+                v_app(v)
+            elif kind is remove_edge_cls:
+                if k_app is None:
+                    kinds, us, vs = [], [], []
+                    segments.append(("edges", kinds, us, vs))
+                    k_app, u_app, v_app = kinds.append, us.append, vs.append
+                    loop_app = None
+                k_app(False)
+                u_app(event.u)
+                v_app(event.v)
+            elif kind is add_vertex_cls or kind is remove_vertex_cls:
+                if loop_app is None:
+                    loop = []
+                    segments.append(("loop", loop))
+                    loop_app = loop.append
+                    k_app = None
+                loop_app(event)
+            else:
+                batch.unsupported = True  # the loop path raises here
+                break
+        for segment in segments:
+            if segment[0] == "edges":
+                batch.num_edge_events += len(segment[1])
+                batch.num_events += len(segment[1])
+            else:
+                batch.num_events += len(segment[1])
+        return batch
 
 
 def apply_event(graph, event):

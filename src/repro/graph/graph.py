@@ -109,6 +109,33 @@ class Graph:
         return True
 
     # ------------------------------------------------------------------
+    # Bulk mutation
+    # ------------------------------------------------------------------
+
+    def add_vertices(self, vertices):
+        """Bulk :meth:`add_vertex`, in order.  Returns the count added."""
+        added = 0
+        for v in vertices:
+            if self.add_vertex(v):
+                added += 1
+        return added
+
+    def add_edges(self, pairs):
+        """Bulk :meth:`add_edge`, in order.  Returns per-pair change flags.
+
+        Endpoints are created as needed; duplicate pairs are skipped (their
+        flag is False).  The flags double as presence answers — the batched
+        ingestion path uses them instead of probing the graph separately.
+        The compact backend overrides this with a single-pass loop.
+        """
+        return [self.add_edge(u, v) for u, v in pairs]
+
+    def remove_edges(self, pairs):
+        """Bulk :meth:`remove_edge`, in order.  Returns per-pair change
+        flags (False for absent edges)."""
+        return [self.remove_edge(u, v) for u, v in pairs]
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 

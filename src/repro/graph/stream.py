@@ -16,6 +16,7 @@ internals or on the (non-comparable) event payloads.
 """
 
 import bisect
+import heapq
 import itertools
 from dataclasses import dataclass, field
 
@@ -25,7 +26,9 @@ __all__ = ["EventStream", "TimedEvent", "batch_by_count", "batch_by_time"]
 
 # Global creation counter: ties on ``time`` resolve to creation order, which
 # for any single producer is FIFO.  The absolute values are meaningless (and
-# process-dependent); only the relative order of events ever matters.
+# process-dependent); only the relative order of events within one producer
+# ever matters — cross-stream tie order is pinned by :meth:`merged_with`'s
+# rank-based merge, never by comparing seqs from different streams.
 _SEQUENCE = itertools.count()
 
 
@@ -126,12 +129,23 @@ class EventStream:
     def merged_with(self, other):
         """A new stream containing this stream's and ``other``'s events.
 
-        Equal-time events keep each source stream's internal order (the
-        creation-order tie-break is a total order, so the merge is stable
-        and deterministic).
+        Equal-time ties are pinned to ``(time, stream rank, per-stream
+        order)``: all of this stream's events at a timestamp precede
+        ``other``'s at that timestamp, and each side keeps its internal
+        order.  Sorting the concatenation by the global creation ``seq``
+        would instead make ties depend on which stream's *factory happened
+        to run first anywhere in the process* — replaying a composed
+        scenario after unrelated streams were built could flip tie order.
+        The rank-based merge is a pure function of the two streams'
+        contents, so composition is exactly as deterministic as its parts.
+
+        The result is time-sorted but its tie order is the merge's, not
+        creation order — a later :meth:`push` or :meth:`extend` (which
+        re-sorts by creation ``seq``) may reorder ties; merge last when
+        composing.
         """
         merged = EventStream()
-        merged._events = sorted(self._events + list(other))
+        merged._events = list(heapq.merge(self._events, other, key=_time_of))
         return merged
 
     def __repr__(self):

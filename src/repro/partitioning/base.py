@@ -188,6 +188,50 @@ class PartitionState:
         self._cut_edges += cut_delta
         self._version += count
 
+    def assign_many(self, items):
+        """Bulk :meth:`assign` of brand-new vertices with no assigned
+        neighbours.
+
+        ``items`` yields ``(vertex, pid)``.  Contract: every vertex is
+        currently unassigned and none of its graph neighbours (if any) is
+        assigned — true for just-created vertices placed before their first
+        edge lands, which is the streaming-arrival shape the batched
+        ingestion path feeds this.  Under that contract the cut count
+        cannot change, so the per-vertex adjacency walk of :meth:`assign`
+        is skipped; sizes and the version counter advance exactly as ``n``
+        sequential assigns would.
+        """
+        assignment = self._assignment
+        sizes = self._sizes
+        num_partitions = self.num_partitions
+        count = 0
+        try:
+            for vertex, pid in items:
+                if vertex in assignment:
+                    raise ValueError(f"vertex {vertex!r} already assigned")
+                if not 0 <= pid < num_partitions:
+                    self._check_pid(pid)
+                assignment[vertex] = pid
+                sizes[pid] += 1
+                count += 1
+        finally:
+            # Version credit for every item that landed, even when a later
+            # item raises mid-batch: version-keyed mirrors must see partial
+            # application as the N changes it was, never as zero.
+            self._version += count
+        return count
+
+    def apply_cut_delta(self, delta):
+        """Adjust the cut count by a caller-computed bulk delta.
+
+        The batched ingestion path computes one exact integer delta for a
+        whole run of edge mutations (vectorised over endpoint-partition
+        arrays) instead of calling :meth:`on_edge_added` /
+        :meth:`on_edge_removed` per edge; the equivalence suite pins the
+        result against the per-event bookkeeping.
+        """
+        self._cut_edges += delta
+
     def remove_vertex(self, vertex):
         """Forget a vertex (call *before* the graph drops its edges).
 
@@ -318,3 +362,13 @@ class Partitioner:
             )
         state.assign(vertex, pid)
         return pid
+
+    def place_many(self, state, vertices):
+        """Streaming placement of many new vertices, in order.
+
+        Returns the ``(vertex, pid)`` placements.  The default defers to
+        :meth:`place` one vertex at a time, preserving any order-dependent
+        behaviour (capacity spill-over) exactly; strategies whose placement
+        is a pure per-vertex function (hash) override with a bulk path.
+        """
+        return [(v, self.place(state, v)) for v in vertices]

@@ -32,3 +32,20 @@ class HashPartitioner(Partitioner):
         pid = stable_hash(vertex) % state.num_partitions
         state.assign(vertex, pid)
         return pid
+
+    def place_many(self, state, vertices):
+        """Bulk streaming placement of brand-new (still isolated) vertices.
+
+        Hash placement is a pure per-vertex function, so a batch places
+        exactly where ``n`` sequential :meth:`place` calls would; the state
+        update collapses into one
+        :meth:`~repro.partitioning.base.PartitionState.assign_many` call.
+        Callers guarantee the vertices were just created and have no
+        assigned neighbours yet (the streaming-arrival contract) — the
+        batched ingestion path places endpoints before their first edge
+        lands, exactly like the per-event path does.
+        """
+        k = state.num_partitions
+        placements = [(v, stable_hash(v) % k) for v in vertices]
+        state.assign_many(placements)
+        return placements

@@ -343,8 +343,10 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
         quiet_window=scenario.quiet_window,
         metrics=metrics,
     )
-    system = Coordinator(graph, program, config, executor=executor)
-    try:
+    # Context-managed: an exception anywhere mid-scenario (bad spec, a
+    # worker crash, a failing program) must stop the executor's worker
+    # processes, never orphan them.
+    with Coordinator(graph, program, config, executor=executor) as system:
         settle_iterations = 0
         if adaptive and scenario.settle_iterations:
             while (
@@ -406,5 +408,3 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
             engine="pregel",
             reports=list(system.reports),
         )
-    finally:
-        system.close()

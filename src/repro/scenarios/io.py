@@ -20,8 +20,10 @@ table structure)::
     }
 
 ``churn`` may be one object or a list (composition by stream merging);
-every scalar field of :class:`Scenario` may appear top-level.  TOML needs
-:mod:`tomllib` (Python ≥ 3.11) — on 3.10 a clear error points at JSON.
+every scalar field of :class:`Scenario` may appear top-level.  TOML parses
+via :mod:`tomllib` (Python ≥ 3.11) or, on 3.10, via the API-compatible
+:mod:`tomli` backport when installed (a ``dev`` extra there); with neither
+available a clear error points at JSON.
 """
 
 import json
@@ -32,7 +34,10 @@ from repro.scenarios.spec import ChurnSpec, GraphSpec, Scenario
 try:
     import tomllib as _toml
 except ImportError:  # pragma: no cover - Python 3.10
-    _toml = None
+    try:
+        import tomli as _toml  # same API; the stdlib module started as it
+    except ImportError:
+        _toml = None
 
 __all__ = ["load_scenario", "scenario_from_dict"]
 
@@ -112,8 +117,8 @@ def load_scenario(path):
     elif suffix == ".toml":
         if _toml is None:
             raise ValueError(
-                "TOML scenario specs need Python >= 3.11 (tomllib); "
-                "use a JSON spec instead"
+                "TOML scenario specs need Python >= 3.11 (tomllib) or the "
+                "tomli backport installed; use a JSON spec instead"
             )
         with open(path, "rb") as fh:
             data = _toml.load(fh)

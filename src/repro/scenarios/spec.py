@@ -91,8 +91,10 @@ class Scenario:
     compose by time-merging their streams
     (:meth:`~repro.graph.stream.EventStream.merged_with`) — e.g. a flash
     crowd landing on top of a diurnal drip.  Equal-time ordering across the
-    merged parts is the streams' FIFO creation order, so composition is as
-    deterministic as its parts.
+    merged parts follows the specs' declaration order (earlier spec wins
+    the tie), with each part keeping its internal FIFO order — a pure
+    function of the composed streams, never of what else the process
+    happened to build.
     """
 
     name: str

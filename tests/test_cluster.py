@@ -5,7 +5,9 @@ The suite runs its cross-executor cases on every backend named in
 executor-matrix job sets it to exercise inline and process in isolation.
 """
 
+import gc
 import os
+import time
 
 import pytest
 
@@ -219,6 +221,27 @@ class TestAgainstSerialReference:
             system.close()
 
 
+class _HangingShard:
+    """Picklable shard stand-in whose compute never returns.
+
+    It also shrugs off SIGTERM, so reaping it exercises the full stop
+    escalation: bounded ack wait → join → terminate → kill.
+    """
+
+    def run_superstep(self, task):  # pragma: no cover - runs in the worker
+        import signal
+        import time
+
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(3600)
+
+    def apply_patch(self, patch):  # pragma: no cover - runs in the worker
+        pass
+
+    def snapshot(self):
+        return ({}, set())
+
+
 class _ExplodingProgram(PageRank):
     """Module-level (picklable) program that fails during compute."""
 
@@ -279,6 +302,45 @@ class TestExecutors:
                 PregelConfig(num_workers=2, seed=0),
                 executor=ProcessExecutor(workers=1),
             )
+
+    def test_stop_reaps_a_hard_stuck_worker(self):
+        # A worker wedged in compute (and ignoring SIGTERM) must not hang
+        # stop(): the ack wait is bounded and escalation ends in kill().
+        executor = ProcessExecutor(workers=1)
+        executor._ACK_TIMEOUT = 0.1
+        executor._JOIN_TIMEOUT = 0.3
+        executor.start({0: _HangingShard()})
+        proc = executor._procs[0]
+        # Dispatch the never-returning step without awaiting the reply
+        # (executor.step() would block on it forever, like a real caller
+        # abandoning a stuck superstep would have).
+        executor._pipes[0].send(("step", {0: (None, None)}))
+        deadline = time.monotonic() + 30
+        executor.stop()
+        assert time.monotonic() < deadline, "stop() hung on a stuck worker"
+        assert not proc.is_alive()
+        executor.stop()  # idempotent after escalation too
+
+    def test_dropped_executor_is_reaped_by_the_finalizer(self):
+        executor = ProcessExecutor(workers=1)
+        executor.start({0: Shard(0, PageRank(), None, True)})
+        proc = executor._procs[0]
+        assert proc.is_alive()
+        reaper = executor._reaper
+        del executor
+        gc.collect()
+        assert not reaper.alive  # finalizer ran at collection
+        proc.join(timeout=10)
+        assert not proc.is_alive()
+
+    def test_dead_worker_surfaces_clear_error_then_stops_cleanly(self):
+        executor = ProcessExecutor(workers=1)
+        executor.start({0: Shard(0, PageRank(), None, True)})
+        executor._procs[0].kill()
+        executor._procs[0].join(timeout=10)
+        with pytest.raises(RuntimeError, match="shard worker 0 died"):
+            executor.snapshot()
+        executor.stop()  # broken pipes must not break the teardown
 
     def test_close_is_part_of_coordinator_context_manager(self):
         with Coordinator(

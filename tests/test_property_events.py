@@ -121,6 +121,45 @@ def test_merge_is_stable_per_source_stream(times_a, times_b):
     assert from_b == [te.event for te in b]
 
 
+@given(times_a=st.lists(TIMES, max_size=25), times_b=st.lists(TIMES, max_size=25))
+@settings(max_examples=100, deadline=None)
+def test_merge_tie_order_invariant_to_construction_order(times_a, times_b):
+    """Regression: cross-stream tie order must not depend on which stream's
+    factory ran first in the process.
+
+    ``TimedEvent.seq`` comes from one process-global counter, so sorting the
+    concatenation (the old implementation) ordered equal-time events from
+    two streams by *creation history* — building the same two streams in the
+    opposite order flipped every tie.  The rank-based merge pins ties to
+    (time, receiver-first, per-stream order) whatever else the process built.
+    """
+
+    def build(times, tag):
+        stream = EventStream()
+        for i, t in enumerate(times):
+            stream.push(t, (tag, i))
+        return stream
+
+    # Construction order A-then-B vs B-then-A: global seqs differ wildly.
+    a_1 = build(times_a, "a")
+    b_1 = build(times_b, "b")
+    first = a_1.merged_with(b_1)
+    b_2 = build(times_b, "b")
+    a_2 = build(times_a, "a")
+    second = a_2.merged_with(b_2)
+    assert [(te.time, te.event) for te in first] == [
+        (te.time, te.event) for te in second
+    ]
+    # And the pinned tie rank: at every timestamp, all of the receiver's
+    # events precede the argument's.
+    for stream in (first, second):
+        by_time = {}
+        for te in stream:
+            by_time.setdefault(te.time, []).append(te.event[0])
+        for tags in by_time.values():
+            assert tags == sorted(tags)  # "a" ranks before "b"
+
+
 @given(
     times=st.lists(TIMES, max_size=30),
     bounds=st.tuples(TIMES, TIMES).map(sorted),

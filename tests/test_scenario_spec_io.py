@@ -15,11 +15,11 @@ from repro.scenarios import (
     scenario_from_dict,
 )
 
-try:
-    import tomllib  # noqa: F401
-    HAVE_TOMLLIB = True
-except ImportError:
-    HAVE_TOMLLIB = False
+from repro.scenarios import io as scenario_io
+
+# TOML parses via tomllib (3.11+) or the tomli backport (3.10 dev extra);
+# gate on what the loader actually resolved, not on the stdlib module.
+HAVE_TOML = scenario_io._toml is not None
 
 
 def _composed_scenario(**overrides):
@@ -175,7 +175,9 @@ class TestSpecLoading:
         # File-loaded and dict-built scenarios are the same frozen record.
         assert scenario == scenario_from_dict(SPEC_DOC)
 
-    @pytest.mark.skipif(not HAVE_TOMLLIB, reason="tomllib needs Python 3.11+")
+    @pytest.mark.skipif(
+        not HAVE_TOML, reason="needs tomllib (3.11+) or tomli installed"
+    )
     def test_toml_spec_loads(self, tmp_path):
         toml_doc = """
 name = "toml-scenario"
@@ -200,11 +202,23 @@ duration = 8.0
         assert scenario.name == "toml-scenario"
         assert scenario.churn[0].kind == "growth"
 
-    @pytest.mark.skipif(HAVE_TOMLLIB, reason="exercises the 3.10 gate")
-    def test_toml_without_tomllib_is_a_clear_error(self, tmp_path):
+    @pytest.mark.skipif(
+        HAVE_TOML, reason="exercises the no-TOML-parser gate"
+    )
+    def test_toml_without_any_parser_is_a_clear_error(self, tmp_path):
         path = tmp_path / "scenario.toml"
         path.write_text("name = 'x'\n", encoding="utf-8")
-        with pytest.raises(ValueError, match="tomllib"):
+        with pytest.raises(ValueError, match="tomllib.*tomli"):
+            load_scenario(path)
+
+    def test_toml_gate_message_names_both_parsers(self, tmp_path,
+                                                  monkeypatch):
+        # Simulate 3.10-without-tomli regardless of the running
+        # interpreter: the error must point at both escape hatches.
+        monkeypatch.setattr(scenario_io, "_toml", None)
+        path = tmp_path / "scenario.toml"
+        path.write_text("name = 'x'\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="tomli"):
             load_scenario(path)
 
     def test_unknown_extension_rejected(self, tmp_path):
