@@ -9,7 +9,9 @@ Gives downstream users the paper's workflow without writing code:
 * ``scenario`` — replay a named dynamic scenario (churning graph) and print
   its per-round timeline; ``--static`` runs the paired static-hash cluster,
   ``--engine pregel`` replays through the sharded cluster simulation (with
-  ``--executor inline|thread|process``), ``--spec file`` loads a user
+  ``--executor inline|thread|process`` and ``--decisions
+  shard|coordinator`` selecting where migration proposals are generated —
+  timelines are identical either way), ``--spec file`` loads a user
   JSON/TOML scenario instead of a catalog name;
 * ``datasets`` — print the Table-1 catalog;
 * ``generate`` — write a synthetic dataset to an edge-list file.
@@ -89,6 +91,11 @@ def build_parser():
                     "(default inline)")
     sc.add_argument("--workers", type=int, default=None,
                     help="worker count for --executor thread/process")
+    sc.add_argument("--decisions", default=None,
+                    choices=["shard", "coordinator"],
+                    help="pregel engine only: where migration proposals are "
+                    "generated (default shard; timelines are identical "
+                    "either way, only wall-clock moves)")
     sc.add_argument("--static", action="store_true",
                     help="no adaptation: the paper's static-hash paired cluster")
     sc.add_argument("--metrics", default="incremental",
@@ -176,10 +183,12 @@ def _cmd_scenario(args, out):
             return 0 if args.list_scenarios else 2
         return 0
     if args.engine != "pregel" and (
-        args.executor is not None or args.workers is not None
+        args.executor is not None
+        or args.workers is not None
+        or args.decisions is not None
     ):
         out.write(
-            "--executor/--workers only apply to --engine pregel "
+            "--executor/--workers/--decisions only apply to --engine pregel "
             "(the adaptive engine has no shard executors)\n"
         )
         return 2
@@ -218,6 +227,7 @@ def _cmd_scenario(args, out):
             max_rounds=args.max_rounds,
             engine=args.engine,
             executor=executor,
+            decisions=args.decisions or "shard",
         )
     engine_label = args.engine
     if args.engine == "pregel":

@@ -4,9 +4,12 @@ The paper's system is distributed: vertices live on separate workers and
 supersteps advance through compute → message exchange → barrier.  This
 package gives the reproduction that execution shape for real:
 
-* :mod:`shard` — :class:`Shard`: one worker's resident vertex state and its
-  compute pass, exchanged with the coordinator as plain picklable
-  task/delta/patch records;
+* :mod:`shard` — :class:`Shard`: one worker's resident vertex state, its
+  compute pass and (by default) its share of the migration *decision
+  phase* — heuristic + willingness evaluated shard-locally against a
+  placement mirror, proposals returned for central quota arbitration —
+  exchanged with the coordinator as plain picklable task/delta/patch
+  records;
 * :mod:`executor` — where shard compute runs: :class:`InlineExecutor`
   (serial reference), :class:`ThreadExecutor`, :class:`ProcessExecutor`
   (persistent worker processes with shard affinity);

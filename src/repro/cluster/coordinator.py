@@ -6,23 +6,43 @@ incremental metrics, stream mutations — and swaps the compute phase for a
 BSP fan-out over :class:`~repro.cluster.shard.Shard` objects driven by a
 pluggable :class:`~repro.cluster.executor.Executor`:
 
-1. **compute** — the inbox splits by resident shard, every shard runs the
-   shared compute loop (possibly in other threads/processes) and returns a
-   :class:`ShardDelta`;
-2. **merge** — deltas fold into the authoritative state *in shard-id
-   order*: values, halt votes, the message outbox (pre-combined per worker,
-   so keys never collide), aggregator contributions, per-worker compute
-   cost.  The merge order is what makes results a pure function of the
-   configuration — bit-identical across executors;
+1. **compute + decide** — the inbox splits by resident shard, every shard
+   runs the shared compute loop (possibly in other threads/processes) and —
+   with ``decisions="shard"``, the default — the decision phase over its
+   active residents: heuristic evaluation against its local placement
+   mirror plus the keyed willingness coin, vectorised over the shard block
+   when numpy is present.  Each shard returns a :class:`ShardDelta`
+   carrying its migration *proposals* alongside the compute results;
+2. **merge + arbitrate** — deltas fold into the authoritative state *in
+   shard-id order*: values, halt votes, the message outbox (pre-combined
+   per worker, so keys never collide), aggregator contributions, per-worker
+   compute cost.  The merge order is what makes results a pure function of
+   the configuration — bit-identical across executors.  The coordinator's
+   only remaining decision work is quota arbitration over the proposals in
+   a keyed round permutation (the capacity protocol's serialised step,
+   unbiased across rounds) — its
+   per-superstep decision cost is O(active + proposals), independent of
+   edge count;
 3. **barrier** — exactly the base class's barrier.  Everything it changes
    (announced migrations, stream mutations, fault recoveries) lands in a
    dirty set, and :meth:`_after_barrier` turns that into per-shard
-   :class:`ShardPatch` records applied just before the next compute.
+   :class:`ShardPatch` records applied just before the next compute —
+   including the barrier's *broadcast placement delta*, the simulation's
+   analogue of the migration announcements every worker receives, which
+   keeps every shard's placement mirror exact.
 
 Sharding follows the paper's worker model: **one shard per worker
 (partition)**, so a migration between partitions is a migration between
 shards and the executor's worker count is purely a throughput knob.
+
+``decisions="coordinator"`` preserves the centralised decision phase
+(heuristic evaluation between barriers); both modes run the identical rule
+against the identical snapshot with the identical counter-split RNG, so
+timelines are byte-identical across modes — only wall-clock moves.
 """
+
+from itertools import compress as _compress
+from time import perf_counter
 
 from repro.cluster.executor import make_executor
 from repro.cluster.shard import Shard, ShardPatch, ShardTask
@@ -47,11 +67,18 @@ class Coordinator(PregelSystem):
         self._dirty = set()
         self._vertex_shard = {}
         self._pending_patches = {}
+        self._placement_log = []
+        self._shard_proposals = []
+        self._shard_decisions = False
         super().__init__(graph, program, config, fault_plan)
+        self._shard_decisions = (
+            self.config.adaptive and self.config.decisions == "shard"
+        )
         combiner = program.combiner()
         continuous = self.config.continuous
+        heuristic = self.config.heuristic if self._shard_decisions else None
         shards = {
-            sid: Shard(sid, program, combiner, continuous)
+            sid: Shard(sid, program, combiner, continuous, heuristic)
             for sid in range(self.config.num_workers)
         }
         for v in graph.vertices():
@@ -60,7 +87,14 @@ class Coordinator(PregelSystem):
                 v, self.values[v], tuple(graph.neighbors(v)), False
             )
             self._vertex_shard[v] = pid
+        if self._shard_decisions:
+            # Every shard mirrors the full start-of-run placement; barrier
+            # placement deltas keep the mirrors exact from here on.
+            assignment = list(self.state.assignment_items())
+            for shard in shards.values():
+                shard.seed_placement(assignment)
         self._dirty.clear()  # initial build covered everything
+        self._placement_log.clear()
         self.executor = make_executor(executor)
         try:
             self.executor.start(shards)
@@ -99,6 +133,21 @@ class Coordinator(PregelSystem):
             name: self.aggregators.previous(name)
             for name in self.aggregators.names()
         }
+        decision_ctx = self._decision_ctx if self._shard_decisions else None
+        candidate_slices = None
+        if decision_ctx is not None:
+            # The coordinator's decision-phase work in shard mode is just
+            # this: slice the active set by resident shard (a full sweep
+            # ships no ids at all — candidates=None means "all residents").
+            started = perf_counter()
+            if not self._decision_needs_full_sweep(decision_ctx):
+                candidate_slices = {sid: [] for sid in range(num_workers)}
+                vertex_shard = self._vertex_shard
+                for v in self._active:
+                    sid = vertex_shard.get(v)
+                    if sid is not None:
+                        candidate_slices[sid].append(v)
+            self._decision_seconds += perf_counter() - started
         num_vertices = self.graph.num_vertices
         tasks = {
             sid: ShardTask(
@@ -106,6 +155,12 @@ class Coordinator(PregelSystem):
                 inbox=shard_inbox[sid],
                 num_vertices=num_vertices,
                 agg_previous=agg_previous,
+                decision=decision_ctx,
+                candidates=(
+                    None
+                    if candidate_slices is None
+                    else tuple(candidate_slices[sid])
+                ),
             )
             for sid in range(num_workers)
         }
@@ -115,6 +170,8 @@ class Coordinator(PregelSystem):
 
         per_worker = [0.0] * num_workers
         computed = 0
+        proposals = self._shard_proposals
+        proposals.clear()
         for sid in sorted(deltas):
             delta = deltas[sid]
             computed += delta.computed
@@ -124,10 +181,19 @@ class Coordinator(PregelSystem):
             self.router.absorb(delta.outbox)
             for name, value in delta.aggregated:
                 self.aggregators.contribute(name, value)
+            proposals.extend(delta.proposals)
             # One shard per worker: the shard's compute IS the worker's.
             per_worker[sid] += delta.compute_units
             self.network.count_compute(delta.compute_units)
         return computed, per_worker
+
+    def _generate_proposals(self, context):
+        """Shard mode: the proposals came back with the compute deltas."""
+        if not self._shard_decisions:
+            return super()._generate_proposals(context)
+        proposals = self._shard_proposals
+        self._shard_proposals = []
+        return proposals
 
     # ------------------------------------------------------------------
     # Dirty tracking: every barrier mutation that shards must learn about
@@ -136,10 +202,16 @@ class Coordinator(PregelSystem):
     def _placement_update(self, vertex_id, new_worker):
         super()._placement_update(vertex_id, new_worker)
         self._dirty.add(vertex_id)
+        if self._shard_decisions:
+            self._placement_log.append((vertex_id, new_worker))
 
     def _place_new_vertex(self, vertex):
         super()._place_new_vertex(vertex)
         self._dirty.add(vertex)
+        if self._shard_decisions:
+            pid = self.state.partition_of_or_none(vertex)
+            if pid is not None:
+                self._placement_log.append((vertex, pid))
 
     def _apply_event(self, event):
         pre_neighbours = ()
@@ -150,10 +222,25 @@ class Coordinator(PregelSystem):
             if isinstance(event, (AddVertex, RemoveVertex)):
                 self._dirty.add(event.vertex)
                 self._dirty.update(pre_neighbours)
+                if self._shard_decisions and isinstance(event, RemoveVertex):
+                    self._placement_log.append((event.vertex, None))
             else:  # edge events: both endpoints' adjacency changed
                 self._dirty.add(event.u)
                 self._dirty.add(event.v)
         return changed
+
+    def _note_bulk_placements(self, placements):
+        super()._note_bulk_placements(placements)  # program-value init
+        self._dirty.update(vertex for vertex, _ in placements)
+        if self._shard_decisions:
+            self._placement_log.extend(placements)
+
+    def _note_bulk_edge_changes(self, us, vs, changed):
+        # The bulk edge kernel bypasses _apply_event, so the dirty marks
+        # for changed endpoints (their adjacency tuples) land here.
+        selectors = changed.tolist()
+        self._dirty.update(_compress(us, selectors))
+        self._dirty.update(_compress(vs, selectors))
 
     def _maybe_fail_worker(self):
         worker = super()._maybe_fail_worker()
@@ -173,9 +260,13 @@ class Coordinator(PregelSystem):
 
         Processing the dirty set in canonical vertex order makes every
         shard's insertion (and therefore compute) order a pure function of
-        the run's history — the executor-independence invariant.
+        the run's history — the executor-independence invariant.  With
+        shard decisions on, the barrier's placement log is attached to
+        *every* shard's patch (the same list — a broadcast, like the
+        paper's migration announcements), so every placement mirror folds
+        in the identical delta before the next decision phase.
         """
-        if not self._dirty:
+        if not self._dirty and not self._placement_log:
             return
         patches = {}
 
@@ -205,6 +296,11 @@ class Coordinator(PregelSystem):
             elif old_sid is not None:
                 patch_for(old_sid).removes.append(vertex)
                 del self._vertex_shard[vertex]
+        if self._placement_log:
+            log = self._placement_log
+            self._placement_log = []
+            for sid in range(self.config.num_workers):
+                patch_for(sid).placement_delta = log
         self._dirty.clear()
         self._pending_patches = patches
 
@@ -248,6 +344,27 @@ class Coordinator(PregelSystem):
         for vertex in self.graph.vertices():
             if vertex not in seen:
                 raise AssertionError(f"vertex {vertex!r} resident nowhere")
+        # In-process executors expose the shard objects directly; verify
+        # their placement mirrors against the authoritative assignment (a
+        # process executor's mirrors are covered by cross-executor
+        # identity of the decision timelines).
+        shards = getattr(self.executor, "_shards", None)
+        if shards and self._shard_decisions:
+            expected = dict(self.state.assignment_items())
+            for sid, shard in shards.items():
+                if shard.placement != expected:
+                    drift = {
+                        v: (shard.placement.get(v), expected.get(v))
+                        for v in set(shard.placement) ^ set(expected)
+                        | {
+                            v
+                            for v in set(shard.placement) & set(expected)
+                            if shard.placement[v] != expected[v]
+                        }
+                    }
+                    raise AssertionError(
+                        f"placement mirror drift on shard {sid}: {drift}"
+                    )
         return True
 
 

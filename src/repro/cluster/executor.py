@@ -1,12 +1,17 @@
 """Pluggable shard executors: where the compute phase actually runs.
 
 The coordinator hands every executor the same work each superstep — a
-:class:`~repro.cluster.shard.ShardTask` per shard, plus the previous
-barrier's :class:`~repro.cluster.shard.ShardPatch` records — and gets back
-one :class:`~repro.cluster.shard.ShardDelta` per shard.  Because shard
-compute is a pure function of (shard state, task) and the coordinator merges
-deltas in shard-id order, **the choice of executor cannot change any
-result**; it only changes wall-clock.  Three backends ship:
+:class:`~repro.cluster.shard.ShardTask` per shard (compute inbox plus,
+with ``decisions="shard"``, the round's decision snapshot and candidate
+slice), plus the previous barrier's
+:class:`~repro.cluster.shard.ShardPatch` records — and gets back one
+:class:`~repro.cluster.shard.ShardDelta` per shard (compute results plus
+migration proposals).  Because shard compute *and* shard decisions are
+pure functions of (shard state, task) — willingness draws are keyed, not
+streamed — and the coordinator merges deltas in shard-id order and
+arbitrates proposals in a keyed round permutation, **the choice of executor
+cannot change any result**; it only changes wall-clock.  Three backends
+ship:
 
 * :class:`InlineExecutor` — runs shards sequentially in the calling thread.
   The deterministic reference; zero overhead, no parallelism.

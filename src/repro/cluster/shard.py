@@ -3,36 +3,55 @@
 A :class:`Shard` owns the vertices of one partition (worker): their values,
 halted flags and a local read-only adjacency mirror.  Per superstep it runs
 the shared compute loop (:func:`~repro.pregel.compute.compute_block`) over
-its residents and emits everything the superstep produced as a
-:class:`ShardDelta` — new values, a pre-combined outbox, halt transitions,
-aggregator contributions and per-worker compute cost.  The coordinator
-merges deltas at the barrier **in shard-id order**, so a superstep's outcome
-is independent of which thread or process ran which shard: bit-identical
+its residents — and, when the task carries a decision snapshot, the
+*decision phase* over its candidate residents: heuristic evaluation against
+its local placement mirror plus the vertex-local keyed willingness coin
+(:func:`~repro.pregel.compute.decide_block`, vectorised over the shard
+block by :class:`~repro.core.sweep.ShardSweeper` when numpy is present).
+Everything the superstep produced comes back as a :class:`ShardDelta` —
+new values, a pre-combined outbox, halt transitions, aggregator
+contributions, per-worker compute cost and migration proposals.  The
+coordinator merges deltas at the barrier **in shard-id order** and
+arbitrates proposals in a keyed round permutation, so a superstep's outcome is
+independent of which thread or process ran which shard: bit-identical
 across every :mod:`~repro.cluster.executor` backend.
 
 Between supersteps the coordinator keeps shards current with
-:class:`ShardPatch` records (vertex upserts + evictions) covering whatever
-the barrier changed: stream mutations, announced migrations, fault
-recoveries.  Everything here is plain picklable data — that is the whole
-contract :class:`~repro.cluster.executor.ProcessExecutor` needs.
+:class:`ShardPatch` records (vertex upserts + evictions, plus the barrier's
+broadcast placement delta — the simulation's analogue of the migration
+announcements every worker receives) covering whatever the barrier changed:
+stream mutations, announced migrations, fault recoveries.  Everything here
+is plain picklable data — that is the whole contract
+:class:`~repro.cluster.executor.ProcessExecutor` needs.
 """
 
 from dataclasses import dataclass, field
 
-from repro.core.sweep import sort_vertices
-from repro.pregel.compute import compute_block
+from repro.core.sweep import make_shard_sweeper, sort_vertices
+from repro.pregel.compute import compute_block, decide_block
 
 __all__ = ["Shard", "ShardDelta", "ShardPatch", "ShardTask"]
 
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One superstep's input for one shard."""
+    """One superstep's input for one shard.
+
+    ``decision`` is the round's frozen
+    :class:`~repro.core.heuristic.DecisionContext` when this shard should
+    run the decision phase (None = no decisions this superstep, e.g. a
+    non-adaptive run or ``decisions="coordinator"``); ``candidates`` names
+    the resident vertices to evaluate, with None meaning *all residents*
+    (a full sweep — the shard enumerates them itself, so full rounds ship
+    no id lists at all).
+    """
 
     superstep: int
     inbox: dict            # vertex id -> message list (this shard's slice)
     num_vertices: int      # global vertex count (a master statistic)
     agg_previous: dict     # aggregator name -> last barrier's folded value
+    decision: object = None
+    candidates: object = None
 
 
 @dataclass
@@ -45,10 +64,19 @@ class ShardPatch:
     ``removes`` lists evicted vertex ids.  Removes apply first: a vertex
     migrating between two shards appears as a remove on one and an upsert
     on the other.
+
+    ``placement_delta`` is the barrier's ordered placement changes —
+    ``(vertex, pid)`` for moves and streaming placements, ``(vertex,
+    None)`` for removals.  Unlike upserts it is a *broadcast*: every shard
+    receives the same delta (the paper's workers all learn every migration
+    announcement), which is what keeps each shard's global placement
+    mirror — the state the decision phase reads neighbour locations from —
+    exact.
     """
 
     upserts: dict = field(default_factory=dict)
     removes: list = field(default_factory=list)
+    placement_delta: list = field(default_factory=list)
 
 
 @dataclass
@@ -57,6 +85,10 @@ class ShardDelta:
 
     ``compute_units`` is also the shard's worker compute load: one shard
     per worker, so the coordinator attributes it to ``shard_id`` directly.
+    ``proposals`` is the decision phase's output — ``(vertex, current,
+    desired, willing)`` for every candidate that wants to move, willingness
+    coin already flipped (it is vertex-local state in the paper) — ready
+    for the coordinator's quota arbitration.
     """
 
     shard_id: int
@@ -67,6 +99,7 @@ class ShardDelta:
     halted_removed: list
     aggregated: list       # (name, value) contributions in call order
     compute_units: float
+    proposals: list = field(default_factory=list)
 
 
 class _ShardGraph:
@@ -137,9 +170,17 @@ class _ShardAggregators:
 
 
 class Shard:
-    """The resident vertex state of one worker, plus its compute pass."""
+    """The resident vertex state of one worker, plus its compute pass.
 
-    def __init__(self, shard_id, program, combiner, continuous):
+    With ``heuristic`` set the shard also hosts the decision phase: it
+    keeps a mirror of the *global* placement (seeded once at start, kept
+    exact by the barrier's broadcast placement deltas) and evaluates the
+    heuristic + willingness coin over its candidate residents each
+    superstep the coordinator asks it to.
+    """
+
+    def __init__(self, shard_id, program, combiner, continuous,
+                 heuristic=None):
         self.shard_id = shard_id
         self.program = program
         self.continuous = continuous
@@ -148,6 +189,9 @@ class Shard:
         self._adj = {}
         self._combiner = combiner
         self.graph = _ShardGraph(self._adj)
+        self.heuristic = heuristic
+        self.placement = None  # global placement mirror (decision phase)
+        self._sweeper = make_shard_sweeper(heuristic)
         # Per-superstep scratch, bound during run_superstep.
         self.router = None
         self.aggregators = None
@@ -169,12 +213,38 @@ class Shard:
             self.halted.add(vertex)
         else:
             self.halted.discard(vertex)
+        if self._sweeper is not None:
+            self._sweeper.admit(vertex, self._adj[vertex])
 
     def evict(self, vertex):
         """Drop one resident (migration departure or stream removal)."""
         self.values.pop(vertex, None)
         self._adj.pop(vertex, None)
         self.halted.discard(vertex)
+        if self._sweeper is not None:
+            self._sweeper.evict(vertex)
+
+    def seed_placement(self, assignment_items):
+        """Install the initial global placement mirror (start-of-run)."""
+        self.placement = dict(assignment_items)
+        if self._sweeper is not None:
+            self._sweeper.place_many(list(self.placement.items()))
+
+    def apply_placement_delta(self, delta):
+        """Fold one barrier's broadcast placement changes into the mirror."""
+        placement = self.placement
+        if placement is None:
+            return
+        sweeper = self._sweeper
+        for vertex, pid in delta:
+            if pid is None:
+                placement.pop(vertex, None)
+                if sweeper is not None:
+                    sweeper.unplace(vertex)
+            else:
+                placement[vertex] = pid
+                if sweeper is not None:
+                    sweeper.place(vertex, pid)
 
     def apply_patch(self, patch):
         """Apply one barrier's changes (removes first, then upserts)."""
@@ -182,6 +252,8 @@ class Shard:
             self.evict(vertex)
         for vertex, (value, neighbours, halted) in patch.upserts.items():
             self.admit(vertex, value, neighbours, halted)
+        if patch.placement_delta:
+            self.apply_placement_delta(patch.placement_delta)
 
     # ------------------------------------------------------------------
     # Compute (the host contract of compute_block)
@@ -190,6 +262,30 @@ class Shard:
     def note_cost(self, vertex, cost):
         self._compute_units += cost
         self._computed_ids.append(vertex)
+
+    @property
+    def placement_of(self):
+        """The decision-host contract of :func:`decide_block`: mirror reads."""
+        return self.placement.get
+
+    def _decision_phase(self, task):
+        """Evaluate the decision step for ``task``; returns the proposals.
+
+        Candidate order is canonicalised locally (the coordinator ships
+        slices of a set), and None means every resident.  Evaluation order
+        cannot matter — decisions see only the frozen snapshot and the
+        willingness draws are keyed — but a deterministic order makes the
+        delta itself reproducible byte for byte.
+        """
+        context = task.decision
+        if context is None or self.placement is None:
+            return []
+        candidates = sort_vertices(
+            self.values if task.candidates is None else task.candidates
+        )
+        if self._sweeper is not None:
+            return self._sweeper.decisions(context, candidates)
+        return decide_block(self, context, candidates)
 
     def run_superstep(self, task):
         """Run the compute pass for ``task``; returns the :class:`ShardDelta`."""
@@ -211,6 +307,7 @@ class Shard:
             halted_removed=sort_vertices(halted_before - self.halted),
             aggregated=self.aggregators.contributions,
             compute_units=self._compute_units,
+            proposals=self._decision_phase(task),
         )
         self.router = None
         self.aggregators = None

@@ -37,6 +37,7 @@ from repro.core.capacity import QuotaTable
 from repro.core.convergence import ConvergenceDetector
 from repro.core.heuristic import (
     CapacityWeightedGreedy,
+    DecisionContext,
     GreedyMaxNeighbours,
     HEURISTICS,
     MigrationHeuristic,
@@ -52,6 +53,7 @@ __all__ = [
     "BalancePolicy",
     "CapacityWeightedGreedy",
     "ConvergenceDetector",
+    "DecisionContext",
     "EdgeBalance",
     "GreedyMaxNeighbours",
     "HEURISTICS",

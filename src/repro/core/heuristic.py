@@ -10,10 +10,21 @@ partition, the partition histogram of its own neighbours, and the
 partition-level remaining-capacity vector (k numbers, propagated by the
 capacity protocol).  It returns the desired destination, or the current
 partition to stay.
+
+The decision phase of the distributed simulation evaluates heuristics
+*inside shards*, against a frozen :class:`DecisionContext` snapshot of the
+global capacity view — exactly the "local state plus global load counters"
+the streaming-partitioning line shows is sufficient.  The batched entry
+point :meth:`MigrationHeuristic.desired_partitions` is what shards call;
+its default simply loops :meth:`~MigrationHeuristic.desired_partition`, so
+custom heuristics keep working unchanged.
 """
+
+from dataclasses import dataclass
 
 __all__ = [
     "CapacityWeightedGreedy",
+    "DecisionContext",
     "DegreeDiscountedGreedy",
     "GreedyMaxNeighbours",
     "HEURISTICS",
@@ -22,10 +33,42 @@ __all__ = [
 ]
 
 
+@dataclass(frozen=True)
+class DecisionContext:
+    """Frozen global snapshot one decision round evaluates against.
+
+    This is the *entire* non-local state a vertex may consult (§2.1): the
+    per-partition remaining-capacity vector published by the capacity
+    protocol, the round number, the willingness probability ``s`` and the
+    64-bit willingness RNG lane.  It is plain picklable data — the sharded
+    execution layer ships one per superstep to every shard, and every shard
+    (and the single-process reference path) deciding against the same
+    snapshot is what makes the decision phase's outcome independent of
+    where it runs.
+    """
+
+    round_index: int     # superstep/iteration number, keys willingness draws
+    remaining: tuple     # per-partition remaining capacity C_t(i)
+    willingness: float   # the paper's s
+    lane: int            # WillingnessSource lane (derived from the seed)
+
+    @property
+    def num_partitions(self):
+        return len(self.remaining)
+
+
 class MigrationHeuristic:
     """Interface: pick a desired partition from local information only."""
 
     name = "abstract"
+
+    #: True when decisions consult the remaining-capacity vector.  The
+    #: active-set optimisation then adds a *capacity trigger*: a round whose
+    #: capacity snapshot differs from the previous round's re-evaluates
+    #: every vertex (any component change can flip a capacity-dependent
+    #: comparison), while rounds with an unchanged snapshot keep the cheap
+    #: neighbour-of-changed activation.
+    uses_capacity = False
 
     def desired_partition(
         self, current_pid, neighbour_counts, remaining_capacity
@@ -38,6 +81,25 @@ class MigrationHeuristic:
         means stay.
         """
         raise NotImplementedError
+
+    def desired_partitions(self, context, items):
+        """Batched decisions against a :class:`DecisionContext` snapshot.
+
+        ``items`` yields ``(vertex, current_pid, neighbour_counts)``; the
+        generator yields ``(vertex, current_pid, desired_pid)`` in the same
+        order.  Decisions within a round are order-independent (every one
+        sees the same frozen snapshot), which is what lets shards evaluate
+        their blocks concurrently.  The default defers to the per-vertex
+        rule; vectorised implementations (the shard sweeper) bypass this
+        only for the exact paper heuristic.
+        """
+        remaining = context.remaining
+        for vertex, current_pid, neighbour_counts in items:
+            yield (
+                vertex,
+                current_pid,
+                self.desired_partition(current_pid, neighbour_counts, remaining),
+            )
 
 
 class GreedyMaxNeighbours(MigrationHeuristic):
@@ -74,6 +136,8 @@ class CapacityWeightedGreedy(MigrationHeuristic):
     """
 
     name = "capacity-weighted"
+
+    uses_capacity = True
 
     def desired_partition(
         self, current_pid, neighbour_counts, remaining_capacity

@@ -3,7 +3,12 @@
 :meth:`AdaptiveRunner.apply_events` historically walked one event at a time
 — fifteen-odd Python calls per event — which capped the rolling-window
 scenarios far below the paper's "millions of users" scale.  This module is
-the bulk path it dispatches to instead: an
+the bulk path it dispatches to instead (and, since the pregel engine's
+:meth:`PregelSystem._apply_pending_events` routes through the same
+ingestor, the path barrier mutations take in the distributed simulation
+too — host hooks cover the engine-specific bookkeeping: program-value
+initialisation for new endpoints, and the coordinator's dirty marks +
+placement broadcast): an
 :class:`~repro.graph.events.EventBatch` splits the round's events into runs,
 vertex events stay per-event (they touch interning, placement and neighbour
 bookkeeping), and each run of edge events becomes one vectorised job over
@@ -152,6 +157,9 @@ class BatchIngestor:
         runner.metrics.on_vertices_placed(placements)
         if runner._sweeper is not None:
             runner._sweeper.note_assign_many(placements)
+        # Host hook: the Pregel hosts initialise program values here (and
+        # the sharded coordinator its dirty set + placement broadcast).
+        runner._note_bulk_placements(placements)
         return self._slots_of(us), self._slots_of(vs)
 
     # ------------------------------------------------------------------
@@ -313,6 +321,9 @@ class BatchIngestor:
                 selectors = changed.tolist()
                 active.update(_compress(us, selectors))
                 active.update(_compress(vs, selectors))
+            # Host hook: the sharded coordinator marks changed endpoints
+            # dirty so shard adjacency mirrors stay current.
+            runner._note_bulk_edge_changes(us, vs, changed)
         return total_changed
 
     def _apply_singles(self, us, vs, spos, s_kind):

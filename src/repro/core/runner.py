@@ -19,8 +19,15 @@ everything from scratch each round as a debug cross-check.
 An exact *active-set* optimisation keeps long converged phases cheap: the
 paper's greedy rule depends only on a vertex's neighbour locations, so a
 vertex that chose to stay cannot change its mind until a neighbour moves or
-the graph mutates around it.  Heuristics that consult capacities opt out via
-``uses_capacity`` and fall back to full sweeps.
+the graph mutates around it.  Heuristics that consult capacities
+(``uses_capacity``) get the same story plus a *capacity trigger*: a round
+whose remaining-capacity vector differs from the last evaluated round's
+re-evaluates every vertex (any component change can flip a
+capacity-weighted comparison — crossing-only triggers would be unsound for
+a continuous openness weight), while rounds with an unchanged vector keep
+the cheap neighbour-of-changed activation.  Convergence is exactly where
+that pays: no migrations and no churn means no capacity movement, so quiet
+phases cost O(active) instead of a full sweep per round.
 
 On a :class:`~repro.graph.compact.CompactGraph` with the paper's greedy
 heuristic, per-vertex decisions are produced by the vectorised
@@ -117,6 +124,7 @@ class AdaptiveRunner:
         self.iteration = 0
         self._capacities = None
         self._active = None
+        self._last_remaining = None  # capacity trigger (uses_capacity)
         self._sweeper = make_sweeper(graph, state, self.config.heuristic)
         if self._sweeper is not None:
             self._sweeper.warm()  # build the CSR mirror off the hot path
@@ -163,8 +171,19 @@ class AdaptiveRunner:
     # ------------------------------------------------------------------
 
     def _tracking_active(self):
-        return self.config.track_active and not getattr(
-            self.config.heuristic, "uses_capacity", False
+        return self.config.track_active
+
+    def _needs_full_sweep(self, remaining):
+        """True when this round must evaluate every vertex.
+
+        Untracked configurations always sweep fully; a capacity-consulting
+        heuristic additionally sweeps fully on any change of the remaining
+        vector since the last evaluated round (the capacity trigger).
+        """
+        if not self._tracking_active():
+            return True
+        return getattr(self.config.heuristic, "uses_capacity", False) and (
+            self._last_remaining != tuple(remaining)
         )
 
     def _activate_all(self):
@@ -206,9 +225,9 @@ class AdaptiveRunner:
         remaining = self.remaining_capacities()
         quotas = QuotaTable(remaining, state.num_partitions)
         candidates = (
-            self._ordered_active()
-            if self._tracking_active()
-            else list(self.graph.vertices())
+            list(self.graph.vertices())
+            if self._needs_full_sweep(remaining)
+            else self._ordered_active()
         )
         # Random evaluation order so quota contention is unbiased.
         self._rng.shuffle(candidates)
@@ -254,6 +273,7 @@ class AdaptiveRunner:
                     self._activate_neighbourhood(v)
 
         self.iteration += 1
+        self._last_remaining = tuple(remaining)
         sizes = state.sizes
         stats = IterationStats(
             iteration=self.iteration,
@@ -356,6 +376,17 @@ class AdaptiveRunner:
             pid = state.partition_of_or_none(vertex)
             if pid is not None:
                 self._sweeper.note_assign(vertex, pid)
+
+    def _note_bulk_placements(self, placements):
+        """Bulk-ingestion hook: new endpoints interned + placed in bulk.
+
+        The runner's bookkeeping is already handled inside the kernel; the
+        Pregel hosts override this to initialise program values (and, in
+        the sharded coordinator, dirty marks + the placement broadcast).
+        """
+
+    def _note_bulk_edge_changes(self, us, vs, changed):
+        """Bulk-ingestion hook: one edge run applied, ``changed`` flags it."""
 
     def _apply_one(self, event):
         graph = self.graph

@@ -28,16 +28,34 @@ The sweeper engages only for the exact paper heuristic
 (:class:`~repro.core.heuristic.GreedyMaxNeighbours`) on a compact graph with
 numpy present; every other combination uses :func:`generic_decisions`, the
 portable per-vertex path.
+
+:class:`ShardSweeper` is the same idea scoped to one
+:class:`~repro.cluster.shard.Shard`: a local CSR of the shard's resident
+adjacency (append-only blocks with garbage compaction, so churn patches
+cost O(changed), not O(shard)), a slot-indexed mirror of the *global*
+placement (fed by the coordinator's broadcast placement deltas) and one
+vectorised greedy pass per decision round, including the keyed willingness
+draws.  It is bit-identical to the portable
+:func:`~repro.pregel.compute.decide_block` path by the same argument as
+above, and the equivalence suite pins it.
 """
 
 from repro.core.heuristic import GreedyMaxNeighbours
+from repro.utils.rng import WillingnessSource, vertex_key
 
 try:
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy is optional
     _np = None
 
-__all__ = ["CompactSweeper", "generic_decisions", "make_sweeper", "sort_vertices"]
+__all__ = [
+    "CompactSweeper",
+    "ShardSweeper",
+    "generic_decisions",
+    "make_shard_sweeper",
+    "make_sweeper",
+    "sort_vertices",
+]
 
 
 def sort_vertices(vertices):
@@ -479,29 +497,14 @@ class CompactSweeper:
         Returns ``(nbr, row)``: the neighbour slots of every queried slot
         back to back, and the queried-slot index each entry belongs to.
         The mirror's offsets are non-monotonic (dirty-region patching
-        relocates blocks), so the gather works from explicit per-slot
-        ``(start, length)`` pairs: pos enumerates ``[start, start + deg)``
-        per slot, concatenated.
+        relocates blocks), so the gather works from the shared
+        explicit-``(start, length)`` helper.
         """
         starts_a, lens_a, indices_a = self.graph.ensure_csr()
         starts = _np.frombuffer(starts_a, dtype=_np.int64)
         lens = _np.frombuffer(lens_a, dtype=_np.int64)
-        deg = lens[slots]
-        total = int(deg.sum())
-        n = len(slots)
-        if not total:
-            empty = _np.empty(0, dtype=_np.int64)
-            return empty, empty
         indices = _np.frombuffer(indices_a, dtype=_np.int64)
-        cum = _np.zeros(n, dtype=_np.int64)
-        _np.cumsum(deg[:-1], out=cum[1:])
-        pos = (
-            _np.arange(total, dtype=_np.int64)
-            - _np.repeat(cum, deg)
-            + _np.repeat(starts[slots], deg)
-        )
-        row = _np.repeat(_np.arange(n, dtype=_np.int64), deg)
-        return indices[pos], row
+        return _gather_explicit(indices, starts[slots], lens[slots])
 
     def decisions(self, candidates, remaining=None):
         """Yield ``(vertex, current, desired)`` for candidates wanting to move.
@@ -521,27 +524,13 @@ class CompactSweeper:
         assign = self._assign
         slots = self._candidate_slots(candidates)
         cur = assign[slots]
-        k = self.state.num_partitions
         nbr, row = self._gather_blocks(slots)
-        if len(nbr):
-            nbr_pid = assign[nbr]
-            assigned = nbr_pid >= 0
-            counts = _np.bincount(
-                row[assigned] * k + nbr_pid[assigned], minlength=n * k
-            ).reshape(n, k)
-        else:
-            counts = _np.zeros((n, k), dtype=_np.int64)
-        best = counts.max(axis=1)
-        # argmax returns the lowest partition id among ties — exactly the
-        # greedy rule's deterministic tie-break.
-        best_pid = counts.argmax(axis=1)
-        here = counts[_np.arange(n), _np.where(cur >= 0, cur, 0)]
-        stay = (best == 0) | (here == best)
-        desired = _np.where(stay, cur, best_pid)
+        desired, movers = _greedy_movers(
+            cur, nbr, row, assign, self.state.num_partitions
+        )
         # Only vertices that want to move matter to the caller's sequential
         # phase (settled ones draw no RNG and trigger no bookkeeping), so
         # emit just those — in candidate order, preserving the RNG pairing.
-        movers = _np.flatnonzero((cur >= 0) & (desired != cur))
         return self._emit(candidates, cur, desired, movers)
 
     @staticmethod
@@ -601,3 +590,271 @@ class CompactSweeper:
         self._synced_version = state.version
         id_of = self.graph.id_of
         return [id_of(s) for s in touched.tolist()]
+
+
+def make_shard_sweeper(heuristic):
+    """A :class:`ShardSweeper` when the vectorised shard path applies.
+
+    Same gate as :func:`make_sweeper`: numpy present and the *exact* paper
+    heuristic (a subclass could override the rule).  Every other
+    combination decides through the portable
+    :func:`~repro.pregel.compute.decide_block`.
+    """
+    if _np is not None and type(heuristic) is GreedyMaxNeighbours:
+        return ShardSweeper()
+    return None
+
+
+class ShardSweeper:
+    """Vectorised greedy decisions + willingness over one shard's block.
+
+    The shard feeds it the same stream of membership changes it applies to
+    its own dict state (:meth:`admit` / :meth:`evict`) plus the
+    coordinator's broadcast placement deltas (:meth:`place` /
+    :meth:`unplace`); :meth:`decisions` then evaluates a whole candidate
+    block in one pass.  Ids are interned into local slots on first sight
+    (residents *and* their neighbours); resident adjacency lives as
+    append-only ``(start, len)`` blocks in one flat array, compacted when
+    garbage from re-admissions and evictions exceeds the live volume — so
+    a quiet shard whose placements churn pays O(changed placements), and an
+    adjacency patch pays O(degree of the patched vertices).
+    """
+
+    _GROW = 1024
+
+    def __init__(self):
+        self._slot = {}
+        self._keys = _np.empty(0, dtype=_np.uint64)
+        self._place = _np.empty(0, dtype=_np.int64)
+        self._starts = _np.empty(0, dtype=_np.int64)
+        self._lens = _np.empty(0, dtype=_np.int64)
+        self._blocks = _np.empty(0, dtype=_np.int64)
+        self._used = 0
+        self._garbage = 0
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+
+    def _grow_slots(self, needed):
+        size = max(needed, 2 * len(self._place), self._GROW)
+        for name, fill in (
+            ("_keys", 0),
+            ("_place", -1),
+            ("_starts", 0),
+            ("_lens", 0),
+        ):
+            old = getattr(self, name)
+            grown = _np.full(size, fill, dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+    def _intern(self, vertex):
+        slot = self._slot.get(vertex)
+        if slot is None:
+            slot = len(self._slot)
+            self._slot[vertex] = slot
+            if slot >= len(self._place):
+                self._grow_slots(slot + 1)
+            self._keys[slot] = vertex_key(vertex)
+        return slot
+
+    # ------------------------------------------------------------------
+    # Membership + placement upkeep (mirrors the shard's dict state)
+    # ------------------------------------------------------------------
+
+    def admit(self, vertex, neighbours):
+        """Upsert one resident's adjacency block."""
+        slot = self._intern(vertex)
+        self._garbage += int(self._lens[slot])
+        degree = len(neighbours)
+        if degree:
+            end = self._used + degree
+            if end > len(self._blocks):
+                grown = _np.empty(
+                    max(end, 2 * len(self._blocks), self._GROW),
+                    dtype=_np.int64,
+                )
+                grown[: self._used] = self._blocks[: self._used]
+                self._blocks = grown
+            block = self._blocks[self._used : end]
+            for i, w in enumerate(neighbours):
+                block[i] = self._intern(w)
+            self._starts[slot] = self._used
+            self._used = end
+        else:
+            self._starts[slot] = 0
+        self._lens[slot] = degree
+        if self._garbage > max(self._used - self._garbage, self._GROW):
+            self._compact()
+
+    def evict(self, vertex):
+        """Drop one resident's block (its interned slot remains valid)."""
+        slot = self._slot.get(vertex)
+        if slot is None:
+            return
+        self._garbage += int(self._lens[slot])
+        self._lens[slot] = 0
+        self._starts[slot] = 0
+
+    def place(self, vertex, pid):
+        """Mirror one placement (any vertex, resident or not)."""
+        slot = self._intern(vertex)  # may grow (and replace) the arrays
+        self._place[slot] = pid
+
+    def place_many(self, items):
+        """Bulk :meth:`place` — the start-of-run mirror seeding path.
+
+        One interning pass (dict inserts are unavoidable), then the keys
+        and placements land as two vectorised stores when every id is a
+        plain int — so seeding k mirrors over a large graph costs one
+        tight loop per shard instead of per-vertex method dispatch.
+        """
+        n = len(items)
+        if not n:
+            return
+        slot_of = self._slot
+        slots = _np.empty(n, dtype=_np.int64)
+        pids = _np.empty(n, dtype=_np.int64)
+        non_int = []
+        for i, (vertex, pid) in enumerate(items):
+            slot = slot_of.get(vertex)
+            if slot is None:
+                slot = len(slot_of)
+                slot_of[vertex] = slot
+            slots[i] = slot
+            pids[i] = pid
+            if type(vertex) is not int:
+                non_int.append(i)
+        if len(slot_of) > len(self._place):
+            self._grow_slots(len(slot_of))
+        try:
+            ids = _np.fromiter(
+                (0 if type(v) is not int else v for v, _ in items),
+                dtype=_np.int64,
+                count=n,
+            )
+        except OverflowError:  # ints beyond int64: key per item instead
+            non_int = range(n)
+            ids = _np.zeros(n, dtype=_np.int64)
+        # int64 -> uint64 view is exactly the scalar path's `& 2**64-1`.
+        self._keys[slots] = ids.view(_np.uint64)
+        for i in non_int:
+            self._keys[slots[i]] = vertex_key(items[i][0])
+        self._place[slots] = pids
+
+    def unplace(self, vertex):
+        """Mirror one removal from the placement."""
+        slot = self._slot.get(vertex)
+        if slot is not None:
+            self._place[slot] = -1
+
+    def _compact(self):
+        """Rewrite the block array with only live blocks (garbage drops)."""
+        live = _np.flatnonzero(self._lens > 0)
+        if not len(live):
+            self._used = 0
+            self._garbage = 0
+            return
+        nbr, row = _gather_explicit(
+            self._blocks, self._starts[live], self._lens[live]
+        )
+        del row
+        starts = _np.zeros(len(live), dtype=_np.int64)
+        _np.cumsum(self._lens[live][:-1], out=starts[1:])
+        self._blocks = nbr
+        self._starts[live] = starts
+        self._used = len(nbr)
+        self._garbage = 0
+
+    # ------------------------------------------------------------------
+    # The decision pass
+    # ------------------------------------------------------------------
+
+    def decisions(self, context, candidates):
+        """Vectorised :func:`~repro.pregel.compute.decide_block`.
+
+        Returns the same ``[(vertex, current, desired, willing), ...]``
+        proposal list (movers only, candidate order) the portable path
+        produces, bit for bit: same greedy rule, same tie-breaks, same
+        keyed willingness draws.
+        """
+        n = len(candidates)
+        if n == 0:
+            return []
+        slot = self._slot
+        slots = _np.fromiter(
+            (slot[v] for v in candidates), dtype=_np.int64, count=n
+        )
+        place = self._place
+        cur = place[slots]
+        nbr, row = _gather_explicit(
+            self._blocks, self._starts[slots], self._lens[slots]
+        )
+        desired, movers = _greedy_movers(
+            cur, nbr, row, place, context.num_partitions
+        )
+        if not len(movers):
+            return []
+        source = WillingnessSource(context.lane)
+        draws = source.draw_keys(context.round_index, self._keys[slots[movers]])
+        willing = draws < context.willingness
+        return [
+            (candidates[i], int(cur[i]), int(desired[i]), bool(w))
+            for i, w in zip(movers.tolist(), willing.tolist())
+        ]
+
+
+def _greedy_movers(cur, nbr, row, assignment, k):
+    """The vectorised greedy rule over gathered neighbour blocks.
+
+    One shared kernel for both sweepers — this stay/tie-break logic is
+    exactly what the byte-identical golden-timeline contract pins, so it
+    must never fork.  ``cur`` holds each candidate's partition (−1 =
+    unassigned), ``(nbr, row)`` a gather of candidate neighbour slots, and
+    ``assignment`` the slot-indexed partition array the gather refers to.
+    Returns ``(desired, movers)``: every candidate's desired partition and
+    the indices of candidates that want to move.  ``argmax`` returns the
+    lowest partition id among ties — exactly the greedy rule's
+    deterministic tie-break; unassigned candidates and neighbour-less
+    candidates always stay.
+    """
+    n = len(cur)
+    if len(nbr):
+        nbr_pid = assignment[nbr]
+        assigned = nbr_pid >= 0
+        counts = _np.bincount(
+            row[assigned] * k + nbr_pid[assigned], minlength=n * k
+        ).reshape(n, k)
+    else:
+        counts = _np.zeros((n, k), dtype=_np.int64)
+    best = counts.max(axis=1)
+    best_pid = counts.argmax(axis=1)
+    here = counts[_np.arange(n), _np.where(cur >= 0, cur, 0)]
+    stay = (best == 0) | (here == best)
+    desired = _np.where(stay, cur, best_pid)
+    movers = _np.flatnonzero((cur >= 0) & (desired != cur))
+    return desired, movers
+
+
+def _gather_explicit(blocks, starts, lens):
+    """Gather explicit ``(start, len)`` blocks, concatenated.
+
+    Returns ``(entries, row)`` exactly like
+    :meth:`CompactSweeper._gather_blocks`: every queried block's entries
+    back to back, plus the query index each entry belongs to.
+    """
+    total = int(lens.sum())
+    if not total:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty
+    n = len(starts)
+    cum = _np.zeros(n, dtype=_np.int64)
+    _np.cumsum(lens[:-1], out=cum[1:])
+    pos = (
+        _np.arange(total, dtype=_np.int64)
+        - _np.repeat(cum, lens)
+        + _np.repeat(starts, lens)
+    )
+    row = _np.repeat(_np.arange(n, dtype=_np.int64), lens)
+    return blocks[pos], row

@@ -29,11 +29,27 @@ attribute            contract
 Because every effect flows through the host, a block's outcome is a pure
 function of (host state, inbox, superstep) — the property the cluster layer
 relies on for bit-identical results across executors.
+
+:func:`decide_block` is the matching *decision step* of the paper's
+background partitioner: heuristic evaluation plus the vertex-local
+willingness coin over one block of candidate vertices, against a frozen
+:class:`~repro.core.heuristic.DecisionContext` snapshot.  The same two
+hosts run it — the single-process system over the whole candidate set, a
+shard over its resident slice — and because every willingness draw is
+keyed by ``(lane, round, vertex)`` (no shared stream), the union of the
+blocks' proposals is a pure function of the start-of-round state no matter
+how the blocks are split.  The host contract adds two members:
+
+==================  =====================================================
+``heuristic``        the :class:`MigrationHeuristic` being evaluated
+``placement_of(v)``  partition id of any vertex, or None when unassigned
+==================  =====================================================
 """
 
 from repro.pregel.vertex import VertexContext
+from repro.utils.rng import WillingnessSource
 
-__all__ = ["compute_block"]
+__all__ = ["compute_block", "decide_block"]
 
 
 def compute_block(host, vertex_ids, inbox, superstep):
@@ -59,3 +75,40 @@ def compute_block(host, vertex_ids, inbox, superstep):
         host.note_cost(v, program.compute_cost(ctx, messages))
         computed += 1
     return computed
+
+
+def decide_block(host, context, candidates):
+    """Run the decision step over ``candidates``; returns the proposals.
+
+    For each assigned candidate the heuristic picks a desired partition
+    from the neighbour histogram (read through ``host.placement_of``, so a
+    shard answers from its placement mirror and the reference system from
+    the authoritative state) and movers flip the keyed willingness coin.
+    Returns ``[(vertex, current, desired, willing), ...]`` in candidate
+    order — only movers, since settled vertices are no-ops to arbitration.
+    """
+    placement_of = host.placement_of
+    neighbors = host.graph.neighbors
+    source = WillingnessSource(context.lane)
+    round_index = context.round_index
+    s = context.willingness
+
+    def histograms():
+        for v in candidates:
+            current = placement_of(v)
+            if current is None:
+                continue
+            counts = {}
+            for w in neighbors(v):
+                pid = placement_of(w)
+                if pid is not None:
+                    counts[pid] = counts.get(pid, 0) + 1
+            yield v, current, counts
+
+    return [
+        (v, current, desired, source.willing(round_index, v, s))
+        for v, current, desired in host.heuristic.desired_partitions(
+            context, histograms()
+        )
+        if desired != current
+    ]

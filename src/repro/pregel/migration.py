@@ -20,9 +20,110 @@ The simulation realises this with a strict barrier ordering (enforced by
 
 Requests made *during* a superstep are therefore never visible to that same
 superstep — the property the protocol exists to guarantee.
+
+The *decision* side is split in two, mirroring the paper's division of
+labour: **proposal generation** is vertex-local (heuristic + willingness
+coin, see :func:`~repro.pregel.compute.decide_block` — it runs inside
+shards) and **arbitration** (:func:`arbitrate_proposals`) is the only
+centrally-serialised step: consuming lane quotas in a keyed round-specific
+permutation and filing the admitted requests with the protocol.
 """
 
-__all__ = ["MigrationProtocol"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+__all__ = [
+    "MigrationProtocol",
+    "arbitrate_proposals",
+    "permute_proposals",
+    "sort_proposals",
+]
+
+
+def sort_proposals(proposals, priority=None):
+    """Proposals in deterministic arbitration order (mixed-id-type safe).
+
+    Arbitration consumes quota lanes first-come; making "first" a pure
+    function of the proposal *set* (never of which shard produced a
+    proposal or in which order deltas arrived) is what keeps arbitration
+    executor- and mode-independent.  The base order is canonical vertex
+    order; ``priority`` (a ``vertex -> sortable`` key, in practice a keyed
+    per-round draw) then reshuffles it so quota contention is *unbiased* —
+    a fixed canonical order would hand scarce lanes to the lowest-sorting
+    ids every round, where the paper's uncoordinated workers starve nobody
+    systematically.  The canonical pre-sort makes the stable reshuffle's
+    tie-break deterministic too.
+    """
+    try:
+        ordered = sorted(proposals, key=lambda p: p[0])
+    except TypeError:  # mixed identifier types: order by (type, repr)
+        ordered = sorted(
+            proposals, key=lambda p: (type(p[0]).__name__, repr(p[0]))
+        )
+    if priority is not None:
+        ordered.sort(key=lambda p: priority(p[0]))
+    return ordered
+
+
+def permute_proposals(order, round_index, proposals):
+    """Arbitration order for one round: keyed permutation, vectorised.
+
+    Equivalent to ``sort_proposals(proposals, priority=order.draw)`` —
+    canonical pre-sort, then a stable reshuffle by each vertex's keyed
+    per-round draw — but the draws and the argsort run as one numpy pass
+    when every vertex id is a plain int (stable argsort over identical
+    draw values reproduces the scalar path's ordering bit for bit).
+    """
+    proposals = sort_proposals(proposals)
+    if _np is not None and proposals:
+        try:
+            ids = _np.fromiter(
+                (p[0] for p in proposals),
+                dtype=_np.int64,
+                count=len(proposals),
+            )
+        except (TypeError, ValueError, OverflowError):
+            pass
+        else:
+            if all(type(p[0]) is int for p in proposals):
+                draws = order.draw_keys(round_index, ids.view(_np.uint64))
+                return [
+                    proposals[i]
+                    for i in _np.argsort(draws, kind="stable").tolist()
+                ]
+    draws = order.draw_map(round_index, (p[0] for p in proposals))
+    proposals.sort(key=lambda p: draws[p[0]])
+    return proposals
+
+
+def arbitrate_proposals(proposals, protocol, quotas, load_of):
+    """Admit one round's migration proposals against the quota table.
+
+    ``proposals`` is the round's ``(vertex, current, desired, willing)``
+    list **in arbitration order** (see :func:`sort_proposals`); vertices
+    still physically migrating are skipped entirely (they are not counted
+    and drop out of the active set, exactly as when decisions ran in the
+    coordinator).  Unwilling movers count as requested but consume nothing;
+    willing movers consume ``load_of(vertex)`` from their lane or are
+    blocked.  Returns ``(requested, blocked, kept_active)``.
+    """
+    requested = 0
+    blocked = 0
+    kept_active = set()
+    for vertex, current, desired, willing in proposals:
+        if protocol.is_migrating(vertex):
+            continue
+        requested += 1
+        kept_active.add(vertex)
+        if not willing:
+            continue
+        if not quotas.try_consume(current, desired, load_of(vertex)):
+            blocked += 1
+            continue
+        protocol.request(vertex, current, desired)
+    return requested, blocked, kept_active
 
 
 class MigrationProtocol:

@@ -8,10 +8,20 @@ extended API (migration requests + capacity access).  One call to
 
 1. **compute** — every active vertex runs the user program against the
    messages delivered at the previous barrier;
-2. **background partitioning** (when ``config.adaptive``) — each vertex
-   evaluates the migration heuristic against the capacity vector published
-   one superstep ago, flips the willingness coin, claims lane quota and
-   files a migration request;
+2. **background partitioning** (when ``config.adaptive``) — split the way
+   the paper splits it: *proposal generation* is vertex-local — each
+   candidate vertex evaluates the migration heuristic against the frozen
+   :class:`~repro.core.heuristic.DecisionContext` snapshot (the capacity
+   vector published one superstep ago) and flips its keyed willingness
+   coin — while *arbitration* (quota lanes + filing requests) is the only
+   serialised step.  ``config.decisions`` selects where generation runs:
+   ``"shard"`` (default) evaluates inside the shards of the sharded
+   :class:`~repro.cluster.coordinator.Coordinator`; ``"coordinator"``
+   evaluates in the coordinator between barriers.  Both run the identical
+   rule against the identical snapshot with the identical
+   counter-split RNG, so timelines are byte-identical across the two modes
+   (and a single-process system, which has no shards, always evaluates
+   in-process through the same code path);
 3. **barrier** — in the protocol-mandated order: complete last superstep's
    in-flight transfers → deliver messages against the *old* placement →
    announce this superstep's migrations (placement flips now) → apply
@@ -25,24 +35,40 @@ this substitution preserves the paper's measured shapes).
 """
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.balance import VertexBalance
 from repro.core.capacity import QuotaTable
 from repro.core.convergence import ConvergenceDetector
-from repro.core.heuristic import GreedyMaxNeighbours, make_heuristic
+from repro.core.heuristic import (
+    DecisionContext,
+    GreedyMaxNeighbours,
+    make_heuristic,
+)
 from repro.core.incremental import IncrementalMetrics
-from repro.core.sweep import generic_decisions, make_sweeper, sort_vertices
-from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.core.ingest import make_ingestor
+from repro.core.sweep import make_sweeper, sort_vertices
+from repro.graph.events import (
+    AddEdge,
+    AddVertex,
+    EventBatch,
+    RemoveEdge,
+    RemoveVertex,
+)
 from repro.partitioning.base import PartitionState
 from repro.partitioning.hashing import HashPartitioner
 from repro.pregel.aggregators import Aggregators, SumAggregator
 from repro.pregel.capacity_protocol import CapacityProtocol
-from repro.pregel.compute import compute_block
+from repro.pregel.compute import compute_block, decide_block
 from repro.pregel.fault import Checkpointer, FaultPlan
 from repro.pregel.messages import MessageRouter
-from repro.pregel.migration import MigrationProtocol
+from repro.pregel.migration import (
+    MigrationProtocol,
+    arbitrate_proposals,
+    permute_proposals,
+)
 from repro.pregel.network import NetworkStats
-from repro.utils import make_rng
+from repro.utils import WillingnessSource, derive_seed
 
 __all__ = ["PregelConfig", "PregelSystem", "SuperstepReport"]
 
@@ -55,6 +81,18 @@ class PregelConfig:
     clusters are this flag's two values); ``continuous`` ignores
     vote-to-halt, matching the paper's always-on deployment; the remaining
     fields mirror :class:`repro.core.runner.AdaptiveConfig`.
+
+    ``decisions`` selects where migration proposals are generated:
+    ``"shard"`` (default) inside the shards of a sharded
+    :class:`~repro.cluster.coordinator.Coordinator`, ``"coordinator"``
+    centrally between barriers.  The knob moves work, never results —
+    timelines are byte-identical either way (a single-process
+    :class:`PregelSystem` has no shards, so it always evaluates in-process
+    whatever the value).  ``batch_events`` mirrors
+    :class:`~repro.core.runner.AdaptiveConfig.batch_events`: ``"auto"``
+    routes injected event batches through the bulk ingestion path where
+    that is provably equivalent to the per-event loop, ``"off"`` forces
+    the loop.
     """
 
     num_workers: int = 9
@@ -69,6 +107,8 @@ class PregelConfig:
     checkpoint_interval: int = 10
     quiet_window: int = 30
     metrics: str = "incremental"
+    decisions: str = "shard"
+    batch_events: str = "auto"
 
     def __post_init__(self):
         if self.num_workers < 1:
@@ -79,11 +119,23 @@ class PregelConfig:
             self.heuristic = make_heuristic(self.heuristic)
         if self.metrics not in ("incremental", "recompute"):
             raise ValueError('metrics must be "incremental" or "recompute"')
+        if self.decisions not in ("shard", "coordinator"):
+            raise ValueError('decisions must be "shard" or "coordinator"')
+        if self.batch_events not in ("auto", "off"):
+            raise ValueError('batch_events must be "auto" or "off"')
 
 
 @dataclass
 class SuperstepReport:
-    """Everything observable about one completed superstep."""
+    """Everything observable about one completed superstep.
+
+    ``decision_seconds`` is the wall-clock the *coordinator* spent on the
+    decision phase this superstep (candidate selection, central heuristic
+    evaluation when ``decisions="coordinator"``, quota arbitration).  It is
+    measurement, not semantics: never part of the golden digests, but the
+    number ``benchmarks/bench_decisions.py`` pins the decentralisation win
+    with.
+    """
 
     superstep: int
     traffic: object
@@ -97,6 +149,7 @@ class SuperstepReport:
     mutations_applied: int
     failed_worker: object = None
     per_worker_compute: list = field(default_factory=list)
+    decision_seconds: float = 0.0
 
 
 class _PlacementView:
@@ -142,12 +195,19 @@ class PregelSystem:
         self.detector = ConvergenceDetector(self.config.quiet_window)
         self.superstep = 0
         self.reports = []
-        self._rng = make_rng(self.config.seed, "pregel_system")
+        # Willingness draws are counter-split, not streamed: every draw is
+        # a pure function of (lane, superstep, vertex), so any shard can
+        # draw for its own residents with no coordination.
+        self._willingness_lane = derive_seed(self.config.seed, "pregel_willingness")
+        self._last_decision_remaining = None  # capacity trigger (uses_capacity)
+        self._decision_ctx = None
+        self._decision_seconds = 0.0
         self._sweeper = make_sweeper(graph, self.state, self.config.heuristic)
         self._pending_events = []
         self._capacities = list(capacities)
         self.metrics = IncrementalMetrics(graph, self.state, self.config.balance)
         self._active = set(graph.vertices())
+        self._ingestor = make_ingestor(self)
         # Superstep 0 has no published capacities yet (the paper's protocol
         # needs one barrier to propagate them), so publish the initial view.
         self.capacity_protocol.publish(self._remaining_capacities())
@@ -176,15 +236,52 @@ class PregelSystem:
         self._pending_events.extend(events)
 
     def _apply_pending_events(self):
-        applied = 0
-        for event in self._pending_events:
-            if self._apply_event(event):
-                applied += 1
+        """Apply queued mutations at the barrier; returns the changed count.
+
+        Where the bulk ingestion path applies (compact graph, numpy, hash
+        placement, degree-insensitive balance — see
+        :mod:`repro.core.ingest`), runs of edge events apply array-at-a-time
+        with bit-identical results; everything else falls back to the
+        per-event loop.
+        """
+        events = self._pending_events
         self._pending_events = []
+        applied = None
+        if self._ingestor is not None and events:
+            batch = EventBatch.from_events(events)
+            if not batch.unsupported:
+                applied = self._ingestor.apply(batch)
+        if applied is None:
+            applied = 0
+            for event in events:
+                if self._apply_event(event):
+                    applied += 1
         if applied:
             self.detector.reset()
             self._refresh_capacities()
         return applied
+
+    def _apply_one(self, event):
+        """The bulk ingestor's per-event fallback (its host contract)."""
+        return self._apply_event(event)
+
+    def _note_bulk_placements(self, placements):
+        """Bulk-ingestion hook: new endpoints were just interned + placed.
+
+        The per-event path initialises a new vertex's program value inside
+        :meth:`_place_new_vertex`; the bulk path places endpoints through
+        one ``place_many`` call, so the value initialisation lands here.
+        """
+        for vertex, _ in placements:
+            self.values[vertex] = self.program.initial_value(vertex, self.graph)
+
+    def _note_bulk_edge_changes(self, us, vs, changed):
+        """Bulk-ingestion hook: one edge run applied; ``changed`` flags it.
+
+        The single-process system needs nothing (active-set upkeep happens
+        inside the kernel); the sharded coordinator marks the changed
+        endpoints dirty so shard adjacency mirrors stay current.
+        """
 
     def _place_new_vertex(self, vertex):
         """Streaming placement of a just-added vertex, with delta upkeep."""
@@ -277,46 +374,101 @@ class PregelSystem:
         )
         return computed, self._per_worker_costs
 
-    def _partitioning_phase(self):
-        """Background migration decisions; returns (requested, blocked)."""
+    # ------------------------------------------------------------------
+    # The decision phase: vertex-local proposals, central arbitration
+    # ------------------------------------------------------------------
+
+    @property
+    def heuristic(self):
+        """The decision-host contract of :func:`decide_block`."""
+        return self.config.heuristic
+
+    @property
+    def placement_of(self):
+        """Vertex → partition lookup (None when unassigned), for decisions."""
+        return self.state.partition_of_or_none
+
+    def _decision_context(self):
+        """This superstep's frozen decision snapshot, or None before the
+        first capacity broadcast."""
         visible = self.capacity_protocol.visible_capacities()
         if visible is None:
-            return 0, 0
-        quotas = QuotaTable(visible, self.config.num_workers)
-        heuristic = self.config.heuristic
-        balance = self.config.balance
-        track_active = not getattr(heuristic, "uses_capacity", False)
-        candidates = (
-            sort_vertices(self._active)
-            if track_active
-            else list(self.graph.vertices())
+            return None
+        return DecisionContext(
+            round_index=self.superstep,
+            remaining=tuple(visible),
+            willingness=self.config.willingness,
+            lane=self._willingness_lane,
         )
-        self._rng.shuffle(candidates)
+
+    def _decision_needs_full_sweep(self, context):
+        """True when this round must evaluate every vertex.
+
+        The active set is exact for heuristics that read only neighbour
+        locations; a capacity-consulting heuristic (``uses_capacity``)
+        additionally re-evaluates everything on any change of the
+        remaining-capacity snapshot — any component change can flip a
+        capacity-weighted comparison, so the trigger is conservative by
+        design.  Rounds with an unchanged snapshot keep the cheap
+        neighbour-of-changed activation.
+        """
+        return getattr(self.config.heuristic, "uses_capacity", False) and (
+            self._last_decision_remaining != context.remaining
+        )
+
+    def _generate_proposals(self, context):
+        """Central proposal generation (the ``decisions="coordinator"``
+        path, and the only path a shard-less single-process system has).
+
+        Returns ``(vertex, current, desired, willing)`` proposals for every
+        candidate that wants to move, in canonical candidate order.  The
+        sharded coordinator overrides this to hand back the proposals its
+        shards returned with their compute deltas.
+        """
+        candidates = sort_vertices(
+            self.graph.vertices()
+            if self._decision_needs_full_sweep(context)
+            else self._active
+        )
         if self._sweeper is not None:
-            decisions = self._sweeper.decisions(candidates, visible)
-        else:
-            decisions = generic_decisions(
-                self.state, heuristic, candidates, visible
-            )
-        requested = 0
-        blocked = 0
-        kept_active = set()
-        for v, current, desired in decisions:
-            if self.migration.is_migrating(v):
-                continue
-            if desired == current:
-                continue
-            requested += 1
-            kept_active.add(v)
-            if self._rng.random() >= self.config.willingness:
-                continue
-            load = balance.load_of(self.graph, v)
-            if not quotas.try_consume(current, desired, load):
-                blocked += 1
-                continue
-            self.migration.request(v, current, desired)
-        if track_active:
-            self._active = kept_active
+            source = WillingnessSource(context.lane)
+            round_index = context.round_index
+            s = context.willingness
+            return [
+                (v, current, desired, source.willing(round_index, v, s))
+                for v, current, desired in self._sweeper.decisions(
+                    candidates, context.remaining
+                )
+            ]
+        return decide_block(self, context, candidates)
+
+    def _partitioning_phase(self):
+        """Background migration decisions; returns (requested, blocked)."""
+        context = self._decision_ctx
+        if context is None:
+            return 0, 0
+        started = perf_counter()
+        # Arbitration order is a keyed per-round permutation: deterministic
+        # and mode/executor-independent like the willingness draws (its own
+        # derived lane, so priority never correlates with the coin), but
+        # unbiased across rounds — a fixed canonical order would hand
+        # scarce quota lanes to the lowest ids every superstep.
+        order = WillingnessSource(context.lane, "arbitration")
+        proposals = permute_proposals(
+            order, context.round_index, self._generate_proposals(context)
+        )
+        quotas = QuotaTable(context.remaining, self.config.num_workers)
+        balance = self.config.balance
+        graph = self.graph
+        requested, blocked, kept_active = arbitrate_proposals(
+            proposals,
+            self.migration,
+            quotas,
+            lambda v: balance.load_of(graph, v),
+        )
+        self._active = kept_active
+        self._last_decision_remaining = context.remaining
+        self._decision_seconds += perf_counter() - started
         return requested, blocked
 
     def _placement_update(self, vertex_id, new_worker):
@@ -374,6 +526,15 @@ class PregelSystem:
     def run_superstep(self):
         """Execute one full superstep; returns its :class:`SuperstepReport`."""
         self.superstep += 1
+        # Freeze the decision snapshot before compute: the sharded
+        # coordinator ships it with the compute tasks, the single-process
+        # system reads it afterwards — both therefore decide against the
+        # identical pre-compute state (compute never changes placement,
+        # adjacency or capacities).
+        self._decision_ctx = (
+            self._decision_context() if self.config.adaptive else None
+        )
+        self._decision_seconds = 0.0
         inbox = dict(self.router.pending_inbox)
         self.router.pending_inbox.clear()
 
@@ -418,6 +579,7 @@ class PregelSystem:
             mutations_applied=mutations,
             failed_worker=failed_worker,
             per_worker_compute=per_worker,
+            decision_seconds=self._decision_seconds,
         )
         self.reports.append(report)
         return report

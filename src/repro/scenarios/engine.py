@@ -195,6 +195,7 @@ def play_scenario(
     engine="adaptive",
     executor=None,
     program=None,
+    decisions="shard",
 ):
     """Run ``scenario`` end to end; returns a :class:`ScenarioResult`.
 
@@ -207,15 +208,19 @@ def play_scenario(
     ``engine="pregel"`` replays the scenario through the sharded
     :class:`~repro.cluster.coordinator.Coordinator`; ``executor`` then
     selects the backend (None/name/instance, see
-    :func:`~repro.cluster.executor.make_executor`) and ``program`` the
-    vertex program (default: PageRank).  Both are ignored by the adaptive
-    engine.
+    :func:`~repro.cluster.executor.make_executor`), ``program`` the vertex
+    program (default: PageRank) and ``decisions`` where migration
+    proposals are generated (``"shard"``, the default, evaluates the
+    heuristic inside the shards; ``"coordinator"`` keeps it central — the
+    knob moves work, never results).  All three are ignored by the
+    adaptive engine.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if engine == "pregel":
         return _play_pregel(
-            scenario, backend, adaptive, metrics, max_rounds, executor, program
+            scenario, backend, adaptive, metrics, max_rounds, executor,
+            program, decisions,
         )
     return _play_adaptive(scenario, backend, adaptive, metrics, max_rounds)
 
@@ -320,7 +325,7 @@ def _play_adaptive(scenario, backend, adaptive, metrics, max_rounds):
 
 
 def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
-                 program):
+                 program, decisions="shard"):
     from repro.apps.pagerank import PageRank
     from repro.cluster.coordinator import Coordinator
     from repro.pregel.system import PregelConfig
@@ -342,6 +347,7 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
         seed=scenario.seed,
         quiet_window=scenario.quiet_window,
         metrics=metrics,
+        decisions=decisions,
     )
     # Context-managed: an exception anywhere mid-scenario (bad spec, a
     # worker crash, a failing program) must stop the executor's worker

@@ -9,7 +9,7 @@ placement hashing flows through :func:`repro.utils.hashing.stable_hash`
 """
 
 from repro.utils.hashing import stable_hash
-from repro.utils.rng import derive_seed, make_rng
+from repro.utils.rng import WillingnessSource, derive_seed, make_rng, vertex_key
 from repro.utils.stats import (
     RunningStats,
     mean,
@@ -19,10 +19,12 @@ from repro.utils.stats import (
 
 __all__ = [
     "RunningStats",
+    "WillingnessSource",
     "derive_seed",
     "make_rng",
     "mean",
     "mean_and_error",
     "stable_hash",
     "stderr_of_mean",
+    "vertex_key",
 ]

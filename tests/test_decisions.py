@@ -1,0 +1,542 @@
+"""The shard-local decision phase: mode identity, keyed RNG, activation.
+
+The tentpole contract of the decision refactor is that *where* migration
+proposals are generated can never change *what* happens:
+
+* ``decisions="shard"`` (the default, pinned against the golden fixtures by
+  ``test_cluster_golden.py`` across every executor) and
+  ``decisions="coordinator"`` replay byte-identical timelines — asserted
+  here against the same fixtures, which makes the two modes transitively
+  identical across all executors;
+* the counter-split willingness RNG is a pure function of
+  ``(lane, round, vertex)`` — invariant to shard count, chunking of the
+  candidate set, evaluation order, and the scalar/vectorised path split;
+* the vectorised :class:`~repro.core.sweep.ShardSweeper` and the portable
+  :func:`~repro.pregel.compute.decide_block` produce identical proposals;
+* shard placement mirrors track the authoritative assignment exactly under
+  churn, migrations and faults.
+
+``REPRO_CLUSTER_DECISIONS`` (comma-separated) narrows the decision-mode
+axis the same way ``REPRO_CLUSTER_EXECUTORS`` narrows executors — the CI
+matrix job uses both.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.apps.pagerank import PageRank
+from repro.cluster import Coordinator, InlineExecutor
+from repro.core.heuristic import (
+    CapacityWeightedGreedy,
+    DecisionContext,
+    GreedyMaxNeighbours,
+)
+from repro.core.runner import AdaptiveConfig, AdaptiveRunner
+from repro.core.sweep import make_shard_sweeper
+from repro.generators import mesh_3d, powerlaw_cluster_graph
+from repro.graph import GRAPH_BACKENDS
+from repro.graph.events import AddEdge, AddVertex, RemoveEdge, RemoveVertex
+from repro.partitioning.base import balanced_capacities
+from repro.partitioning.hashing import HashPartitioner
+from repro.pregel.compute import decide_block
+from repro.pregel.fault import FaultPlan
+from repro.pregel.system import PregelConfig, PregelSystem
+from repro.scenarios import get_scenario, play_scenario
+from repro.utils.rng import WillingnessSource, vertex_key
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - numpy is optional
+    numpy = None
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SCENARIOS = ["mesh-growth", "grid-rewire", "cdr-weekly"]
+DECISION_MODES = [
+    name.strip()
+    for name in os.environ.get(
+        "REPRO_CLUSTER_DECISIONS", "shard,coordinator"
+    ).split(",")
+    if name.strip()
+]
+
+
+def _fixture(name):
+    return json.loads(
+        (GOLDEN_DIR / f"pregel-{name}.json").read_text(encoding="utf-8")
+    )
+
+
+# ----------------------------------------------------------------------
+# Decision-mode identity against the golden superstep timelines
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("decisions", DECISION_MODES)
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+def test_decision_modes_replay_the_golden_timeline(name, decisions):
+    digest = play_scenario(
+        get_scenario(name), engine="pregel", decisions=decisions
+    ).superstep_digest()
+    assert digest == _fixture(name), (
+        f"{name} with decisions={decisions!r} diverged from the golden "
+        "superstep timeline — the knob must move work, never results"
+    )
+
+
+def test_single_process_system_matches_the_sharded_default():
+    """A shard-less PregelSystem runs the same decision pipeline."""
+
+    def digest(reports):
+        return [
+            (
+                r.superstep,
+                r.migrations_requested,
+                r.migrations_announced,
+                r.migrations_blocked,
+                r.cut_edges,
+                tuple(r.sizes),
+            )
+            for r in reports
+        ]
+
+    config = PregelConfig(num_workers=4, seed=3, quiet_window=5)
+    serial = PregelSystem(mesh_3d(5), PageRank(), config)
+    serial.run(10)
+    with Coordinator(
+        mesh_3d(5), PageRank(), config, executor=InlineExecutor()
+    ) as sharded:
+        sharded.run(10)
+        assert digest(serial.reports) == digest(sharded.reports)
+
+
+def test_decisions_knob_validation():
+    with pytest.raises(ValueError, match="decisions"):
+        PregelConfig(decisions="oracle")
+    with pytest.raises(ValueError, match="batch_events"):
+        PregelConfig(batch_events="sometimes")
+
+
+# ----------------------------------------------------------------------
+# The counter-split willingness RNG
+# ----------------------------------------------------------------------
+
+
+class TestWillingnessSource:
+    def test_draws_are_pure_functions_of_lane_round_vertex(self):
+        a = WillingnessSource(7, "lane")
+        b = WillingnessSource(7, "lane")
+        assert [a.draw(r, v) for r in range(5) for v in range(20)] == [
+            b.draw(r, v) for r in range(5) for v in range(20)
+        ]
+
+    def test_rounds_and_vertices_decorrelate(self):
+        s = WillingnessSource(7, "lane")
+        by_round = {s.draw(r, 11) for r in range(50)}
+        by_vertex = {s.draw(3, v) for v in range(50)}
+        assert len(by_round) == 50
+        assert len(by_vertex) == 50
+        for draw in by_round | by_vertex:
+            assert 0.0 <= draw < 1.0
+
+    def test_lanes_are_independent(self):
+        assert WillingnessSource(7, "a").draw(1, 2) != WillingnessSource(
+            7, "b"
+        ).draw(1, 2)
+
+    def test_non_int_ids_key_stably(self):
+        s = WillingnessSource(7, "lane")
+        assert s.draw(1, "alpha") == s.draw(1, "alpha")
+        assert s.draw(1, "alpha") != s.draw(1, "beta")
+        assert s.draw(1, ("a", 1)) != s.draw(1, ("a", 2))
+
+    def test_bools_do_not_collide_with_ints(self):
+        # bool is an int subclass; the key function must not conflate them
+        # with 0/1 on one path only.
+        assert vertex_key(True) != vertex_key(1)
+        assert vertex_key(False) != vertex_key(0)
+
+    @pytest.mark.skipif(numpy is None, reason="needs numpy")
+    def test_vectorised_path_is_bit_identical_to_scalar(self):
+        s = WillingnessSource(42, "pregel_willingness")
+        ids = list(range(200)) + [2**40 + 3, 2**63 - 1]
+        keys = numpy.array([vertex_key(v) for v in ids], dtype=numpy.uint64)
+        assert s.draw_keys(9, keys).tolist() == [s.draw(9, v) for v in ids]
+
+    def test_draws_are_chunking_invariant(self):
+        """The shard-count-invariance property, at the source level.
+
+        However the vertex set is split into shards, every vertex's draw is
+        the same — the whole point of counter-splitting over stream RNG.
+        """
+        s = WillingnessSource(13, "lane")
+        vertices = list(range(97))
+        whole = {v: s.draw(4, v) for v in vertices}
+        for num_shards in (1, 2, 3, 7, 96, 97):
+            chunks = [vertices[i::num_shards] for i in range(num_shards)]
+            split = {}
+            for chunk in chunks:
+                for v in chunk:
+                    split[v] = s.draw(4, v)
+            assert split == whole
+
+
+# ----------------------------------------------------------------------
+# decide_block: chunking invariance + sweeper equivalence
+# ----------------------------------------------------------------------
+
+
+class _DecisionHost:
+    """Minimal decide_block host over explicit adjacency + placement."""
+
+    def __init__(self, adj, placement, heuristic):
+        self._adj = adj
+        self.placement = placement
+        self.heuristic = heuristic
+        self.graph = self
+
+    def neighbors(self, v):
+        return self._adj[v]
+
+    @property
+    def placement_of(self):
+        return self.placement.get
+
+
+def _toy_decision_problem(seed=5):
+    graph = powerlaw_cluster_graph(120, m=2, seed=seed)
+    k = 4
+    caps = balanced_capacities(graph.num_vertices, k, 1.1)
+    state = HashPartitioner().partition(graph, k, list(caps))
+    adj = {v: tuple(graph.neighbors(v)) for v in graph.vertices()}
+    placement = dict(state.assignment_items())
+    context = DecisionContext(
+        round_index=3,
+        remaining=tuple(float(c) for c in caps),
+        willingness=0.5,
+        lane=WillingnessSource(seed, "lane").lane,
+    )
+    return adj, placement, context
+
+
+def test_decide_block_is_chunking_invariant():
+    adj, placement, context = _toy_decision_problem()
+    host = _DecisionHost(adj, placement, GreedyMaxNeighbours())
+    candidates = sorted(adj)
+    whole = decide_block(host, context, candidates)
+    assert whole, "toy problem produced no movers; weaken the setup"
+    for num_shards in (2, 3, 5):
+        chunks = [candidates[i::num_shards] for i in range(num_shards)]
+        merged = []
+        for chunk in chunks:
+            merged.extend(decide_block(host, context, sorted(chunk)))
+        assert sorted(merged) == sorted(whole)
+
+
+@pytest.mark.skipif(numpy is None, reason="needs numpy")
+def test_shard_sweeper_matches_decide_block():
+    adj, placement, context = _toy_decision_problem()
+    host = _DecisionHost(adj, placement, GreedyMaxNeighbours())
+    sweeper = make_shard_sweeper(GreedyMaxNeighbours())
+    assert sweeper is not None
+    for v, neighbours in adj.items():
+        sweeper.admit(v, neighbours)
+    for v, pid in placement.items():
+        sweeper.place(v, pid)
+    candidates = sorted(adj)
+    assert sweeper.decisions(context, candidates) == decide_block(
+        host, context, candidates
+    )
+
+
+@pytest.mark.skipif(numpy is None, reason="needs numpy")
+def test_shard_sweeper_tracks_churn_and_compaction():
+    """Admit/evict/re-admit churn (forcing block garbage) stays exact."""
+    adj, placement, context = _toy_decision_problem()
+    host = _DecisionHost(adj, placement, GreedyMaxNeighbours())
+    sweeper = make_shard_sweeper(GreedyMaxNeighbours())
+    sweeper._GROW = 8  # tiny arena: compaction triggers many times
+    for v, neighbours in adj.items():
+        sweeper.admit(v, neighbours)
+    for v, pid in placement.items():
+        sweeper.place(v, pid)
+    # Rewrite every vertex's block a few times, evict/readmit half.
+    for repeat in range(3):
+        for v in list(adj):
+            if v % 2 == repeat % 2:
+                sweeper.evict(v)
+                sweeper.admit(v, adj[v])
+            else:
+                sweeper.admit(v, adj[v])
+    candidates = sorted(adj)
+    assert sweeper.decisions(context, candidates) == decide_block(
+        host, context, candidates
+    )
+
+
+@pytest.mark.skipif(numpy is None, reason="needs numpy")
+def test_shard_sweeper_place_many_matches_place():
+    """The bulk mirror-seeding path == per-vertex place, mixed ids too."""
+    items = [(v, v % 3) for v in range(40)]
+    items += [("gw-1", 0), (("rack", 7), 2), (-5, 1), (2**63 + 9, 2)]
+    bulk = make_shard_sweeper(GreedyMaxNeighbours())
+    bulk.place_many(items)
+    single = make_shard_sweeper(GreedyMaxNeighbours())
+    for vertex, pid in items:
+        single.place(vertex, pid)
+    assert bulk._slot == single._slot
+    for vertex, slot in bulk._slot.items():
+        assert bulk._keys[slot] == single._keys[single._slot[vertex]]
+        assert bulk._place[slot] == single._place[single._slot[vertex]]
+
+
+def test_arbitration_order_is_keyed_per_round():
+    """Quota contention priority reshuffles every round (no fixed-id bias)
+    but is a pure function of (lane, round, vertex)."""
+    from repro.pregel.migration import sort_proposals
+
+    proposals = [(v, 0, 1, True) for v in range(64)]
+    lane = WillingnessSource(0, "pregel_willingness").lane
+    source = WillingnessSource(lane, "arbitration")
+
+    def order(round_index):
+        return [
+            p[0]
+            for p in sort_proposals(
+                proposals, priority=lambda v: source.draw(round_index, v)
+            )
+        ]
+
+    assert order(1) == order(1)          # deterministic
+    assert order(1) != order(2)          # round-specific permutation
+    assert order(1) != sorted(range(64))  # not the canonical id order
+    assert sorted(order(1)) == sorted(range(64))
+
+
+def test_make_shard_sweeper_gates():
+    class Subclassed(GreedyMaxNeighbours):
+        pass
+
+    if numpy is not None:
+        assert make_shard_sweeper(GreedyMaxNeighbours()) is not None
+    assert make_shard_sweeper(Subclassed()) is None
+    assert make_shard_sweeper(CapacityWeightedGreedy()) is None
+    assert make_shard_sweeper(None) is None
+
+
+# ----------------------------------------------------------------------
+# Placement mirrors + the full stack under churn
+# ----------------------------------------------------------------------
+
+
+def _churned_coordinator(backend="adjacency", **config_kw):
+    graph_cls = GRAPH_BACKENDS[backend]
+    graph = mesh_3d(6, graph_cls=graph_cls)
+    config = PregelConfig(num_workers=4, seed=3, quiet_window=5, **config_kw)
+    system = Coordinator(
+        graph,
+        PageRank(),
+        config,
+        fault_plan=FaultPlan().add(9, 2),
+        executor=InlineExecutor(),
+    )
+    try:
+        for step in range(14):
+            if step == 4:
+                system.inject_events(
+                    [
+                        AddVertex(1000),
+                        AddEdge(1000, 0),
+                        RemoveVertex(43),
+                        AddEdge(1000, 87),
+                        AddEdge(1001, 1002),
+                        RemoveEdge(0, 1),
+                    ]
+                )
+            if step == 7:
+                system.inject_events([RemoveVertex(1001), AddEdge(1002, 5)])
+            system.run_superstep()
+            system.shard_consistency_check()  # includes the mirror check
+        return [
+            (
+                r.superstep,
+                r.migrations_requested,
+                r.migrations_announced,
+                r.migrations_blocked,
+                r.cut_edges,
+                tuple(r.sizes),
+                r.computed_vertices,
+                r.mutations_applied,
+            )
+            for r in system.reports
+        ]
+    finally:
+        system.close()
+
+
+def test_placement_mirrors_stay_exact_under_churn_and_faults():
+    _churned_coordinator()
+
+
+def test_non_int_vertex_ids_through_the_sharded_decision_phase():
+    """String ids exercise the sha-keyed willingness path shard-side; both
+    decision modes must still agree, and mirrors must stay exact."""
+
+    def run(decisions):
+        config = PregelConfig(
+            num_workers=3, seed=1, quiet_window=5, decisions=decisions
+        )
+        system = Coordinator(
+            mesh_3d(4), PageRank(), config, executor=InlineExecutor()
+        )
+        try:
+            for step in range(8):
+                if step == 2:
+                    system.inject_events(
+                        [
+                            AddVertex("hub"),
+                            AddEdge("hub", 0),
+                            AddEdge("hub", 1),
+                            AddEdge("spoke-a", "hub"),
+                            RemoveEdge(0, 1),
+                        ]
+                    )
+                system.run_superstep()
+                system.shard_consistency_check()
+            return [
+                (
+                    r.superstep,
+                    r.migrations_requested,
+                    r.migrations_announced,
+                    r.cut_edges,
+                    tuple(r.sizes),
+                )
+                for r in system.reports
+            ]
+        finally:
+            system.close()
+
+    assert run("shard") == run("coordinator")
+
+
+def test_pregel_bulk_ingestion_is_loop_identical():
+    """Compact backend (bulk edge runs) == adjacency backend (loop), and
+    forcing the loop on compact changes nothing either."""
+    reference = _churned_coordinator("adjacency")
+    assert _churned_coordinator("compact") == reference
+    assert _churned_coordinator("compact", batch_events="off") == reference
+
+
+@pytest.mark.parametrize("backend", ["adjacency", "compact"])
+def test_pregel_scenario_backends_identical(backend):
+    """Scenario-level pin: the pregel engine's golden digest is
+    backend-independent (the compact backend takes the bulk path)."""
+    digest = play_scenario(
+        get_scenario("mesh-growth"), backend=backend, engine="pregel"
+    ).superstep_digest()
+    assert digest == _fixture("mesh-growth")
+
+
+# ----------------------------------------------------------------------
+# Capacity-aware incremental activation (CapacityWeightedGreedy)
+# ----------------------------------------------------------------------
+
+
+class TestCapacityAwareActivation:
+    def test_flag_is_set(self):
+        assert CapacityWeightedGreedy.uses_capacity is True
+        assert GreedyMaxNeighbours.uses_capacity is False
+
+    def _runner(self, seed=2):
+        graph = powerlaw_cluster_graph(200, m=2, seed=5)
+        caps = balanced_capacities(graph.num_vertices, 4, 1.1)
+        state = HashPartitioner().partition(graph, 4, list(caps))
+        return graph, state, AdaptiveRunner(
+            graph,
+            state,
+            AdaptiveConfig(seed=seed, heuristic=CapacityWeightedGreedy()),
+        )
+
+    def test_activation_is_sound(self):
+        """Every vertex that wants to move is in the evaluated candidate
+        set, every round — the exactness contract of the active set."""
+        graph, state, runner = self._runner()
+        heuristic = runner.config.heuristic
+        for i in range(50):
+            if i == 15:
+                runner.apply_events(
+                    [AddEdge(500, 3), AddEdge(500, 9), RemoveEdge(0, 1)]
+                )
+            remaining = runner.remaining_capacities()
+            if runner._needs_full_sweep(remaining):
+                candidates = set(graph.vertices())
+            else:
+                candidates = set(runner._active)
+            for v in graph.vertices():
+                current = state.partition_of_or_none(v)
+                if current is None:
+                    continue
+                desired = heuristic.desired_partition(
+                    current, state.neighbour_partition_counts(v), remaining
+                )
+                assert desired == current or v in candidates, (
+                    f"round {i}: vertex {v} wants {current}->{desired} but "
+                    "was not scheduled for evaluation"
+                )
+            runner.step()
+
+    def test_quiet_rounds_skip_the_full_sweep(self):
+        """Once migrations stop, capacities stop moving and the active set
+        engages — the whole point of the capacity trigger."""
+        graph, state, runner = self._runner()
+        active_counts = [runner.step().active_vertices for _ in range(60)]
+        assert active_counts[0] == graph.num_vertices
+        assert active_counts[-1] < graph.num_vertices
+        assert active_counts[-1] == runner.active_count
+
+    def test_capacity_change_retriggers_full_sweep(self):
+        graph, state, runner = self._runner()
+        for _ in range(60):
+            runner.step()
+        assert runner.step().active_vertices < graph.num_vertices
+        # Churn moves capacities (|V| changes -> balanced capacities move):
+        # the next round must re-evaluate everything.
+        runner.apply_events([AddVertex(9000), AddEdge(9000, 0)])
+        assert runner.step().active_vertices == graph.num_vertices
+
+    def test_pregel_capacity_heuristic_modes_identical(self):
+        """The capacity-aware heuristic composes with the shard-local
+        phase: both decision modes replay identical timelines."""
+
+        def run(decisions):
+            config = PregelConfig(
+                num_workers=4,
+                seed=3,
+                quiet_window=5,
+                heuristic=CapacityWeightedGreedy(),
+                decisions=decisions,
+            )
+            with Coordinator(
+                mesh_3d(5), PageRank(), config, executor=InlineExecutor()
+            ) as system:
+                for step in range(10):
+                    if step == 4:
+                        system.inject_events(
+                            [AddEdge(700, 0), RemoveEdge(0, 1)]
+                        )
+                    system.run_superstep()
+                return [
+                    (
+                        r.superstep,
+                        r.migrations_requested,
+                        r.migrations_announced,
+                        r.migrations_blocked,
+                        r.cut_edges,
+                        tuple(r.sizes),
+                    )
+                    for r in system.reports
+                ]
+
+        assert run("shard") == run("coordinator")
