@@ -9,9 +9,10 @@ Gives downstream users the paper's workflow without writing code:
 * ``scenario`` — replay a named dynamic scenario (churning graph) and print
   its per-round timeline; ``--static`` runs the paired static-hash cluster,
   ``--engine pregel`` replays through the sharded cluster simulation (with
-  ``--executor inline|thread|process`` and ``--decisions
-  shard|coordinator`` selecting where migration proposals are generated —
-  timelines are identical either way), ``--spec file`` loads a user
+  ``--executor inline|thread|pipelined|process`` selecting the backend,
+  ``--decisions shard|coordinator`` selecting where migration proposals
+  are generated — timelines are identical either way — and ``--staleness
+  N`` relaxing the capacity-resync cadence), ``--spec file`` loads a user
   JSON/TOML scenario instead of a catalog name;
 * ``datasets`` — print the Table-1 catalog;
 * ``generate`` — write a synthetic dataset to an edge-list file.
@@ -96,6 +97,10 @@ def build_parser():
                     help="pregel engine only: where migration proposals are "
                     "generated (default shard; timelines are identical "
                     "either way, only wall-clock moves)")
+    sc.add_argument("--staleness", type=int, default=None,
+                    help="pregel engine only: relaxed synchrony — reuse "
+                    "each decision snapshot for up to N extra supersteps "
+                    "between capacity resyncs (default 0 = strict BSP)")
     sc.add_argument("--static", action="store_true",
                     help="no adaptation: the paper's static-hash paired cluster")
     sc.add_argument("--metrics", default="incremental",
@@ -186,11 +191,15 @@ def _cmd_scenario(args, out):
         args.executor is not None
         or args.workers is not None
         or args.decisions is not None
+        or args.staleness is not None
     ):
         out.write(
-            "--executor/--workers/--decisions only apply to --engine pregel "
-            "(the adaptive engine has no shard executors)\n"
+            "--executor/--workers/--decisions/--staleness only apply to "
+            "--engine pregel (the adaptive engine has no shard executors)\n"
         )
+        return 2
+    if args.staleness is not None and args.staleness < 0:
+        out.write("--staleness must be >= 0\n")
         return 2
     if args.workers is not None and args.executor in (None, "inline"):
         out.write(
@@ -228,6 +237,7 @@ def _cmd_scenario(args, out):
             engine=args.engine,
             executor=executor,
             decisions=args.decisions or "shard",
+            staleness=args.staleness or 0,
         )
     engine_label = args.engine
     if args.engine == "pregel":

@@ -12,7 +12,10 @@ package gives the reproduction that execution shape for real:
   records;
 * :mod:`executor` — where shard compute runs: :class:`InlineExecutor`
   (serial reference), :class:`ThreadExecutor`, :class:`ProcessExecutor`
-  (persistent worker processes with shard affinity);
+  (persistent worker processes with shard affinity), and
+  :class:`PipelinedExecutor` (thread-backed, declares the
+  ``supports_pipelining`` capability so the coordinator merges each
+  shard's delta while later shards still compute);
 * :mod:`coordinator` — :class:`Coordinator`, the sharded drop-in for
   :class:`~repro.pregel.system.PregelSystem`: same protocols and barrier
   order, compute fanned out per shard and merged deterministically.
@@ -27,6 +30,7 @@ from repro.cluster.executor import (
     EXECUTORS,
     Executor,
     InlineExecutor,
+    PipelinedExecutor,
     ProcessExecutor,
     ThreadExecutor,
     make_executor,
@@ -38,6 +42,7 @@ __all__ = [
     "EXECUTORS",
     "Executor",
     "InlineExecutor",
+    "PipelinedExecutor",
     "ProcessExecutor",
     "Shard",
     "ShardDelta",

@@ -17,7 +17,9 @@ pluggable :class:`~repro.cluster.executor.Executor`:
    shard-id order*: values, halt votes, the message outbox (pre-combined
    per worker, so keys never collide), aggregator contributions, per-worker
    compute cost.  The merge order is what makes results a pure function of
-   the configuration — bit-identical across executors.  The coordinator's
+   the configuration — bit-identical across executors.  With a
+   pipelining-capable executor the deltas arrive as a stream (same order)
+   while later shards still compute, so the fold overlaps the fan-out.  The coordinator's
    only remaining decision work is quota arbitration over the proposals in
    a keyed round permutation (the capacity protocol's serialised step,
    unbiased across rounds) — its
@@ -57,8 +59,9 @@ class Coordinator(PregelSystem):
     """A simulated Pregel cluster whose supersteps run on sharded executors.
 
     Drop-in for :class:`PregelSystem`: same constructor plus ``executor``
-    (None, an executor name — ``"inline"`` / ``"thread"`` / ``"process"`` —
-    or an :class:`~repro.cluster.executor.Executor` instance).  Call
+    (None, an executor name — ``"inline"`` / ``"thread"`` / ``"pipelined"``
+    / ``"process"`` — or an
+    :class:`~repro.cluster.executor.Executor` instance).  Call
     :meth:`close` (or use ``with``) to release executor workers.
     """
 
@@ -134,6 +137,12 @@ class Coordinator(PregelSystem):
             for name in self.aggregators.names()
         }
         decision_ctx = self._decision_ctx if self._shard_decisions else None
+        # Relaxed synchrony: on stale rounds every shard already caches the
+        # snapshot (it was shipped on the resync round), so the task carries
+        # only the bare round index to re-key the cached context with.
+        shipped_decision = decision_ctx
+        if decision_ctx is not None and self._snapshot_age > 0:
+            shipped_decision = decision_ctx.round_index
         candidate_slices = None
         if decision_ctx is not None:
             # The coordinator's decision-phase work in shard mode is just
@@ -155,7 +164,7 @@ class Coordinator(PregelSystem):
                 inbox=shard_inbox[sid],
                 num_vertices=num_vertices,
                 agg_previous=agg_previous,
-                decision=decision_ctx,
+                decision=shipped_decision,
                 candidates=(
                     None
                     if candidate_slices is None
@@ -166,14 +175,19 @@ class Coordinator(PregelSystem):
         }
         patches = self._pending_patches
         self._pending_patches = {}
-        deltas = self.executor.step(tasks, patches)
+        if self.executor.supports_pipelining:
+            # Pipelined merge: deltas arrive (still in shard-id order) while
+            # later shards compute, so the fold below overlaps the fan-out.
+            delta_stream = self.executor.step_stream(tasks, patches)
+        else:
+            deltas = self.executor.step(tasks, patches)
+            delta_stream = ((sid, deltas[sid]) for sid in sorted(deltas))
 
         per_worker = [0.0] * num_workers
         computed = 0
         proposals = self._shard_proposals
         proposals.clear()
-        for sid in sorted(deltas):
-            delta = deltas[sid]
+        for sid, delta in delta_stream:
             computed += delta.computed
             self.values.update(delta.values)
             self.halted.difference_update(delta.halted_removed)
@@ -271,6 +285,7 @@ class Coordinator(PregelSystem):
         patches = {}
 
         def patch_for(sid):
+            """The shard's patch under construction, created on first use."""
             patch = patches.get(sid)
             if patch is None:
                 patch = patches[sid] = ShardPatch()

@@ -10,7 +10,7 @@ migration proposals).  Because shard compute *and* shard decisions are
 pure functions of (shard state, task) — willingness draws are keyed, not
 streamed — and the coordinator merges deltas in shard-id order and
 arbitrates proposals in a keyed round permutation, **the choice of executor
-cannot change any result**; it only changes wall-clock.  Three backends
+cannot change any result**; it only changes wall-clock.  Four backends
 ship:
 
 * :class:`InlineExecutor` — runs shards sequentially in the calling thread.
@@ -24,6 +24,18 @@ ship:
   cross the pipe.  Requires picklable programs, values and messages.  This
   is the backend that actually scales superstep-heavy workloads
   (``benchmarks/bench_cluster.py`` pins ≥2× with four workers).
+* :class:`PipelinedExecutor` — the thread pool plus **barrier pipelining**:
+  it declares ``supports_pipelining`` and streams each shard's delta to the
+  coordinator *in shard-id order, as it completes*, so the coordinator's
+  barrier-side merge of shard ``s`` overlaps the still-running compute of
+  shards ``> s`` instead of waiting for the whole fan-out.  Merge order is
+  unchanged, so results stay bit-identical; only the hard
+  compute-then-merge sequencing is relaxed.
+
+Executors advertise what they can do through class-level capability flags
+(currently :data:`Executor.supports_pipelining`); the coordinator consults
+the flags and falls back to the strict :meth:`Executor.step` protocol when
+a capability is absent — Inline/Thread/Process decline pipelining cleanly.
 
 Executors are context managers; :meth:`Executor.stop` is idempotent.
 """
@@ -33,11 +45,13 @@ import os
 import traceback
 import weakref
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 
 __all__ = [
     "EXECUTORS",
     "Executor",
     "InlineExecutor",
+    "PipelinedExecutor",
     "ProcessExecutor",
     "ThreadExecutor",
     "make_executor",
@@ -48,6 +62,13 @@ class Executor:
     """The executor protocol the coordinator drives."""
 
     name = "abstract"
+
+    #: Capability flag: True when :meth:`step_stream` is implemented and the
+    #: coordinator may merge deltas while later shards still compute.  The
+    #: flag is the contract — a False executor is never asked to stream, so
+    #: backends without a safe overlap story decline by simply not setting
+    #: it.
+    supports_pipelining = False
 
     def start(self, shards):
         """Take ownership of ``{shard_id: Shard}`` before the first superstep."""
@@ -63,6 +84,22 @@ class Executor:
         the executor's business — the coordinator merges in shard-id order.
         """
         raise NotImplementedError
+
+    def step_stream(self, tasks, patches):
+        """Like :meth:`step`, but yield ``(shard_id, delta)`` pairs in
+        shard-id order as soon as each is available.
+
+        Only executors declaring :data:`supports_pipelining` implement
+        this; the coordinator consumes the stream with its merge loop, so
+        the merge of one shard's delta runs concurrently with the compute
+        of later shards.  Yield order **must** be ascending shard id —
+        that invariant, not the executor choice, is what keeps results
+        bit-identical.
+        """
+        raise NotImplementedError(
+            f"executor {self.name!r} does not support pipelining; "
+            "check `supports_pipelining` before calling step_stream"
+        )
 
     def apply(self, patches):
         """Apply ``{shard_id: ShardPatch}`` without computing (flush path).
@@ -102,19 +139,23 @@ class InlineExecutor(Executor):
         self._shards = {}
 
     def start(self, shards):
+        """Keep the shard map; everything runs in the calling thread."""
         self._shards = dict(shards)
 
     def step(self, tasks, patches):
+        """Patch + compute each shard sequentially, in shard-id order."""
         return {
             sid: _step_shard(self._shards[sid], tasks[sid], patches.get(sid))
             for sid in sorted(tasks)
         }
 
     def apply(self, patches):
+        """Apply patches without computing, in shard-id order."""
         for sid in sorted(patches):
             self._shards[sid].apply_patch(patches[sid])
 
     def snapshot(self):
+        """Consistency view straight off the in-process shards."""
         return {sid: shard.snapshot() for sid, shard in self._shards.items()}
 
 
@@ -129,6 +170,7 @@ class ThreadExecutor(Executor):
         self._shards = {}
 
     def start(self, shards):
+        """Keep the shard map and spin up the worker thread pool."""
         self._shards = dict(shards)
         workers = self._requested_workers or min(
             len(self._shards) or 1, os.cpu_count() or 1
@@ -138,6 +180,7 @@ class ThreadExecutor(Executor):
         )
 
     def step(self, tasks, patches):
+        """Fan patch + compute out over the pool; gather in shard-id order."""
         futures = {
             sid: self._pool.submit(
                 _step_shard, self._shards[sid], tasks[sid], patches.get(sid)
@@ -147,16 +190,85 @@ class ThreadExecutor(Executor):
         return {sid: future.result() for sid, future in futures.items()}
 
     def apply(self, patches):
+        """Apply patches without computing (serial; shards share memory)."""
         for sid in sorted(patches):
             self._shards[sid].apply_patch(patches[sid])
 
     def snapshot(self):
+        """Consistency view straight off the in-process shards."""
         return {sid: shard.snapshot() for sid, shard in self._shards.items()}
 
     def stop(self):
+        """Shut the thread pool down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+class PipelinedExecutor(ThreadExecutor):
+    """Thread-backed executor that overlaps barrier merging with compute.
+
+    The strict protocol is compute-all → merge-all: the coordinator waits
+    for the slowest shard before folding a single delta.  This executor
+    relaxes exactly that sequencing, double-buffered: the *compute buffer*
+    is the set of in-flight shard futures, the *merge buffer* is the one
+    completed delta currently handed to the coordinator — while the
+    coordinator merges superstep work from shard ``s``, shards ``> s``
+    keep computing on the pool threads.  Yield order stays ascending shard
+    id, so the coordinator's merge order — and with it every observable
+    result — is bit-identical to the strict executors (the golden suite
+    pins this backend like any other).
+
+    Two counters quantify the overlap for the staleness/pipelining bench:
+
+    * ``merge_seconds`` — total wall-clock the coordinator spent merging
+      deltas handed out by :meth:`step_stream`;
+    * ``overlap_seconds`` — the portion of that merge time during which at
+      least one later shard was still computing, i.e. barrier work that a
+      strict executor would have serialised after the fan-out.  On a
+      multi-core host this is wall-clock saved outright; on one core it is
+      the honest projection of the saving (the GIL interleaves rather than
+      parallelises the overlap).
+    """
+
+    name = "pipelined"
+
+    supports_pipelining = True
+
+    def __init__(self, workers=None):
+        super().__init__(workers)
+        self.merge_seconds = 0.0
+        self.overlap_seconds = 0.0
+        self.steps_streamed = 0
+
+    def step_stream(self, tasks, patches):
+        """Submit every shard's task, then stream deltas in shard-id order.
+
+        The generator body resumes between yields while the consumer (the
+        coordinator's merge loop) works, which is where the overlap
+        accounting happens: merge time observed while later futures are
+        unfinished is time the strict protocol would have added to the
+        barrier.
+        """
+        order = sorted(tasks)
+        futures = {
+            sid: self._pool.submit(
+                _step_shard, self._shards[sid], tasks[sid], patches.get(sid)
+            )
+            for sid in order
+        }
+        self.steps_streamed += 1
+        for position, sid in enumerate(order):
+            delta = futures[sid].result()
+            handed = perf_counter()
+            yield sid, delta
+            merged = perf_counter()
+            spent = merged - handed
+            self.merge_seconds += spent
+            if any(
+                not futures[later].done() for later in order[position + 1:]
+            ):
+                self.overlap_seconds += spent
 
 
 def _process_worker_main(conn):
@@ -262,6 +374,7 @@ class ProcessExecutor(Executor):
         )
 
     def start(self, shards):
+        """Spawn the workers, ship each its shard subset, await the acks."""
         ctx = self._context()
         workers = min(self._workers, max(1, len(shards)))
         assignments = [{} for _ in range(workers)]
@@ -330,6 +443,7 @@ class ProcessExecutor(Executor):
         return merged
 
     def step(self, tasks, patches):
+        """Route each shard's (task, patch) to its owning worker process."""
         per_worker = {}
         for sid, task in tasks.items():
             per_worker.setdefault(self._owner[sid], {})[sid] = (
@@ -339,12 +453,14 @@ class ProcessExecutor(Executor):
         return self._broadcast(per_worker, "step")
 
     def apply(self, patches):
+        """Route patch-only applications to the owning worker processes."""
         per_worker = {}
         for sid, patch in patches.items():
             per_worker.setdefault(self._owner[sid], {})[sid] = patch
         self._broadcast(per_worker, "apply")
 
     def snapshot(self):
+        """Gather the consistency view from every worker over the pipes."""
         for worker in range(len(self._pipes)):
             self._send(worker, ("snapshot", None))
         merged = {}
@@ -353,6 +469,7 @@ class ProcessExecutor(Executor):
         return merged
 
     def stop(self):
+        """Stop the workers: polite ack, then SIGTERM, then SIGKILL."""
         for pipe in self._pipes:
             try:
                 pipe.send(("stop", None))
@@ -385,6 +502,7 @@ class ProcessExecutor(Executor):
 EXECUTORS = {
     "inline": InlineExecutor,
     "thread": ThreadExecutor,
+    "pipelined": PipelinedExecutor,
     "process": ProcessExecutor,
 }
 

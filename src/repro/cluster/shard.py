@@ -27,6 +27,7 @@ is plain picklable data — that is the whole contract
 
 from dataclasses import dataclass, field
 
+from repro.core.heuristic import DecisionContext
 from repro.core.sweep import make_shard_sweeper, sort_vertices
 from repro.pregel.compute import compute_block, decide_block
 
@@ -37,13 +38,21 @@ __all__ = ["Shard", "ShardDelta", "ShardPatch", "ShardTask"]
 class ShardTask:
     """One superstep's input for one shard.
 
-    ``decision`` is the round's frozen
-    :class:`~repro.core.heuristic.DecisionContext` when this shard should
-    run the decision phase (None = no decisions this superstep, e.g. a
-    non-adaptive run or ``decisions="coordinator"``); ``candidates`` names
-    the resident vertices to evaluate, with None meaning *all residents*
-    (a full sweep — the shard enumerates them itself, so full rounds ship
-    no id lists at all).
+    ``decision`` is the round's decision input, in one of three shapes:
+
+    * ``None`` — no decision phase this superstep (a non-adaptive run or
+      ``decisions="coordinator"``);
+    * a frozen :class:`~repro.core.heuristic.DecisionContext` — a *fresh*
+      snapshot; the shard caches it for the staleness window;
+    * an ``int`` round index — a *stale* round under relaxed synchrony
+      (``snapshot_staleness > 0``): the shard re-keys its cached snapshot
+      to this round (:meth:`DecisionContext.aged`) instead of receiving
+      the capacity vector again.  The epoch (``version``) and capacities
+      it decides against are deliberately those of the last resync.
+
+    ``candidates`` names the resident vertices to evaluate, with None
+    meaning *all residents* (a full sweep — the shard enumerates them
+    itself, so full rounds ship no id lists at all).
     """
 
     superstep: int
@@ -191,6 +200,7 @@ class Shard:
         self.graph = _ShardGraph(self._adj)
         self.heuristic = heuristic
         self.placement = None  # global placement mirror (decision phase)
+        self._decision_cache = None  # last fresh snapshot (staleness window)
         self._sweeper = make_shard_sweeper(heuristic)
         # Per-superstep scratch, bound during run_superstep.
         self.router = None
@@ -260,6 +270,7 @@ class Shard:
     # ------------------------------------------------------------------
 
     def note_cost(self, vertex, cost):
+        """Compute-host contract: record one computed vertex and its cost."""
         self._compute_units += cost
         self._computed_ids.append(vertex)
 
@@ -267,6 +278,28 @@ class Shard:
     def placement_of(self):
         """The decision-host contract of :func:`decide_block`: mirror reads."""
         return self.placement.get
+
+    def _decision_snapshot(self, task):
+        """Resolve the task's decision input to a usable snapshot (or None).
+
+        A fresh :class:`DecisionContext` is cached (it opens a staleness
+        window); a bare round index re-keys the cached snapshot to that
+        round — the shard-side half of the stale-snapshot lifecycle, which
+        keeps stale rounds from re-shipping the capacity vector at all.
+        """
+        decision = task.decision
+        if decision is None:
+            return None
+        if isinstance(decision, DecisionContext):
+            self._decision_cache = decision
+            return decision
+        cached = self._decision_cache
+        if cached is None:  # pragma: no cover - protocol misuse
+            raise RuntimeError(
+                f"shard {self.shard_id} received a stale decision round "
+                f"({decision!r}) before any snapshot was shipped"
+            )
+        return cached.aged(decision)
 
     def _decision_phase(self, task):
         """Evaluate the decision step for ``task``; returns the proposals.
@@ -277,7 +310,7 @@ class Shard:
         willingness draws are keyed — but a deterministic order makes the
         delta itself reproducible byte for byte.
         """
-        context = task.decision
+        context = self._decision_snapshot(task)
         if context is None or self.placement is None:
             return []
         candidates = sort_vertices(

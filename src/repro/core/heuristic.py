@@ -20,7 +20,7 @@ its default simply loops :meth:`~MigrationHeuristic.desired_partition`, so
 custom heuristics keep working unchanged.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = [
     "CapacityWeightedGreedy",
@@ -45,16 +45,46 @@ class DecisionContext:
     (and the single-process reference path) deciding against the same
     snapshot is what makes the decision phase's outcome independent of
     where it runs.
+
+    ``version`` is the snapshot *epoch*: the superstep whose barrier
+    published the ``remaining`` vector this context carries.  Under relaxed
+    synchrony (``PregelConfig(snapshot_staleness=k)``) the same snapshot is
+    reused for up to ``k`` supersteps — only ``round_index`` advances (it
+    keys the willingness and arbitration draws, which must stay
+    per-round) — so ``version`` lags ``round_index`` by up to ``k`` until a
+    resync barrier refreshes it.  With ``k=0`` the two are always equal.
     """
 
     round_index: int     # superstep/iteration number, keys willingness draws
     remaining: tuple     # per-partition remaining capacity C_t(i)
     willingness: float   # the paper's s
     lane: int            # WillingnessSource lane (derived from the seed)
+    version: int = 0     # snapshot epoch: superstep that published `remaining`
 
     @property
     def num_partitions(self):
+        """Number of partitions the capacity vector covers."""
         return len(self.remaining)
+
+    @property
+    def age(self):
+        """Rounds this snapshot has aged: ``round_index - version``.
+
+        Zero on a fresh (just-resynced) snapshot; never exceeds the
+        configured ``snapshot_staleness``.
+        """
+        return self.round_index - self.version
+
+    def aged(self, round_index):
+        """The same frozen snapshot, re-keyed to a later decision round.
+
+        Everything a vertex *reads* (capacity vector, willingness, lane,
+        version) is unchanged; only the round the keyed draws are made for
+        advances.  This is the whole stale-snapshot operation: shards keep
+        deciding against the epoch-``version`` state while the barrier
+        skips the capacity resync.
+        """
+        return replace(self, round_index=round_index)
 
 
 class MigrationHeuristic:

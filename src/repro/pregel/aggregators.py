@@ -17,6 +17,7 @@ class SumAggregator:
 
     @staticmethod
     def fold(accumulator, value):
+        """Add ``value`` into the accumulator."""
         return accumulator + value
 
 
@@ -27,6 +28,7 @@ class MaxAggregator:
 
     @staticmethod
     def fold(accumulator, value):
+        """Keep the larger of accumulator and ``value``."""
         if accumulator is None:
             return value
         return max(accumulator, value)
@@ -39,6 +41,7 @@ class MinAggregator:
 
     @staticmethod
     def fold(accumulator, value):
+        """Keep the smaller of accumulator and ``value``."""
         if accumulator is None:
             return value
         return min(accumulator, value)
@@ -78,4 +81,5 @@ class Aggregators:
             self._current[name] = kind.zero
 
     def names(self):
+        """Registered aggregator names, in registration order."""
         return list(self._kinds)

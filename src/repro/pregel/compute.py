@@ -94,6 +94,7 @@ def decide_block(host, context, candidates):
     s = context.willingness
 
     def histograms():
+        """Yield (vertex, current, neighbour-partition counts) per candidate."""
         for v in candidates:
             current = placement_of(v)
             if current is None:

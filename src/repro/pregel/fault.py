@@ -32,6 +32,7 @@ class FaultPlan:
         return self.failures.get(superstep)
 
     def add(self, superstep, worker_id):
+        """Schedule ``worker_id`` to fail at ``superstep``; returns self."""
         self.failures[superstep] = worker_id
         return self
 
@@ -56,6 +57,7 @@ class Checkpointer:
 
     @property
     def last_checkpoint_superstep(self):
+        """Superstep of the most recent snapshot (None before the first)."""
         return self._snapshot_superstep
 
     def restore_vertices(self, vertex_ids, values, reinitialise):

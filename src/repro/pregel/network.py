@@ -29,10 +29,12 @@ class SuperstepTraffic:
 
     @property
     def total_messages(self):
+        """Local + remote application messages this superstep."""
         return self.local_messages + self.remote_messages
 
     @property
     def remote_fraction(self):
+        """Fraction of messages that crossed workers (0.0 when none sent)."""
         total = self.total_messages
         return self.remote_messages / total if total else 0.0
 
@@ -55,24 +57,31 @@ class NetworkStats:
         return self._history
 
     def count_local(self, n=1):
+        """Meter ``n`` worker-local application messages."""
         self._current.local_messages += n
 
     def count_remote(self, n=1):
+        """Meter ``n`` cross-worker application messages."""
         self._current.remote_messages += n
 
     def count_migration(self, n=1):
+        """Meter ``n`` vertex migrations (transfer traffic)."""
         self._current.migrations += n
 
     def count_migration_notification(self, n=1):
+        """Meter ``n`` migration announcements (broadcast traffic)."""
         self._current.migration_notifications += n
 
     def count_capacity_message(self, n=1):
+        """Meter ``n`` capacity-protocol broadcast messages."""
         self._current.capacity_messages += n
 
     def count_compute(self, units):
+        """Meter ``units`` of vertex compute cost."""
         self._current.compute_units += units
 
     def count_recovery(self, n=1):
+        """Meter ``n`` fault-recovery events."""
         self._current.recovery_events += n
 
     def barrier(self, superstep):

@@ -25,9 +25,10 @@ extended API (migration requests + capacity access).  One call to
 3. **barrier** — in the protocol-mandated order: complete last superstep's
    in-flight transfers → deliver messages against the *old* placement →
    announce this superstep's migrations (placement flips now) → apply
-   queued stream mutations → publish predicted capacities → aggregator
-   barrier → checkpoint → scheduled worker failure/recovery → close the
-   traffic record.
+   queued stream mutations → publish predicted capacities (skipped on
+   barriers whose decision snapshot will be reused, when
+   ``snapshot_staleness > 0``) → aggregator barrier → checkpoint →
+   scheduled worker failure/recovery → close the traffic record.
 
 The system is deliberately single-process: workers are partitions of a
 shared store plus honest per-worker accounting (DESIGN.md §4 explains why
@@ -93,6 +94,17 @@ class PregelConfig:
     routes injected event batches through the bulk ingestion path where
     that is provably equivalent to the per-event loop, ``"off"`` forces
     the loop.
+
+    ``snapshot_staleness`` relaxes the synchrony of the *decision inputs*
+    (§6's "what if the barrier is not strict" question): the frozen
+    :class:`~repro.core.heuristic.DecisionContext` — capacity vector plus
+    snapshot epoch — is reused for up to ``k`` supersteps before a resync
+    barrier publishes a fresh one.  Placement deltas still broadcast at
+    *every* barrier (shard placement mirrors stay exact; message routing
+    and migration announcements are untouched) — only what decisions and
+    quota arbitration *see* ages, and the metered capacity broadcast drops
+    to one publish per ``k + 1`` barriers.  ``0`` (default) is the paper's
+    strict BSP behaviour, bit-identical to the golden timelines.
     """
 
     num_workers: int = 9
@@ -109,6 +121,7 @@ class PregelConfig:
     metrics: str = "incremental"
     decisions: str = "shard"
     batch_events: str = "auto"
+    snapshot_staleness: int = 0
 
     def __post_init__(self):
         if self.num_workers < 1:
@@ -123,6 +136,10 @@ class PregelConfig:
             raise ValueError('decisions must be "shard" or "coordinator"')
         if self.batch_events not in ("auto", "off"):
             raise ValueError('batch_events must be "auto" or "off"')
+        if not isinstance(self.snapshot_staleness, int) or (
+            self.snapshot_staleness < 0
+        ):
+            raise ValueError("snapshot_staleness must be an int >= 0")
 
 
 @dataclass
@@ -201,6 +218,7 @@ class PregelSystem:
         self._willingness_lane = derive_seed(self.config.seed, "pregel_willingness")
         self._last_decision_remaining = None  # capacity trigger (uses_capacity)
         self._decision_ctx = None
+        self._snapshot_age = 0  # rounds the current decision snapshot served
         self._decision_seconds = 0.0
         self._sweeper = make_sweeper(graph, self.state, self.config.heuristic)
         self._pending_events = []
@@ -388,8 +406,8 @@ class PregelSystem:
         """Vertex → partition lookup (None when unassigned), for decisions."""
         return self.state.partition_of_or_none
 
-    def _decision_context(self):
-        """This superstep's frozen decision snapshot, or None before the
+    def _fresh_decision_context(self):
+        """A new decision snapshot at the current epoch, or None before the
         first capacity broadcast."""
         visible = self.capacity_protocol.visible_capacities()
         if visible is None:
@@ -399,6 +417,41 @@ class PregelSystem:
             remaining=tuple(visible),
             willingness=self.config.willingness,
             lane=self._willingness_lane,
+            version=self.superstep,
+        )
+
+    def _decision_context(self):
+        """This superstep's decision snapshot, honouring the staleness knob.
+
+        With ``snapshot_staleness=0`` every superstep takes a fresh
+        snapshot of the last published capacities — the strict-BSP
+        behaviour the golden timelines pin.  With ``k > 0`` a snapshot is
+        resynced only once its age would exceed ``k``; in between, the
+        previous snapshot is re-keyed to the current round
+        (:meth:`DecisionContext.aged` — capacity vector and epoch frozen,
+        willingness/arbitration draws still per-round).  Updates
+        ``_snapshot_age`` as a side effect.
+        """
+        previous = self._decision_ctx
+        if previous is None or self._snapshot_age >= self.config.snapshot_staleness:
+            fresh = self._fresh_decision_context()
+            if fresh is not None:
+                self._snapshot_age = 0
+            return fresh
+        self._snapshot_age += 1
+        return previous.aged(self.superstep)
+
+    def _resync_next_superstep(self):
+        """True when the next superstep will take a fresh decision snapshot.
+
+        The barrier consults this to decide whether the (metered) capacity
+        broadcast must run: skipping it on barriers whose snapshot will be
+        reused is the relaxed-synchrony saving, but the barrier *before* a
+        resync must publish or the resync would read epoch-old data.
+        """
+        return (
+            self._decision_ctx is None
+            or self._snapshot_age >= self.config.snapshot_staleness
         )
 
     def _decision_needs_full_sweep(self, context):
@@ -558,7 +611,11 @@ class PregelSystem:
         self._refresh_capacities()
         if self.config.metrics == "recompute":
             self.metrics.cross_check()  # per-superstep full-recompute audit
-        self.capacity_protocol.publish(self._remaining_capacities())
+        if self._resync_next_superstep():
+            # Relaxed synchrony: barriers whose snapshot will be reused skip
+            # the metered capacity broadcast entirely (with staleness 0 this
+            # publishes every barrier, exactly the strict protocol).
+            self.capacity_protocol.publish(self._remaining_capacities())
         self.aggregators.barrier()
         self.checkpointer.maybe_checkpoint(self.superstep, self.values)
         failed_worker = self._maybe_fail_worker()

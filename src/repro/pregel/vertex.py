@@ -64,6 +64,7 @@ class VertexContext:
 
     @value.setter
     def value(self, new_value):
+        """Replace this vertex's value."""
         self._system.values[self.vertex_id] = new_value
 
     def neighbors(self):

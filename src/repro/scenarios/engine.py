@@ -196,6 +196,7 @@ def play_scenario(
     executor=None,
     program=None,
     decisions="shard",
+    staleness=0,
 ):
     """Run ``scenario`` end to end; returns a :class:`ScenarioResult`.
 
@@ -209,18 +210,21 @@ def play_scenario(
     :class:`~repro.cluster.coordinator.Coordinator`; ``executor`` then
     selects the backend (None/name/instance, see
     :func:`~repro.cluster.executor.make_executor`), ``program`` the vertex
-    program (default: PageRank) and ``decisions`` where migration
+    program (default: PageRank), ``decisions`` where migration
     proposals are generated (``"shard"``, the default, evaluates the
     heuristic inside the shards; ``"coordinator"`` keeps it central — the
-    knob moves work, never results).  All three are ignored by the
-    adaptive engine.
+    knob moves work, never results) and ``staleness`` the relaxed-synchrony
+    window (:class:`~repro.pregel.system.PregelConfig.snapshot_staleness`:
+    decision snapshots are reused for up to that many supersteps between
+    capacity resyncs; ``0``, the default, is the strict-BSP behaviour the
+    golden fixtures pin).  All four are ignored by the adaptive engine.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if engine == "pregel":
         return _play_pregel(
             scenario, backend, adaptive, metrics, max_rounds, executor,
-            program, decisions,
+            program, decisions, staleness,
         )
     return _play_adaptive(scenario, backend, adaptive, metrics, max_rounds)
 
@@ -325,7 +329,7 @@ def _play_adaptive(scenario, backend, adaptive, metrics, max_rounds):
 
 
 def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
-                 program, decisions="shard"):
+                 program, decisions="shard", staleness=0):
     from repro.apps.pagerank import PageRank
     from repro.cluster.coordinator import Coordinator
     from repro.pregel.system import PregelConfig
@@ -348,6 +352,7 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
         quiet_window=scenario.quiet_window,
         metrics=metrics,
         decisions=decisions,
+        snapshot_staleness=staleness,
     )
     # Context-managed: an exception anywhere mid-scenario (bad spec, a
     # worker crash, a failing program) must stop the executor's worker

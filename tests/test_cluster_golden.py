@@ -31,7 +31,7 @@ GOLDEN_SCENARIOS = ["mesh-growth", "grid-rewire", "cdr-weekly"]
 EXECUTORS = [
     name.strip()
     for name in os.environ.get(
-        "REPRO_CLUSTER_EXECUTORS", "inline,thread,process"
+        "REPRO_CLUSTER_EXECUTORS", "inline,thread,pipelined,process"
     ).split(",")
     if name.strip()
 ]

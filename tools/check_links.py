@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in markdown files.
+
+Usage::
+
+    python tools/check_links.py README.md ROADMAP.md docs
+
+Arguments are markdown files or directories (scanned recursively for
+``*.md``).  Every inline link or image target is checked, except:
+
+* absolute URLs (``http://``, ``https://``, ``mailto:`` — anything with a
+  scheme); a link checker that needs the network is a flaky link checker;
+* pure in-page anchors (``#section``);
+* targets that resolve *outside* the working tree (relative to the
+  current directory) — the GitHub site-relative idiom, e.g. the CI badge's
+  ``../../actions/workflows/ci.yml``, which is a URL on github.com rather
+  than a file in the checkout.
+
+Relative targets are resolved against the *containing file's* directory;
+an optional ``#anchor`` suffix is stripped (anchor existence is not
+verified — only that the file it points into exists).  Exit status is the
+number of dead links, capped at process-exit semantics (non-zero = fail),
+with one ``file:line: target`` diagnostic per dead link on stderr.
+
+Stdlib only, so it runs identically in CI and on a bare checkout.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images: [text](target) / ![alt](target).  Angle
+# brackets around the target and a trailing "title" are tolerated.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown(arguments):
+    """Yield every markdown file named by the CLI arguments."""
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        else:
+            yield path
+
+
+def dead_links(path):
+    """Yield ``(line_number, target)`` for each unresolvable link."""
+    text = path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if _SCHEME.match(target) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.is_relative_to(Path.cwd().resolve()):
+                continue  # site-relative (escapes the checkout): not ours
+            if not resolved.exists():
+                yield line_number, target
+
+
+def main(argv):
+    """Check every file; returns the process exit code."""
+    if not argv:
+        print("usage: check_links.py FILE_OR_DIR...", file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for path in iter_markdown(argv):
+        if not path.exists():
+            print(f"{path}: no such file", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for line_number, target in dead_links(path):
+            print(f"{path}:{line_number}: dead link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    print(f"checked {checked} markdown file(s): "
+          f"{failures or 'no'} dead link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
