@@ -9,13 +9,18 @@ Gives downstream users the paper's workflow without writing code:
 * ``scenario`` — replay a named dynamic scenario (churning graph) and print
   its per-round timeline; ``--static`` runs the paired static-hash cluster,
   ``--engine pregel`` replays through the sharded cluster simulation (with
-  ``--executor inline|thread|pipelined|process`` selecting the backend,
+  ``--executor inline|thread|pipelined|process|socket`` selecting the
+  backend,
   ``--decisions shard|coordinator`` selecting where migration proposals
   are generated — timelines are identical either way — and ``--staleness
   N`` relaxing the capacity-resync cadence), ``--spec file`` loads a user
   JSON/TOML scenario instead of a catalog name;
 * ``datasets`` — print the Table-1 catalog;
-* ``generate`` — write a synthetic dataset to an edge-list file.
+* ``generate`` — write a synthetic dataset to an edge-list file;
+* ``worker`` — serve shards over TCP to a ``--executor socket`` run on
+  another host (or another process on this one): ``repro worker --listen
+  HOST:PORT`` prints the bound address and speaks the persistent-worker
+  wire protocol until its session count is exhausted.
 """
 
 import argparse
@@ -24,7 +29,8 @@ import json
 import sys
 
 from repro.analysis import format_table
-from repro.cluster import EXECUTORS, make_executor
+from repro.cluster import EXECUTORS, WorkerServer, make_executor
+from repro.cluster.worker import parse_address
 from repro.core import AdaptiveConfig, AdaptiveRunner
 from repro.datasets import CATALOG, build_dataset, dataset_names
 from repro.generators import mesh_3d
@@ -89,9 +95,11 @@ def build_parser():
                     "distributed simulation (messages + migration protocol)")
     sc.add_argument("--executor", default=None, choices=sorted(EXECUTORS),
                     help="pregel engine only: where shard compute runs "
-                    "(default inline)")
+                    "(default inline; socket reads worker addresses from "
+                    "REPRO_SOCKET_WORKERS)")
     sc.add_argument("--workers", type=int, default=None,
-                    help="worker count for --executor thread/process")
+                    help="worker count for --executor "
+                    "thread/pipelined/process/socket")
     sc.add_argument("--decisions", default=None,
                     choices=["shard", "coordinator"],
                     help="pregel engine only: where migration proposals are "
@@ -120,6 +128,16 @@ def build_parser():
     g.add_argument("--scale", type=float, default=1.0)
     g.add_argument("--max-vertices", type=int, default=100000)
     g.add_argument("--seed", type=int, default=0)
+
+    wk = sub.add_parser(
+        "worker", help="serve shards over TCP to a socket-executor run"
+    )
+    wk.add_argument("--listen", required=True, metavar="HOST:PORT",
+                    help="address to bind (port 0 = pick an ephemeral "
+                    "port; the bound address is printed)")
+    wk.add_argument("--sessions", type=int, default=1,
+                    help="coordinator sessions to serve before exiting "
+                    "(0 = serve forever)")
     return parser
 
 
@@ -204,7 +222,7 @@ def _cmd_scenario(args, out):
     if args.workers is not None and args.executor in (None, "inline"):
         out.write(
             "--workers needs a parallel executor: add "
-            "--executor thread or --executor process\n"
+            "--executor thread, process or socket\n"
         )
         return 2
     if args.spec is not None:
@@ -314,6 +332,26 @@ def _cmd_generate(args, out):
     return 0
 
 
+def _cmd_worker(args, out):
+    if args.sessions < 0:
+        out.write("--sessions must be >= 0\n")
+        return 2
+    host, port = parse_address(args.listen)
+    server = WorkerServer(host, port)
+    bound_host, bound_port = server.address
+    # The bound address goes out first and flushed: harnesses that bind
+    # port 0 parse this line to learn where the worker actually listens.
+    out.write(f"repro worker listening on {bound_host}:{bound_port}\n")
+    with contextlib.suppress(AttributeError):  # plain buffers in tests
+        out.flush()
+    try:
+        served = server.serve(args.sessions)
+    finally:
+        server.close()
+    out.write(f"served {served} session(s)\n")
+    return 0
+
+
 def main(argv=None, out=None):
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -328,6 +366,8 @@ def main(argv=None, out=None):
         return _cmd_datasets(out)
     if args.command == "generate":
         return _cmd_generate(args, out)
+    if args.command == "worker":
+        return _cmd_worker(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -12,10 +12,18 @@ package gives the reproduction that execution shape for real:
   records;
 * :mod:`executor` — where shard compute runs: :class:`InlineExecutor`
   (serial reference), :class:`ThreadExecutor`, :class:`ProcessExecutor`
-  (persistent worker processes with shard affinity), and
+  (persistent worker processes with shard affinity),
   :class:`PipelinedExecutor` (thread-backed, declares the
   ``supports_pipelining`` capability so the coordinator merges each
-  shard's delta while later shards still compute);
+  shard's delta while later shards still compute), and
+  :class:`SocketExecutor` (the same persistent-worker protocol over TCP
+  to ``repro worker`` processes on other hosts).  Each backend declares
+  an :class:`ExecutorCapabilities` record that
+  :func:`make_executor` validates;
+* :mod:`wire` — the framed binary wire format those worker protocols
+  speak, plus pre-wire inbox combining;
+* :mod:`worker` — the TCP worker side (``repro worker --listen``) and
+  the localhost pool harness;
 * :mod:`coordinator` — :class:`Coordinator`, the sharded drop-in for
   :class:`~repro.pregel.system.PregelSystem`: same protocols and barrier
   order, compute fanned out per shard and merged deterministically.
@@ -29,25 +37,34 @@ from repro.cluster.coordinator import Coordinator
 from repro.cluster.executor import (
     EXECUTORS,
     Executor,
+    ExecutorCapabilities,
     InlineExecutor,
     PipelinedExecutor,
     ProcessExecutor,
+    SocketExecutor,
     ThreadExecutor,
     make_executor,
+    validate_executor,
 )
 from repro.cluster.shard import Shard, ShardDelta, ShardPatch, ShardTask
+from repro.cluster.worker import LocalWorkerPool, WorkerServer
 
 __all__ = [
     "Coordinator",
     "EXECUTORS",
     "Executor",
+    "ExecutorCapabilities",
     "InlineExecutor",
+    "LocalWorkerPool",
     "PipelinedExecutor",
     "ProcessExecutor",
     "Shard",
     "ShardDelta",
     "ShardPatch",
     "ShardTask",
+    "SocketExecutor",
     "ThreadExecutor",
+    "WorkerServer",
     "make_executor",
+    "validate_executor",
 ]

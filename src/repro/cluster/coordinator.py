@@ -60,9 +60,11 @@ class Coordinator(PregelSystem):
 
     Drop-in for :class:`PregelSystem`: same constructor plus ``executor``
     (None, an executor name — ``"inline"`` / ``"thread"`` / ``"pipelined"``
-    / ``"process"`` — or an
-    :class:`~repro.cluster.executor.Executor` instance).  Call
-    :meth:`close` (or use ``with``) to release executor workers.
+    / ``"process"`` / ``"socket"`` — or an
+    :class:`~repro.cluster.executor.Executor` instance; capability records
+    are validated by :func:`~repro.cluster.executor.make_executor` on the
+    way in).  Call :meth:`close` (or use ``with``) to release executor
+    workers.
     """
 
     def __init__(self, graph, program, config=None, fault_plan=None,
@@ -110,8 +112,16 @@ class Coordinator(PregelSystem):
     # ------------------------------------------------------------------
 
     def close(self):
-        """Stop the executor (idempotent)."""
-        self.executor.stop()
+        """Stop the executor (idempotent).
+
+        Guarded against a failed ``__init__``: if construction raised
+        before the executor existed, there is nothing to stop — and an
+        ``AttributeError`` here would mask the original error for callers
+        cleaning up in a ``finally``.
+        """
+        executor = getattr(self, "executor", None)
+        if executor is not None:
+            executor.stop()
 
     def __enter__(self):
         return self
@@ -175,10 +185,12 @@ class Coordinator(PregelSystem):
         }
         patches = self._pending_patches
         self._pending_patches = {}
-        if self.executor.supports_pipelining:
+        stream = None
+        if self.executor.capabilities.supports_pipelining:
             # Pipelined merge: deltas arrive (still in shard-id order) while
             # later shards compute, so the fold below overlaps the fan-out.
-            delta_stream = self.executor.step_stream(tasks, patches)
+            stream = self.executor.step_stream(tasks, patches)
+            delta_stream = stream
         else:
             deltas = self.executor.step(tasks, patches)
             delta_stream = ((sid, deltas[sid]) for sid in sorted(deltas))
@@ -187,18 +199,26 @@ class Coordinator(PregelSystem):
         computed = 0
         proposals = self._shard_proposals
         proposals.clear()
-        for sid, delta in delta_stream:
-            computed += delta.computed
-            self.values.update(delta.values)
-            self.halted.difference_update(delta.halted_removed)
-            self.halted.update(delta.halted_added)
-            self.router.absorb(delta.outbox)
-            for name, value in delta.aggregated:
-                self.aggregators.contribute(name, value)
-            proposals.extend(delta.proposals)
-            # One shard per worker: the shard's compute IS the worker's.
-            per_worker[sid] += delta.compute_units
-            self.network.count_compute(delta.compute_units)
+        try:
+            for sid, delta in delta_stream:
+                computed += delta.computed
+                self.values.update(delta.values)
+                self.halted.difference_update(delta.halted_removed)
+                self.halted.update(delta.halted_added)
+                self.router.absorb(delta.outbox)
+                for name, value in delta.aggregated:
+                    self.aggregators.contribute(name, value)
+                proposals.extend(delta.proposals)
+                # One shard per worker: the shard's compute IS the worker's.
+                per_worker[sid] += delta.compute_units
+                self.network.count_compute(delta.compute_units)
+        finally:
+            if stream is not None:
+                # A merge failure must not abandon the stream mid-flight:
+                # closing it runs the executor's drain (step_stream's
+                # finally), so no shard future is still mutating state when
+                # the caller regains control.
+                stream.close()
         return computed, per_worker
 
     def _generate_proposals(self, context):

@@ -10,7 +10,7 @@ migration proposals).  Because shard compute *and* shard decisions are
 pure functions of (shard state, task) — willingness draws are keyed, not
 streamed — and the coordinator merges deltas in shard-id order and
 arbitrates proposals in a keyed round permutation, **the choice of executor
-cannot change any result**; it only changes wall-clock.  Four backends
+cannot change any result**; it only changes wall-clock.  Five backends
 ship:
 
 * :class:`InlineExecutor` — runs shards sequentially in the calling thread.
@@ -18,12 +18,6 @@ ship:
 * :class:`ThreadExecutor` — a thread pool.  Python's GIL serialises pure-
   Python compute, so this wins only when programs release the GIL (numpy,
   I/O); it mainly exercises the concurrency contract cheaply.
-* :class:`ProcessExecutor` — long-lived worker processes, each owning a
-  fixed subset of shards (shard ``i`` lives on worker ``i % workers``).
-  Shards ship once at start; per superstep only tasks, patches and deltas
-  cross the pipe.  Requires picklable programs, values and messages.  This
-  is the backend that actually scales superstep-heavy workloads
-  (``benchmarks/bench_cluster.py`` pins ≥2× with four workers).
 * :class:`PipelinedExecutor` — the thread pool plus **barrier pipelining**:
   it declares ``supports_pipelining`` and streams each shard's delta to the
   coordinator *in shard-id order, as it completes*, so the coordinator's
@@ -31,31 +25,80 @@ ship:
   shards ``> s`` instead of waiting for the whole fan-out.  Merge order is
   unchanged, so results stay bit-identical; only the hard
   compute-then-merge sequencing is relaxed.
+* :class:`ProcessExecutor` — long-lived worker processes, each owning a
+  fixed subset of shards (shard ``i`` lives on worker ``i % workers``).
+  Shards ship once at start; per superstep only tasks, patches and deltas
+  cross the pipe — as compact :mod:`~repro.cluster.wire` frames, inboxes
+  pre-folded by the program's combiner.  Requires picklable programs,
+  values and messages.  This is the backend that actually scales
+  superstep-heavy workloads on one host
+  (``benchmarks/bench_cluster.py`` pins ≥2× with four workers).
+* :class:`SocketExecutor` — the same persistent-worker protocol over TCP
+  to ``repro worker`` processes on *any* host: the step from multi-core to
+  multi-machine.  Shard subsets ship at start; per-superstep traffic is
+  the wire codec's framed tasks/deltas with shard-side inbox combining
+  (``benchmarks/bench_wire.py`` pins the bytes-on-wire win), and bounded
+  connect/read timeouts surface dead workers as the same clear
+  ``RuntimeError`` the pipe path raises.
 
-Executors advertise what they can do through class-level capability flags
-(currently :data:`Executor.supports_pipelining`); the coordinator consults
-the flags and falls back to the strict :meth:`Executor.step` protocol when
-a capability is absent — Inline/Thread/Process decline pipelining cleanly.
+Executors advertise what they can do through a declared
+:class:`ExecutorCapabilities` record (the ``RunnerCapabilities`` pattern):
+:func:`make_executor` validates the declaration — a backend claiming
+``supports_pipelining`` must actually implement :meth:`Executor.step_stream`
+and vice versa — and the coordinator consults it, falling back to the
+strict :meth:`Executor.step` protocol when a capability is absent.
 
 Executors are context managers; :meth:`Executor.stop` is idempotent.
 """
 
 import multiprocessing
 import os
+import socket
 import traceback
 import weakref
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, replace
 from time import perf_counter
+
+from repro.cluster import wire
+from repro.cluster.worker import ShardHost, parse_worker_addresses
 
 __all__ = [
     "EXECUTORS",
     "Executor",
+    "ExecutorCapabilities",
     "InlineExecutor",
     "PipelinedExecutor",
     "ProcessExecutor",
+    "SocketExecutor",
     "ThreadExecutor",
     "make_executor",
+    "validate_executor",
 ]
+
+
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """What one executor backend can honestly promise the coordinator.
+
+    * ``supports_pipelining`` — :meth:`Executor.step_stream` is implemented
+      and the coordinator may merge deltas while later shards still
+      compute.  The declaration is the contract: :func:`validate_executor`
+      rejects executors whose flag and ``step_stream`` disagree, and a
+      declining executor is simply never asked to stream.
+    * ``releases_gil`` — shard compute runs outside the calling process's
+      GIL (worker processes, remote hosts), so pure-Python programs scale
+      with workers instead of interleaving.
+    * ``remote`` — workers may live on other hosts; shard traffic crosses
+      a network, not just a process boundary.
+    * ``requires_picklable`` — programs, values and messages must survive
+      serialisation; in-process backends can run anything.
+    """
+
+    supports_pipelining: bool = False
+    releases_gil: bool = False
+    remote: bool = False
+    requires_picklable: bool = False
 
 
 class Executor:
@@ -63,12 +106,15 @@ class Executor:
 
     name = "abstract"
 
-    #: Capability flag: True when :meth:`step_stream` is implemented and the
-    #: coordinator may merge deltas while later shards still compute.  The
-    #: flag is the contract — a False executor is never asked to stream, so
-    #: backends without a safe overlap story decline by simply not setting
-    #: it.
-    supports_pipelining = False
+    #: The backend's declared capability record; subclasses override with
+    #: their honest declaration and :func:`validate_executor` holds them
+    #: to it.
+    capabilities = ExecutorCapabilities()
+
+    @property
+    def supports_pipelining(self):
+        """Legacy view of ``capabilities.supports_pipelining`` (PR 6 flag)."""
+        return self.capabilities.supports_pipelining
 
     def start(self, shards):
         """Take ownership of ``{shard_id: Shard}`` before the first superstep."""
@@ -89,16 +135,17 @@ class Executor:
         """Like :meth:`step`, but yield ``(shard_id, delta)`` pairs in
         shard-id order as soon as each is available.
 
-        Only executors declaring :data:`supports_pipelining` implement
-        this; the coordinator consumes the stream with its merge loop, so
-        the merge of one shard's delta runs concurrently with the compute
-        of later shards.  Yield order **must** be ascending shard id —
-        that invariant, not the executor choice, is what keeps results
+        Only executors declaring ``supports_pipelining`` implement this;
+        the coordinator consumes the stream with its merge loop, so the
+        merge of one shard's delta runs concurrently with the compute of
+        later shards.  Yield order **must** be ascending shard id — that
+        invariant, not the executor choice, is what keeps results
         bit-identical.
         """
         raise NotImplementedError(
             f"executor {self.name!r} does not support pipelining; "
-            "check `supports_pipelining` before calling step_stream"
+            "check `capabilities.supports_pipelining` before calling "
+            "step_stream"
         )
 
     def apply(self, patches):
@@ -130,10 +177,18 @@ def _step_shard(shard, task, patch):
     return shard.run_superstep(task)
 
 
+def _require_workers(workers, what):
+    if workers is not None and workers < 1:
+        raise ValueError(f"need at least one {what}, got workers={workers!r}")
+    return workers
+
+
 class InlineExecutor(Executor):
     """Sequential in-thread execution — the deterministic serial reference."""
 
     name = "inline"
+
+    capabilities = ExecutorCapabilities()
 
     def __init__(self):
         self._shards = {}
@@ -164,17 +219,19 @@ class ThreadExecutor(Executor):
 
     name = "thread"
 
+    capabilities = ExecutorCapabilities()
+
     def __init__(self, workers=None):
-        self._requested_workers = workers
+        self._requested_workers = _require_workers(workers, "worker thread")
         self._pool = None
         self._shards = {}
 
     def start(self, shards):
         """Keep the shard map and spin up the worker thread pool."""
         self._shards = dict(shards)
-        workers = self._requested_workers or min(
-            len(self._shards) or 1, os.cpu_count() or 1
-        )
+        workers = self._requested_workers
+        if workers is None:
+            workers = min(len(self._shards) or 1, os.cpu_count() or 1)
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-shard"
         )
@@ -233,7 +290,7 @@ class PipelinedExecutor(ThreadExecutor):
 
     name = "pipelined"
 
-    supports_pipelining = True
+    capabilities = ExecutorCapabilities(supports_pipelining=True)
 
     def __init__(self, workers=None):
         super().__init__(workers)
@@ -249,6 +306,14 @@ class PipelinedExecutor(ThreadExecutor):
         accounting happens: merge time observed while later futures are
         unfinished is time the strict protocol would have added to the
         barrier.
+
+        The stream owns its in-flight futures to the end: if the consumer
+        abandons the generator (``close()`` on a merge-loop failure) or a
+        shard raises, the ``finally`` below blocks until every submitted
+        future has finished.  Without that barrier the unfinished futures
+        would keep mutating ``Shard`` objects on pool threads while the
+        caller moved on to the next ``step()``/``apply()`` — a data race
+        dressed up as early cleanup.
         """
         order = sorted(tasks)
         futures = {
@@ -258,53 +323,37 @@ class PipelinedExecutor(ThreadExecutor):
             for sid in order
         }
         self.steps_streamed += 1
-        for position, sid in enumerate(order):
-            delta = futures[sid].result()
-            handed = perf_counter()
-            yield sid, delta
-            merged = perf_counter()
-            spent = merged - handed
-            self.merge_seconds += spent
-            if any(
-                not futures[later].done() for later in order[position + 1:]
-            ):
-                self.overlap_seconds += spent
+        try:
+            for position, sid in enumerate(order):
+                delta = futures[sid].result()
+                handed = perf_counter()
+                yield sid, delta
+                merged = perf_counter()
+                spent = merged - handed
+                self.merge_seconds += spent
+                if any(
+                    not futures[later].done() for later in order[position + 1:]
+                ):
+                    self.overlap_seconds += spent
+        finally:
+            pending = [f for f in futures.values() if not f.done()]
+            if pending:
+                wait(pending)
 
 
 def _process_worker_main(conn):
     """Worker loop: owns its shards for the life of the run."""
-    shards = {}
+    host = ShardHost()
     while True:
         try:
-            message = conn.recv()
+            message = wire.loads(conn.recv_bytes())
         except EOFError:
             return
         kind, payload = message
-        try:
-            if kind == "init":
-                shards = payload
-                conn.send(("ok", None))
-            elif kind == "step":
-                deltas = {}
-                for sid in sorted(payload):
-                    task, patch = payload[sid]
-                    deltas[sid] = _step_shard(shards[sid], task, patch)
-                conn.send(("ok", deltas))
-            elif kind == "apply":
-                for sid in sorted(payload):
-                    shards[sid].apply_patch(payload[sid])
-                conn.send(("ok", None))
-            elif kind == "snapshot":
-                conn.send(
-                    ("ok", {sid: shard.snapshot() for sid, shard in shards.items()})
-                )
-            elif kind == "stop":
-                conn.send(("ok", None))
-                return
-            else:  # pragma: no cover - protocol misuse
-                conn.send(("error", f"unknown command {kind!r}"))
-        except Exception:  # surface worker-side failures to the coordinator
-            conn.send(("error", traceback.format_exc()))
+        reply, done = host.handle(kind, payload)
+        conn.send_bytes(wire.dumps(reply))
+        if done:
+            return
 
 
 def _reap_workers(procs, pipes):
@@ -332,12 +381,130 @@ def _reap_workers(procs, pipes):
             pass
 
 
-class ProcessExecutor(Executor):
+class _WorkerProtocolExecutor(Executor):
+    """Shared client half of the persistent-worker protocol.
+
+    :class:`ProcessExecutor` (pipes) and :class:`SocketExecutor` (TCP)
+    differ only in transport; the command routing, the shard→worker
+    ownership map, shard-side inbox combining and — critically — the
+    reply-draining discipline live here.  Subclasses provide
+    :meth:`_send` and :meth:`_recv_message` plus lifecycle.
+    """
+
+    def __init__(self, combine_inbox=True):
+        self._owner = {}
+        self._task_combiner = None
+        self._combine_inbox = bool(combine_inbox)
+
+    # -- transport contract -------------------------------------------------
+
+    def _send(self, worker, message):
+        raise NotImplementedError
+
+    def _recv_message(self, worker):
+        raise NotImplementedError
+
+    def _worker_ids(self):
+        raise NotImplementedError
+
+    # -- shared protocol ----------------------------------------------------
+
+    def _assign(self, shards, workers):
+        """Fix shard→worker ownership (shard ``i`` on worker ``i % workers``)."""
+        assignments = [{} for _ in range(workers)]
+        for sid, shard in shards.items():
+            worker = sid % workers
+            assignments[worker][sid] = shard
+            self._owner[sid] = worker
+        return assignments
+
+    def _note_combiner(self, shards):
+        """Capture the program's combiner for pre-wire inbox folding."""
+        self._task_combiner = None
+        if self._combine_inbox and shards:
+            shard = next(iter(shards.values()))
+            self._task_combiner = getattr(shard, "_combiner", None)
+
+    def _receive(self, worker):
+        """One reply from ``worker``, raising its failure as RuntimeError."""
+        status, payload = self._recv_message(worker)
+        if status == "error":
+            raise RuntimeError(f"shard worker {worker} failed:\n{payload}")
+        return payload
+
+    def _gather(self, touched):
+        """Collect every touched worker's reply, then raise the first failure.
+
+        Draining unconditionally is the protocol invariant: each command
+        gets exactly one reply per touched worker, so a failure must not
+        leave later workers' replies queued for the *next* command to
+        misread.  Only after the sweep does the first failure propagate.
+        """
+        merged = {}
+        failure = None
+        for worker in touched:
+            try:
+                result = self._receive(worker)
+            except RuntimeError as exc:
+                if failure is None:
+                    failure = exc
+                continue
+            if result:
+                merged.update(result)
+        if failure is not None:
+            raise failure
+        return merged
+
+    def _broadcast(self, per_worker_payload, kind):
+        touched = sorted(per_worker_payload)
+        for worker in touched:
+            self._send(worker, (kind, per_worker_payload[worker]))
+        return self._gather(touched)
+
+    def step(self, tasks, patches):
+        """Route each shard's (task, patch) to its owning worker.
+
+        With a combiner available, every multi-message mailbox is folded
+        shard-side of the wire (:func:`~repro.cluster.wire.combine_inbox`)
+        before framing — same values, same modelled cost, a fraction of
+        the bytes.
+        """
+        combiner = self._task_combiner
+        per_worker = {}
+        for sid, task in tasks.items():
+            if combiner is not None and task.inbox:
+                folded = wire.combine_inbox(task.inbox, combiner)
+                if folded is not task.inbox:
+                    task = replace(task, inbox=folded)
+            per_worker.setdefault(self._owner[sid], {})[sid] = (
+                task,
+                patches.get(sid),
+            )
+        return self._broadcast(per_worker, "step")
+
+    def apply(self, patches):
+        """Route patch-only applications to the owning workers."""
+        per_worker = {}
+        for sid, patch in patches.items():
+            per_worker.setdefault(self._owner[sid], {})[sid] = patch
+        self._broadcast(per_worker, "apply")
+
+    def snapshot(self):
+        """Gather the consistency view from every worker."""
+        workers = list(self._worker_ids())
+        for worker in workers:
+            self._send(worker, ("snapshot", None))
+        return self._gather(workers)
+
+
+class ProcessExecutor(_WorkerProtocolExecutor):
     """Persistent worker processes with shard affinity.
 
     ``workers`` processes are spawned at :meth:`start`; shard ``i`` lives on
     worker ``i % workers`` for the whole run, so per-superstep traffic is
-    tasks + patches in, deltas out — never whole shards.  ``mp_context``
+    tasks + patches in, deltas out — never whole shards.  Messages cross
+    the pipe as :mod:`~repro.cluster.wire` frames (the binary codec, with
+    shard-side inbox combining), not pickle-per-message.  ``mp_context``
     names a :mod:`multiprocessing` start method (default: ``"fork"`` where
     available, else the platform default) — with ``"spawn"``, shard state is
     shipped through the pipe at start, so programs and values must pickle.
@@ -351,18 +518,22 @@ class ProcessExecutor(Executor):
 
     name = "process"
 
+    capabilities = ExecutorCapabilities(
+        releases_gil=True, requires_picklable=True
+    )
+
     # Bounded waits (seconds): ack on the pipe, SIGTERM grace, SIGKILL grace.
     _ACK_TIMEOUT = 1.0
     _JOIN_TIMEOUT = 5.0
 
-    def __init__(self, workers=4, mp_context=None):
-        if workers < 1:
+    def __init__(self, workers=4, mp_context=None, combine_inbox=True):
+        super().__init__(combine_inbox=combine_inbox)
+        if workers is None or workers < 1:
             raise ValueError("need at least one worker process")
         self._workers = workers
         self._context_name = mp_context
         self._procs = []
         self._pipes = []
-        self._owner = {}
         self._reaper = None
 
     def _context(self):
@@ -377,11 +548,8 @@ class ProcessExecutor(Executor):
         """Spawn the workers, ship each its shard subset, await the acks."""
         ctx = self._context()
         workers = min(self._workers, max(1, len(shards)))
-        assignments = [{} for _ in range(workers)]
-        for sid, shard in shards.items():
-            worker = sid % workers
-            assignments[worker][sid] = shard
-            self._owner[sid] = worker
+        assignments = self._assign(shards, workers)
+        self._note_combiner(shards)
         try:
             for worker in range(workers):
                 parent_conn, child_conn = ctx.Pipe()
@@ -402,77 +570,40 @@ class ProcessExecutor(Executor):
                 self, _reap_workers, list(self._procs), list(self._pipes)
             )
             for worker in range(workers):
-                self._pipes[worker].send(("init", assignments[worker]))
+                self._send(worker, ("init", assignments[worker]))
             for worker in range(workers):
                 self._receive(worker)
         except BaseException:
             self.stop()  # no leaked worker processes on a failed start
             raise
 
+    def _worker_ids(self):
+        return range(len(self._pipes))
+
     def _send(self, worker, message):
         """Send to one worker, surfacing a dead process as a clear error."""
         try:
-            self._pipes[worker].send(message)
+            self._pipes[worker].send_bytes(wire.dumps(message))
         except (BrokenPipeError, OSError) as exc:
             raise RuntimeError(
                 f"shard worker {worker} died (pipe closed); it may have "
                 "crashed or been killed mid-run"
             ) from exc
 
-    def _receive(self, worker):
+    def _recv_message(self, worker):
         try:
-            status, payload = self._pipes[worker].recv()
+            return wire.loads(self._pipes[worker].recv_bytes())
         except EOFError:
             raise RuntimeError(
                 f"shard worker {worker} died (pipe closed); shard state or "
                 "messages may not be picklable"
             ) from None
-        if status == "error":
-            raise RuntimeError(f"shard worker {worker} failed:\n{payload}")
-        return payload
-
-    def _broadcast(self, per_worker_payload, kind):
-        touched = sorted(per_worker_payload)
-        for worker in touched:
-            self._send(worker, (kind, per_worker_payload[worker]))
-        merged = {}
-        for worker in touched:
-            result = self._receive(worker)
-            if result:
-                merged.update(result)
-        return merged
-
-    def step(self, tasks, patches):
-        """Route each shard's (task, patch) to its owning worker process."""
-        per_worker = {}
-        for sid, task in tasks.items():
-            per_worker.setdefault(self._owner[sid], {})[sid] = (
-                task,
-                patches.get(sid),
-            )
-        return self._broadcast(per_worker, "step")
-
-    def apply(self, patches):
-        """Route patch-only applications to the owning worker processes."""
-        per_worker = {}
-        for sid, patch in patches.items():
-            per_worker.setdefault(self._owner[sid], {})[sid] = patch
-        self._broadcast(per_worker, "apply")
-
-    def snapshot(self):
-        """Gather the consistency view from every worker over the pipes."""
-        for worker in range(len(self._pipes)):
-            self._send(worker, ("snapshot", None))
-        merged = {}
-        for worker in range(len(self._pipes)):
-            merged.update(self._receive(worker))
-        return merged
 
     def stop(self):
         """Stop the workers: polite ack, then SIGTERM, then SIGKILL."""
         for pipe in self._pipes:
             try:
-                pipe.send(("stop", None))
+                pipe.send_bytes(wire.dumps(("stop", None)))
             except (BrokenPipeError, OSError):
                 pass
         for worker, proc in enumerate(self._procs):
@@ -480,7 +611,7 @@ class ProcessExecutor(Executor):
                 # Bounded ack wait: a hard-stuck worker never answers, and
                 # an unbounded recv() would hang the whole teardown.
                 if self._pipes[worker].poll(self._ACK_TIMEOUT):
-                    self._pipes[worker].recv()
+                    self._pipes[worker].recv_bytes()
             except (EOFError, OSError):
                 pass
             proc.join(timeout=self._JOIN_TIMEOUT)
@@ -499,12 +630,197 @@ class ProcessExecutor(Executor):
         self._owner = {}
 
 
+class SocketExecutor(_WorkerProtocolExecutor):
+    """The persistent-worker protocol over TCP — shards on other hosts.
+
+    Workers are ``repro worker --listen HOST:PORT`` processes (see
+    :mod:`repro.cluster.worker`); :meth:`start` connects to each address,
+    ships its shard subset, and from then on the session is exactly the
+    pipe protocol as :mod:`~repro.cluster.wire` frames: tasks + patches
+    out (inboxes pre-folded by the program's combiner when it has one),
+    deltas back, every reply drained even on failure.
+
+    ``addresses`` is a comma-joined string, an iterable of ``host:port``,
+    or None to read ``REPRO_SOCKET_WORKERS`` from the environment at
+    :meth:`start`.  ``codec`` picks the frame codec (``"binary"`` —
+    default — or ``"pickle"``, kept as the measurable baseline).  Connect
+    and read timeouts are bounded so a dead or wedged worker surfaces as
+    the same ``RuntimeError`` shape the pipe path raises instead of a
+    hang.  Bytes on the wire are tallied per command kind in
+    :attr:`bytes_sent` / :attr:`bytes_received` — the counters
+    ``benchmarks/bench_wire.py`` reads.
+    """
+
+    name = "socket"
+
+    capabilities = ExecutorCapabilities(
+        releases_gil=True, remote=True, requires_picklable=True
+    )
+
+    # Bounded waits (seconds): TCP connect, per-reply read, stop-ack read.
+    _CONNECT_TIMEOUT = 10.0
+    _READ_TIMEOUT = 600.0
+    _ACK_TIMEOUT = 1.0
+
+    def __init__(self, addresses=None, workers=None, *, codec="binary",
+                 combine_inbox=True, connect_timeout=None, read_timeout=None):
+        super().__init__(combine_inbox=combine_inbox)
+        self._requested_workers = _require_workers(workers, "socket worker")
+        self._given_addresses = addresses
+        self._codec = wire.codec_id(codec)
+        self._connect_timeout = (
+            self._CONNECT_TIMEOUT if connect_timeout is None
+            else connect_timeout
+        )
+        self._read_timeout = (
+            self._READ_TIMEOUT if read_timeout is None else read_timeout
+        )
+        self._sockets = []
+        self._peers = []
+        self.bytes_sent = {}
+        self.bytes_received = {}
+        self._pending_kind = {}
+
+    def _resolve_addresses(self):
+        spec = self._given_addresses
+        if spec is None:
+            spec = os.environ.get("REPRO_SOCKET_WORKERS") or None
+        addresses = parse_worker_addresses(spec)
+        if not addresses:
+            raise ValueError(
+                "socket executor has no worker addresses; pass "
+                "addresses='host:port,...' or set REPRO_SOCKET_WORKERS "
+                "(start workers with `repro worker --listen host:port`)"
+            )
+        if self._requested_workers is not None:
+            addresses = addresses[: self._requested_workers]
+        return addresses
+
+    def start(self, shards):
+        """Connect to the workers, ship each its shard subset, await acks."""
+        addresses = self._resolve_addresses()
+        workers = min(len(addresses), max(1, len(shards)))
+        assignments = self._assign(shards, workers)
+        self._note_combiner(shards)
+        try:
+            for worker in range(workers):
+                host, port = addresses[worker]
+                try:
+                    sock = socket.create_connection(
+                        (host, port), timeout=self._connect_timeout
+                    )
+                except OSError as exc:
+                    raise RuntimeError(
+                        f"cannot reach shard worker {worker} at "
+                        f"{host}:{port}: {exc}"
+                    ) from exc
+                sock.settimeout(self._read_timeout)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._sockets.append(sock)
+                self._peers.append(f"{host}:{port}")
+            for worker in range(workers):
+                self._send(worker, ("init", assignments[worker]))
+            for worker in range(workers):
+                self._receive(worker)
+        except BaseException:
+            self.stop()  # no half-connected session on a failed start
+            raise
+
+    def _worker_ids(self):
+        return range(len(self._sockets))
+
+    def _count(self, counters, kind, n):
+        counters[kind] = counters.get(kind, 0) + n
+
+    def _send(self, worker, message):
+        kind = message[0]
+        self._pending_kind[worker] = kind
+        try:
+            sent = wire.send_frame(
+                self._sockets[worker], message, codec=self._codec
+            )
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker {worker} ({self._peers[worker]}) died "
+                "(connection lost); it may have crashed or been killed "
+                "mid-run"
+            ) from exc
+        self._count(self.bytes_sent, kind, sent)
+
+    def _recv_message(self, worker):
+        kind = self._pending_kind.get(worker, "?")
+        try:
+            payload = wire.recv_payload(self._sockets[worker])
+        except TimeoutError:
+            raise RuntimeError(
+                f"shard worker {worker} ({self._peers[worker]}) timed out "
+                f"after {self._read_timeout}s; it may be dead or wedged"
+            ) from None
+        except (EOFError, wire.WireError, ConnectionError, OSError):
+            raise RuntimeError(
+                f"shard worker {worker} ({self._peers[worker]}) died "
+                "(connection closed); shard state or messages may not be "
+                "picklable"
+            ) from None
+        self._count(self.bytes_received, kind, len(payload) + 4)
+        return wire.loads(payload)
+
+    def stop(self):
+        """End the session: polite stop + short ack wait, then close."""
+        for worker, sock in enumerate(self._sockets):
+            try:
+                wire.send_frame(sock, ("stop", None), codec=self._codec)
+                sock.settimeout(self._ACK_TIMEOUT)
+                wire.recv_payload(sock)
+            except (TimeoutError, EOFError, wire.WireError, OSError):
+                pass
+        for sock in self._sockets:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        self._sockets = []
+        self._peers = []
+        self._owner = {}
+        self._pending_kind = {}
+
+
 EXECUTORS = {
     "inline": InlineExecutor,
     "thread": ThreadExecutor,
     "pipelined": PipelinedExecutor,
     "process": ProcessExecutor,
+    "socket": SocketExecutor,
 }
+
+
+def validate_executor(executor):
+    """Check an executor's capability declaration; returns the executor.
+
+    Two honesty rules: the record must actually be an
+    :class:`ExecutorCapabilities`, and the ``supports_pipelining`` flag
+    must agree with whether :meth:`Executor.step_stream` is overridden —
+    a backend can neither promise streaming it does not implement nor
+    smuggle in streaming it does not declare.
+    """
+    caps = getattr(executor, "capabilities", None)
+    if not isinstance(caps, ExecutorCapabilities):
+        raise TypeError(
+            f"executor {getattr(executor, 'name', executor)!r} must declare "
+            f"an ExecutorCapabilities record, got {caps!r}"
+        )
+    streams = type(executor).step_stream is not Executor.step_stream
+    if caps.supports_pipelining and not streams:
+        raise ValueError(
+            f"executor {executor.name!r} declares supports_pipelining but "
+            "does not implement step_stream"
+        )
+    if streams and not caps.supports_pipelining:
+        raise ValueError(
+            f"executor {executor.name!r} implements step_stream but does "
+            "not declare supports_pipelining"
+        )
+    return executor
 
 
 def make_executor(spec=None, workers=None):
@@ -512,12 +828,14 @@ def make_executor(spec=None, workers=None):
 
     ``None`` means :class:`InlineExecutor` (the deterministic default); a
     string looks up :data:`EXECUTORS`; an :class:`Executor` instance passes
-    through unchanged (``workers`` is then ignored).
+    through (``workers`` is then ignored).  Every path runs
+    :func:`validate_executor`, so a backend with a dishonest capability
+    record never reaches the coordinator.
     """
     if spec is None:
-        return InlineExecutor()
+        return validate_executor(InlineExecutor())
     if isinstance(spec, Executor):
-        return spec
+        return validate_executor(spec)
     try:
         factory = EXECUTORS[spec]
     except (KeyError, TypeError):
@@ -525,8 +843,6 @@ def make_executor(spec=None, workers=None):
             f"unknown executor {spec!r}; choose from {sorted(EXECUTORS)} "
             "or pass an Executor instance"
         ) from None
-    if factory is InlineExecutor:
-        return factory()
-    if workers is None:
-        return factory()
-    return factory(workers)
+    if factory is InlineExecutor or workers is None:
+        return validate_executor(factory())
+    return validate_executor(factory(workers=workers))

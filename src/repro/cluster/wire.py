@@ -1,0 +1,787 @@
+"""The cluster wire format: framing, a compact binary codec, inbox combining.
+
+Every byte the persistent-worker protocol moves — over a pipe to a
+:class:`~repro.cluster.executor.ProcessExecutor` worker or over TCP to a
+``repro worker`` on another host — goes through this module.  Three layers:
+
+**Framing.**  A frame is ``[u32 length][payload]`` (little-endian length,
+bounded by :data:`MAX_FRAME`); the payload's first byte names the codec.
+:func:`send_frame` / :func:`recv_frame` speak frames over a socket with
+exact reads, surfacing a clean peer close as :class:`EOFError` so callers
+can distinguish "worker went away" from garbage.
+
+**Codec.**  :func:`dumps` / :func:`loads` encode one protocol message.  The
+default binary codec (:data:`CODEC_BINARY`) is a tagged format that packs
+the hot structures — task inboxes, delta value maps and outboxes, patch
+adjacency — as homogeneous little-endian buffers via the stdlib
+:mod:`array` module, delta-encoding vertex-id columns so ids on a
+million-vertex graph cost bytes proportional to their local gaps rather
+than their magnitude (numpy is *not* required; ``numpy.ndarray`` values
+get their own raw-buffer tag when numpy is present), with a pickle
+fallback tag for arbitrary program values.  The pickle codec (:data:`CODEC_PICKLE`) is
+one ``pickle.dumps`` per message — the pre-codec wire format, kept both as
+the benchmark baseline (``benchmarks/bench_wire.py``) and because a raw
+pickle (first byte ``0x80``) is self-identifying, so frames produced by
+``Connection.send`` decode too.
+
+**Combining.**  :func:`combine_inbox` applies the program's combiner to a
+shard's inbox *before* the wire, folding each multi-message mailbox to one
+:class:`CombinedMessages` entry that still reports the original message
+count through ``len()`` — which is exactly what keeps modelled compute cost
+(``VertexProgram.compute_cost`` defaults to ``1 + len(messages)``), and
+with it every golden timeline, bit-identical to the uncombined executors.
+"""
+
+import pickle
+import struct
+import sys
+from array import array
+
+from repro.cluster.shard import ShardDelta, ShardPatch, ShardTask
+
+try:  # numpy is optional everywhere in this repo
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-free CI leg
+    _np = None
+
+__all__ = [
+    "CODEC_BINARY",
+    "CODEC_PICKLE",
+    "MAX_FRAME",
+    "CombinedMessages",
+    "WireError",
+    "codec_id",
+    "combine_inbox",
+    "dumps",
+    "frame",
+    "loads",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Codec byte of the tagged binary format.
+CODEC_BINARY = 0x01
+#: Codec byte of the pickle format — ``0x80`` is the PROTO opcode that opens
+#: every protocol-2+ pickle, so a raw ``pickle.dumps`` payload is already a
+#: valid frame body under this codec.
+CODEC_PICKLE = 0x80
+#: Hard ceiling on one frame's payload (guards against a corrupt length
+#: prefix turning into a multi-gigabyte allocation).
+MAX_FRAME = 1 << 30
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+class WireError(ValueError):
+    """A malformed frame or an unencodable/undecodable payload."""
+
+
+def codec_id(spec):
+    """Resolve a codec spec — ``"binary"``/``"pickle"`` or a codec byte."""
+    if spec in ("binary", CODEC_BINARY):
+        return CODEC_BINARY
+    if spec in ("pickle", CODEC_PICKLE):
+        return CODEC_PICKLE
+    raise ValueError(
+        f"unknown wire codec {spec!r}; choose 'binary' or 'pickle'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Combining
+# ---------------------------------------------------------------------------
+
+
+class CombinedMessages(list):
+    """One combined message standing in for ``logical_len`` originals.
+
+    Iteration, indexing and ``list(...)`` see the single folded message, so
+    a program's ``compute`` receives exactly what its combiner semantics
+    promise — but ``len()`` reports the *pre-combining* message count, so
+    cost models that charge per message (``VertexProgram.compute_cost``
+    defaults to ``1 + len(messages)``) account the same work whether or not
+    the transport combined.  That asymmetry is the whole point: it is what
+    keeps compute-unit timelines bit-identical across combining and
+    non-combining executors.
+    """
+
+    __slots__ = ("logical_len",)
+
+    def __init__(self, items, logical_len):
+        super().__init__(items)
+        self.logical_len = int(logical_len)
+
+    def __len__(self):
+        return self.logical_len
+
+    def __reduce__(self):
+        return (CombinedMessages, (list(self), self.logical_len))
+
+    def __repr__(self):
+        return (
+            f"CombinedMessages({list.__repr__(self)}, "
+            f"logical_len={self.logical_len})"
+        )
+
+
+def combine_inbox(inbox, combiner):
+    """Fold every multi-message mailbox in ``inbox`` with ``combiner``.
+
+    Returns a new inbox dict where each mailbox of ``n > 1`` messages became
+    a :class:`CombinedMessages` holding the left-fold of the originals (the
+    same association order ``MessageRouter.send`` would have combined them
+    in) and remembering ``n``.  Single-message mailboxes pass through
+    untouched; with no combiner — or nothing to fold — the original mapping
+    is returned as-is.
+    """
+    if combiner is None:
+        return inbox
+    folded_any = False
+    combined = {}
+    for vertex, messages in inbox.items():
+        count = len(messages)
+        if count > 1:
+            folded = messages[0]
+            for message in messages[1:]:
+                folded = combiner(folded, message)
+            combined[vertex] = CombinedMessages((folded,), count)
+            folded_any = True
+        else:
+            combined[vertex] = messages
+    return combined if folded_any else inbox
+
+
+# ---------------------------------------------------------------------------
+# Binary codec — encoding
+# ---------------------------------------------------------------------------
+
+_TAG_NONE = 0x00
+_TAG_TRUE = 0x01
+_TAG_FALSE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_BYTES = 0x06
+_TAG_LIST = 0x07
+_TAG_TUPLE = 0x08
+_TAG_DICT = 0x09
+_TAG_SET = 0x0A
+_TAG_INT_ARRAY = 0x0B      # homogeneous int sequence, width-packed
+_TAG_FLOAT_ARRAY = 0x0C    # homogeneous float sequence, f64-packed
+_TAG_NUM_DICT = 0x0D       # {int: float} — packed keys + packed values
+_TAG_COMBINED = 0x0E       # CombinedMessages, generic payload
+_TAG_COMBINED_NUM_DICT = 0x0F  # {int: CombinedMessages([float])} inbox
+_TAG_INT_PAIRS = 0x10      # [(int, int), ...] — two packed columns
+_TAG_OUTBOX = 0x11         # [((int, int), float), ...] — three columns
+_TAG_NDARRAY = 0x12        # dtype str + shape + raw buffer
+_TAG_TASK = 0x13
+_TAG_PATCH = 0x14
+_TAG_DELTA = 0x15
+_TAG_PICKLE = 0x16         # anything else
+
+
+def _int_typecodes():
+    """Map item sizes 1/2/4/8 to signed :mod:`array` typecodes, portably."""
+    by_size = {}
+    for code in "bhilq":
+        by_size.setdefault(array(code).itemsize, code)
+    return {size: by_size[size] for size in (1, 2, 4, 8)}
+
+
+_INT_TC = _int_typecodes()
+_INT_BOUNDS = {
+    size: (-(1 << (8 * size - 1)), (1 << (8 * size - 1)) - 1)
+    for size in (1, 2, 4, 8)
+}
+# Width-byte flag: the column is stored as first-value + consecutive
+# differences instead of absolute values.  Vertex-id columns (inbox keys,
+# candidate lists, outbox targets) have small gaps between neighbouring
+# entries even when the ids themselves need 4+ bytes, so the differences
+# width-select one or two sizes smaller.
+_DELTA_FLAG = 0x40
+
+
+def _write_uint(out, n):
+    while True:
+        byte = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _select_width(lo, hi):
+    for size in (1, 2, 4, 8):
+        lo_bound, hi_bound = _INT_BOUNDS[size]
+        if lo_bound <= lo and hi <= hi_bound:
+            return size
+    return None
+
+
+def _pack_array(typecode, values, out):
+    packed = array(typecode, values)
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts
+        packed.byteswap()
+    out += packed.tobytes()
+
+
+def _pack_ints(values, out):
+    """Width-select and pack a list of ints; False when out of i64 range.
+
+    Appends ``[width byte][count varint][payload]`` to ``out``.  When the
+    consecutive differences fit a strictly narrower width than the values
+    (and the first value fits i64 as a zigzag varint), the column is stored
+    delta-encoded instead — ``[width | _DELTA_FLAG][count][zigzag first]
+    [packed differences]`` — which is what keeps large-graph vertex-id
+    columns near one byte per entry.
+    """
+    plain = _select_width(min(values), max(values))
+    if len(values) > 1:
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        narrow = _select_width(min(diffs), max(diffs))
+        if narrow is not None and (plain is None or narrow < plain):
+            first = values[0]
+            out.append(narrow | _DELTA_FLAG)
+            _write_uint(out, len(values))
+            _write_uint(
+                out, (first << 1) if first >= 0 else ((-first << 1) - 1)
+            )
+            _pack_array(_INT_TC[narrow], diffs, out)
+            return True
+    if plain is None:
+        return False
+    out.append(plain)
+    _write_uint(out, len(values))
+    _pack_array(_INT_TC[plain], values, out)
+    return True
+
+
+def _pack_floats(values, out):
+    """Pack a list of floats as ``[count varint][f64 payload]``."""
+    _write_uint(out, len(values))
+    packed = array("d", values)
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts
+        packed.byteswap()
+    out += packed.tobytes()
+
+
+def _all_exact(items, kind):
+    return all(type(item) is kind for item in items)
+
+
+def _encode_sequence(obj, out, container):
+    generic_tag = _TAG_LIST if container == 0 else _TAG_TUPLE
+    n = len(obj)
+    if n:
+        first = type(obj[0])
+        if first is int and _all_exact(obj, int):
+            mark = len(out)
+            out.append(_TAG_INT_ARRAY)
+            out.append(container)
+            if _pack_ints(obj, out):
+                return
+            del out[mark:]  # bigints: fall through to the generic encoding
+        elif first is float and _all_exact(obj, float):
+            out.append(_TAG_FLOAT_ARRAY)
+            out.append(container)
+            _pack_floats(obj, out)
+            return
+    out.append(generic_tag)
+    _write_uint(out, n)
+    for item in obj:
+        _encode(item, out)
+
+
+def _encode_list(obj, out):
+    _encode_sequence(obj, out, 0)
+
+
+def _encode_tuple(obj, out):
+    _encode_sequence(obj, out, 1)
+
+
+def _is_combined_float(value):
+    return (
+        type(value) is CombinedMessages
+        and list.__len__(value) == 1
+        and type(value[0]) is float
+    )
+
+
+def _encode_dict(obj, out):
+    n = len(obj)
+    if n:
+        keys = list(obj.keys())
+        values = list(obj.values())
+        if _all_exact(keys, int):
+            if _all_exact(values, float):
+                mark = len(out)
+                out.append(_TAG_NUM_DICT)
+                if _pack_ints(keys, out):
+                    _pack_floats(values, out)
+                    return
+                del out[mark:]
+            elif all(_is_combined_float(v) for v in values):
+                mark = len(out)
+                out.append(_TAG_COMBINED_NUM_DICT)
+                if _pack_ints(keys, out) and _pack_ints(
+                    [v.logical_len for v in values], out
+                ):
+                    _pack_floats([v[0] for v in values], out)
+                    return
+                del out[mark:]
+    out.append(_TAG_DICT)
+    _write_uint(out, n)
+    for key, value in obj.items():
+        _encode(key, out)
+        _encode(value, out)
+
+
+def _encode_int_pairs(pairs, out):
+    """Two-column packing for ``[(int, int), ...]``; False when shape differs."""
+    if not pairs or not all(
+        type(p) is tuple
+        and len(p) == 2
+        and type(p[0]) is int
+        and type(p[1]) is int
+        for p in pairs
+    ):
+        return False
+    mark = len(out)
+    out.append(_TAG_INT_PAIRS)
+    _write_uint(out, len(pairs))
+    if _pack_ints([p[0] for p in pairs], out) and _pack_ints(
+        [p[1] for p in pairs], out
+    ):
+        return True
+    del out[mark:]
+    return False
+
+
+def _encode_outbox(entries, out):
+    """Three-column packing for ``[((worker, target), payload), ...]``."""
+    if entries and all(
+        type(e) is tuple
+        and len(e) == 2
+        and type(e[0]) is tuple
+        and len(e[0]) == 2
+        and type(e[0][0]) is int
+        and type(e[0][1]) is int
+        and type(e[1]) is float
+        for e in entries
+    ):
+        mark = len(out)
+        out.append(_TAG_OUTBOX)
+        _write_uint(out, len(entries))
+        if _pack_ints([e[0][0] for e in entries], out) and _pack_ints(
+            [e[0][1] for e in entries], out
+        ):
+            _pack_floats([e[1] for e in entries], out)
+            return
+        del out[mark:]
+    _encode_list(entries, out)
+
+
+def _encode_ndarray(obj, out):
+    if obj.dtype.hasobject:
+        _encode_pickle(obj, out)
+        return
+    # ascontiguousarray may promote 0-d to 1-d; ship the original shape.
+    contiguous = _np.ascontiguousarray(obj)
+    dtype = contiguous.dtype.str.encode("ascii")
+    out.append(_TAG_NDARRAY)
+    _write_uint(out, len(dtype))
+    out += dtype
+    _write_uint(out, obj.ndim)
+    for dim in obj.shape:
+        _write_uint(out, dim)
+    payload = contiguous.tobytes()
+    _write_uint(out, len(payload))
+    out += payload
+
+
+def _encode_pickle(obj, out):
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    out.append(_TAG_PICKLE)
+    _write_uint(out, len(payload))
+    out += payload
+
+
+def _encode_none(obj, out):
+    out.append(_TAG_NONE)
+
+
+def _encode_bool(obj, out):
+    out.append(_TAG_TRUE if obj else _TAG_FALSE)
+
+
+def _encode_int(obj, out):
+    out.append(_TAG_INT)
+    _write_uint(out, (obj << 1) if obj >= 0 else ((-obj << 1) - 1))
+
+
+def _encode_float(obj, out):
+    out.append(_TAG_FLOAT)
+    out += _F64.pack(obj)
+
+
+def _encode_str(obj, out):
+    payload = obj.encode("utf-8")
+    out.append(_TAG_STR)
+    _write_uint(out, len(payload))
+    out += payload
+
+
+def _encode_bytes(obj, out):
+    out.append(_TAG_BYTES)
+    _write_uint(out, len(obj))
+    out += obj
+
+
+def _encode_set(obj, out):
+    out.append(_TAG_SET)
+    _write_uint(out, len(obj))
+    for item in obj:
+        _encode(item, out)
+
+
+def _encode_combined(obj, out):
+    out.append(_TAG_COMBINED)
+    _write_uint(out, obj.logical_len)
+    _write_uint(out, list.__len__(obj))
+    for item in list.__iter__(obj):
+        _encode(item, out)
+
+
+def _encode_task(obj, out):
+    out.append(_TAG_TASK)
+    _encode(obj.superstep, out)
+    _encode(obj.inbox, out)
+    _encode(obj.num_vertices, out)
+    _encode(obj.agg_previous, out)
+    _encode(obj.decision, out)
+    _encode(obj.candidates, out)
+
+
+def _encode_patch(obj, out):
+    out.append(_TAG_PATCH)
+    _encode(obj.upserts, out)
+    _encode(obj.removes, out)
+    if not _encode_int_pairs(obj.placement_delta, out):
+        _encode(obj.placement_delta, out)
+
+
+def _encode_delta(obj, out):
+    out.append(_TAG_DELTA)
+    _encode(obj.shard_id, out)
+    _encode(obj.computed, out)
+    _encode(obj.values, out)
+    _encode_outbox(obj.outbox, out)
+    _encode(obj.halted_added, out)
+    _encode(obj.halted_removed, out)
+    _encode(obj.aggregated, out)
+    _encode(obj.compute_units, out)
+    _encode(obj.proposals, out)
+
+
+_ENCODERS = {
+    type(None): _encode_none,
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str,
+    bytes: _encode_bytes,
+    list: _encode_list,
+    tuple: _encode_tuple,
+    dict: _encode_dict,
+    set: _encode_set,
+    CombinedMessages: _encode_combined,
+    ShardTask: _encode_task,
+    ShardPatch: _encode_patch,
+    ShardDelta: _encode_delta,
+}
+
+
+def _encode(obj, out):
+    encoder = _ENCODERS.get(type(obj))
+    if encoder is not None:
+        encoder(obj, out)
+    elif _np is not None and isinstance(obj, _np.ndarray):
+        _encode_ndarray(obj, out)
+    else:
+        _encode_pickle(obj, out)
+
+
+# ---------------------------------------------------------------------------
+# Binary codec — decoding
+# ---------------------------------------------------------------------------
+
+
+class _Reader:
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf, pos):
+        self.buf = buf
+        self.pos = pos
+
+    def take(self, n):
+        end = self.pos + n
+        if end > len(self.buf):
+            raise WireError("truncated frame")
+        chunk = self.buf[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def byte(self):
+        if self.pos >= len(self.buf):
+            raise WireError("truncated frame")
+        value = self.buf[self.pos]
+        self.pos += 1
+        return value
+
+    def uint(self):
+        shift = 0
+        value = 0
+        while True:
+            byte = self.byte()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+
+def _read_int_array(reader):
+    spec = reader.byte()
+    size = spec & ~_DELTA_FLAG
+    typecode = _INT_TC.get(size)
+    if typecode is None:
+        raise WireError(f"bad int-array width {spec:#x}")
+    count = reader.uint()
+    if spec & _DELTA_FLAG:
+        if count == 0:
+            raise WireError("empty delta-encoded int array")
+        encoded = reader.uint()
+        value = (encoded >> 1) if not encoded & 1 else -((encoded + 1) >> 1)
+        diffs = array(typecode)
+        diffs.frombytes(reader.take((count - 1) * size))
+        if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts
+            diffs.byteswap()
+        items = [value]
+        append = items.append
+        for diff in diffs:
+            value += diff
+            append(value)
+        return items
+    packed = array(typecode)
+    packed.frombytes(reader.take(count * size))
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts
+        packed.byteswap()
+    return packed.tolist()
+
+
+def _read_float_array(reader):
+    count = reader.uint()
+    packed = array("d")
+    packed.frombytes(reader.take(count * 8))
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts
+        packed.byteswap()
+    return packed.tolist()
+
+
+def _decode(reader):
+    tag = reader.byte()
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_INT:
+        encoded = reader.uint()
+        return (encoded >> 1) if not encoded & 1 else -((encoded + 1) >> 1)
+    if tag == _TAG_FLOAT:
+        return _F64.unpack(reader.take(8))[0]
+    if tag == _TAG_STR:
+        return bytes(reader.take(reader.uint())).decode("utf-8")
+    if tag == _TAG_BYTES:
+        return bytes(reader.take(reader.uint()))
+    if tag == _TAG_LIST:
+        return [_decode(reader) for _ in range(reader.uint())]
+    if tag == _TAG_TUPLE:
+        return tuple(_decode(reader) for _ in range(reader.uint()))
+    if tag == _TAG_DICT:
+        return {
+            _decode(reader): _decode(reader) for _ in range(reader.uint())
+        }
+    if tag == _TAG_SET:
+        return {_decode(reader) for _ in range(reader.uint())}
+    if tag == _TAG_INT_ARRAY:
+        container = reader.byte()
+        items = _read_int_array(reader)
+        return items if container == 0 else tuple(items)
+    if tag == _TAG_FLOAT_ARRAY:
+        container = reader.byte()
+        items = _read_float_array(reader)
+        return items if container == 0 else tuple(items)
+    if tag == _TAG_NUM_DICT:
+        keys = _read_int_array(reader)
+        return dict(zip(keys, _read_float_array(reader)))
+    if tag == _TAG_COMBINED:
+        logical = reader.uint()
+        items = [_decode(reader) for _ in range(reader.uint())]
+        return CombinedMessages(items, logical)
+    if tag == _TAG_COMBINED_NUM_DICT:
+        keys = _read_int_array(reader)
+        counts = _read_int_array(reader)
+        payloads = _read_float_array(reader)
+        return {
+            key: CombinedMessages((payload,), count)
+            for key, count, payload in zip(keys, counts, payloads)
+        }
+    if tag == _TAG_INT_PAIRS:
+        reader.uint()  # count (redundant with the columns, kept for sanity)
+        return list(zip(_read_int_array(reader), _read_int_array(reader)))
+    if tag == _TAG_OUTBOX:
+        reader.uint()
+        workers = _read_int_array(reader)
+        targets = _read_int_array(reader)
+        payloads = _read_float_array(reader)
+        return [
+            ((worker, target), payload)
+            for worker, target, payload in zip(workers, targets, payloads)
+        ]
+    if tag == _TAG_NDARRAY:
+        if _np is None:
+            raise WireError(
+                "frame contains a numpy array but numpy is not installed"
+            )
+        dtype = bytes(reader.take(reader.uint())).decode("ascii")
+        shape = tuple(reader.uint() for _ in range(reader.uint()))
+        payload = reader.take(reader.uint())
+        return _np.frombuffer(bytes(payload), dtype=dtype).reshape(shape).copy()
+    if tag == _TAG_TASK:
+        return ShardTask(
+            superstep=_decode(reader),
+            inbox=_decode(reader),
+            num_vertices=_decode(reader),
+            agg_previous=_decode(reader),
+            decision=_decode(reader),
+            candidates=_decode(reader),
+        )
+    if tag == _TAG_PATCH:
+        return ShardPatch(
+            upserts=_decode(reader),
+            removes=_decode(reader),
+            placement_delta=_decode(reader),
+        )
+    if tag == _TAG_DELTA:
+        return ShardDelta(
+            shard_id=_decode(reader),
+            computed=_decode(reader),
+            values=_decode(reader),
+            outbox=_decode(reader),
+            halted_added=_decode(reader),
+            halted_removed=_decode(reader),
+            aggregated=_decode(reader),
+            compute_units=_decode(reader),
+            proposals=_decode(reader),
+        )
+    if tag == _TAG_PICKLE:
+        return pickle.loads(bytes(reader.take(reader.uint())))
+    raise WireError(f"unknown wire tag {tag:#x}")
+
+
+# ---------------------------------------------------------------------------
+# Message and frame API
+# ---------------------------------------------------------------------------
+
+
+def dumps(obj, codec=CODEC_BINARY):
+    """Encode one protocol message to a frame payload (codec byte included)."""
+    codec = codec_id(codec)
+    if codec == CODEC_PICKLE:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    out = bytearray((CODEC_BINARY,))
+    _encode(obj, out)
+    return bytes(out)
+
+
+def loads(payload):
+    """Decode one frame payload produced by :func:`dumps`.
+
+    Raw pickles (from a peer speaking the legacy ``Connection.send``
+    protocol) are accepted: every protocol-2+ pickle begins with the
+    :data:`CODEC_PICKLE` byte.
+    """
+    if not payload:
+        raise WireError("empty frame payload")
+    codec = payload[0]
+    if codec == CODEC_BINARY:
+        reader = _Reader(memoryview(payload), 1)
+        return _decode(reader)
+    if codec == CODEC_PICKLE:
+        return pickle.loads(payload)
+    raise WireError(f"unknown codec byte {codec:#x}")
+
+
+def frame(obj, codec=CODEC_BINARY):
+    """Encode ``obj`` as one complete length-prefixed frame."""
+    payload = dumps(obj, codec)
+    if len(payload) > MAX_FRAME:
+        raise WireError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return _U32.pack(len(payload)) + payload
+
+
+def send_frame(sock, obj, codec=CODEC_BINARY):
+    """Send one frame over ``sock``; returns the bytes put on the wire."""
+    data = frame(obj, codec)
+    sock.sendall(data)
+    return len(data)
+
+
+def _recv_exactly(sock, n, at_boundary):
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if at_boundary and remaining == n:
+                raise EOFError("connection closed")
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_payload(sock):
+    """Receive one frame from ``sock``; returns the undecoded payload bytes.
+
+    A peer that closes cleanly *between* frames raises :class:`EOFError`
+    (the pipe protocol's signal for a departed worker); a close mid-frame
+    or a length prefix beyond :data:`MAX_FRAME` raises :class:`WireError`.
+    """
+    header = _recv_exactly(sock, _U32.size, at_boundary=True)
+    (length,) = _U32.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds MAX_FRAME")
+    return _recv_exactly(sock, length, at_boundary=False)
+
+
+def recv_frame(sock, with_codec=False):
+    """Receive one frame from ``sock``; decode and return the message.
+
+    With ``with_codec=True`` returns ``(message, codec_byte)`` so servers
+    can answer in the codec the client spoke.  Error behaviour is that of
+    :func:`recv_payload`.
+    """
+    payload = recv_payload(sock)
+    message = loads(payload)
+    if with_codec:
+        return message, payload[0]
+    return message

@@ -1,12 +1,15 @@
 """The sharded execution layer: executors, determinism, shard consistency.
 
 The suite runs its cross-executor cases on every backend named in
-``REPRO_CLUSTER_EXECUTORS`` (comma-separated; default all three) — the CI
-executor-matrix job sets it to exercise inline and process in isolation.
+``REPRO_CLUSTER_EXECUTORS`` (comma-separated; default inline, thread,
+process and socket) — the CI executor-matrix job sets it to exercise each
+backend in isolation.
 """
 
+import atexit
 import gc
 import os
+import threading
 import time
 
 import pytest
@@ -15,8 +18,12 @@ from repro.apps.connected_components import ConnectedComponents
 from repro.apps.pagerank import PageRank
 from repro.cluster import (
     Coordinator,
+    ExecutorCapabilities,
     InlineExecutor,
+    LocalWorkerPool,
+    PipelinedExecutor,
     ProcessExecutor,
+    SocketExecutor,
     ThreadExecutor,
     make_executor,
 )
@@ -29,10 +36,21 @@ from repro.pregel.system import PregelConfig, PregelSystem
 EXECUTOR_NAMES = [
     name.strip()
     for name in os.environ.get(
-        "REPRO_CLUSTER_EXECUTORS", "inline,thread,process"
+        "REPRO_CLUSTER_EXECUTORS", "inline,thread,process,socket"
     ).split(",")
     if name.strip()
 ]
+
+_POOL = None
+
+
+def _socket_addresses():
+    """One shared localhost worker pool for the whole test process."""
+    global _POOL
+    if _POOL is None:
+        _POOL = LocalWorkerPool(2)
+        atexit.register(_POOL.close)
+    return _POOL.addresses
 
 
 def _executor(name):
@@ -42,6 +60,10 @@ def _executor(name):
         return ProcessExecutor(workers=2)
     if name == "thread":
         return ThreadExecutor(workers=2)
+    if name == "pipelined":
+        return PipelinedExecutor(workers=2)
+    if name == "socket":
+        return SocketExecutor(_socket_addresses())
     return InlineExecutor()
 
 
@@ -249,6 +271,35 @@ class _ExplodingProgram(PageRank):
         raise RuntimeError("boom in worker")
 
 
+class _ErringShard:
+    """Picklable shard stub whose compute always fails worker-side."""
+
+    def run_superstep(self, task):  # pragma: no cover - runs in the worker
+        raise RuntimeError("boom in worker")
+
+    def apply_patch(self, patch):  # pragma: no cover - runs in the worker
+        pass
+
+    def snapshot(self):
+        return ("snapshot", "err")
+
+
+class _StubShard:
+    """Picklable shard stub with distinguishable step/snapshot replies."""
+
+    def __init__(self, sid):
+        self.sid = sid
+
+    def run_superstep(self, task):
+        return ("delta", self.sid)
+
+    def apply_patch(self, patch):
+        pass
+
+    def snapshot(self):
+        return ("snapshot", self.sid)
+
+
 class _LambdaCombinerProgram(PageRank):
     """A program whose combiner cannot be pickled (lambda)."""
 
@@ -352,3 +403,184 @@ class TestExecutors:
             system.run(2)
         # Exiting the context stopped the workers; a fresh close is a no-op.
         system.close()
+
+
+class TestCapabilityProtocol:
+    def test_declared_capability_records(self):
+        assert InlineExecutor.capabilities == ExecutorCapabilities()
+        assert ThreadExecutor.capabilities == ExecutorCapabilities()
+        assert PipelinedExecutor.capabilities == ExecutorCapabilities(
+            supports_pipelining=True
+        )
+        assert ProcessExecutor.capabilities == ExecutorCapabilities(
+            releases_gil=True, requires_picklable=True
+        )
+        assert SocketExecutor.capabilities == ExecutorCapabilities(
+            releases_gil=True, remote=True, requires_picklable=True
+        )
+
+    def test_validate_rejects_a_missing_or_wrong_typed_record(self):
+        class NoRecord(InlineExecutor):
+            capabilities = {"supports_pipelining": False}
+
+        with pytest.raises(TypeError, match="ExecutorCapabilities"):
+            make_executor(NoRecord())
+
+    def test_validate_rejects_pipelining_claim_without_step_stream(self):
+        class FalseClaim(InlineExecutor):
+            capabilities = ExecutorCapabilities(supports_pipelining=True)
+
+        with pytest.raises(ValueError, match="does not implement"):
+            make_executor(FalseClaim())
+
+    def test_validate_rejects_step_stream_without_the_declaration(self):
+        class Smuggler(InlineExecutor):
+            def step_stream(self, tasks, patches):
+                deltas = self.step(tasks, patches)
+                yield from sorted(deltas.items())
+
+        with pytest.raises(ValueError, match="does not declare"):
+            make_executor(Smuggler())
+
+    def test_honest_subclass_passes_validation(self):
+        class Streamer(InlineExecutor):
+            capabilities = ExecutorCapabilities(supports_pipelining=True)
+
+            def step_stream(self, tasks, patches):
+                deltas = self.step(tasks, patches)
+                yield from sorted(deltas.items())
+
+        assert make_executor(Streamer()).capabilities.supports_pipelining
+
+    def test_coordinator_consults_the_capability_record(self):
+        # A pipelining-capable executor streams; a strict one never does.
+        config = PregelConfig(num_workers=3, seed=0)
+        pipelined = PipelinedExecutor(workers=2)
+        with Coordinator(
+            mesh_3d(4), PageRank(), config, executor=pipelined
+        ) as system:
+            system.run(2)
+            assert pipelined.steps_streamed == 2
+
+
+class TestExecutorRegressions:
+    """Pinned fixes for the executor-layer bug sweep."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [ThreadExecutor, PipelinedExecutor, ProcessExecutor, SocketExecutor],
+        ids=lambda f: f.name,
+    )
+    def test_pooled_executors_reject_nonpositive_worker_counts(self, factory):
+        # workers=0 used to fall through ThreadExecutor's `or`-style
+        # default and silently size the pool as if unset.
+        for bad in (0, -2):
+            with pytest.raises(ValueError, match="at least one"):
+                factory(workers=bad)
+
+    def test_coordinator_close_is_safe_before_the_executor_exists(self):
+        # close() on a coordinator whose __init__ never got as far as
+        # creating the executor must be a no-op, not an AttributeError —
+        # callers run close() in finally blocks around construction.
+        system = Coordinator.__new__(Coordinator)
+        system.close()
+
+    def test_abandoned_step_stream_drains_in_flight_futures(self):
+        # A consumer that closes the stream mid-superstep (merge-loop
+        # failure) must not leave pool threads mutating shards while the
+        # caller moves on: the generator's cleanup blocks on every
+        # submitted future.
+        finished = [threading.Event() for _ in range(3)]
+
+        class SlowShard:
+            def __init__(self, idx):
+                self.idx = idx
+
+            def run_superstep(self, task):
+                if self.idx:
+                    time.sleep(0.3)
+                finished[self.idx].set()
+                return ("delta", self.idx)
+
+            def apply_patch(self, patch):
+                pass
+
+            def snapshot(self):
+                return ({}, set())
+
+        with PipelinedExecutor(workers=3) as executor:
+            executor.start({i: SlowShard(i) for i in range(3)})
+            stream = executor.step_stream(
+                {i: None for i in range(3)}, {}
+            )
+            sid, delta = next(stream)
+            assert sid == 0 and delta == ("delta", 0)
+            stream.close()  # abandon with shards 1 and 2 still computing
+            assert all(event.is_set() for event in finished), (
+                "stream.close() returned with shard compute still in flight"
+            )
+
+    def test_failing_step_stream_still_drains_before_raising(self):
+        finished = threading.Event()
+
+        class FailingShard:
+            def run_superstep(self, task):
+                raise RuntimeError("boom")
+
+            def apply_patch(self, patch):
+                pass
+
+            def snapshot(self):
+                return ({}, set())
+
+        class SlowShard:
+            def run_superstep(self, task):
+                time.sleep(0.3)
+                finished.set()
+                return ("delta", 1)
+
+            def apply_patch(self, patch):
+                pass
+
+            def snapshot(self):
+                return ({}, set())
+
+        with PipelinedExecutor(workers=2) as executor:
+            executor.start({0: FailingShard(), 1: SlowShard()})
+            with pytest.raises(RuntimeError, match="boom"):
+                for _ in executor.step_stream({0: None, 1: None}, {}):
+                    pass  # pragma: no cover - first result already raises
+            assert finished.is_set(), (
+                "the stream propagated shard 0's failure while shard 1 "
+                "was still computing"
+            )
+
+    @pytest.mark.parametrize("transport", ["process", "socket"])
+    def test_worker_failure_does_not_desync_the_reply_protocol(
+        self, transport
+    ):
+        # One reply per touched worker per command is the protocol
+        # invariant: a failed step used to raise on worker 0's error
+        # *before* reading worker 1's reply, so the next command consumed
+        # the stale step delta as its own answer.
+        if transport == "process":
+            executor = ProcessExecutor(workers=2)
+        else:
+            executor = SocketExecutor(_socket_addresses())
+        with executor:
+            executor.start({0: _ErringShard(), 1: _StubShard(1)})
+            with pytest.raises(RuntimeError, match="shard worker 0 failed"):
+                executor.step({0: None, 1: None}, {})
+            # The snapshot must see snapshot replies, not the abandoned
+            # barrier's queued step delta.
+            assert executor.snapshot() == {
+                0: ("snapshot", "err"),
+                1: ("snapshot", 1),
+            }
+
+    def test_all_worker_failures_surface_the_first_one(self):
+        with ProcessExecutor(workers=2) as executor:
+            executor.start({0: _ErringShard(), 1: _ErringShard()})
+            with pytest.raises(RuntimeError, match="shard worker 0 failed"):
+                executor.step({0: None, 1: None}, {})
+            executor.stop()

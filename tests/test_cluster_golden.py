@@ -15,15 +15,17 @@ Regenerate after an *intentional* semantic change::
     git diff tests/golden/   # review the drift before committing it
 
 ``REPRO_CLUSTER_EXECUTORS`` (comma-separated) narrows the executor axis —
-the CI matrix job uses it to run inline and process in isolation.
+the CI matrix job uses it to run each backend in isolation.
 """
 
+import atexit
 import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.cluster import LocalWorkerPool, SocketExecutor
 from repro.scenarios import get_scenario, play_scenario
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -31,10 +33,12 @@ GOLDEN_SCENARIOS = ["mesh-growth", "grid-rewire", "cdr-weekly"]
 EXECUTORS = [
     name.strip()
     for name in os.environ.get(
-        "REPRO_CLUSTER_EXECUTORS", "inline,thread,pipelined,process"
+        "REPRO_CLUSTER_EXECUTORS", "inline,thread,pipelined,process,socket"
     ).split(",")
     if name.strip()
 ]
+
+_POOL = None
 
 
 def _fixture_path(name):
@@ -42,6 +46,15 @@ def _fixture_path(name):
 
 
 def _replay(name, executor):
+    if executor == "socket":
+        # One localhost worker pool backs every socket replay; each run is
+        # its own coordinator session on a fresh SocketExecutor (the
+        # coordinator stops its executor at close).
+        global _POOL
+        if _POOL is None:
+            _POOL = LocalWorkerPool(2)
+            atexit.register(_POOL.close)
+        executor = SocketExecutor(_POOL.addresses)
     result = play_scenario(
         get_scenario(name), engine="pregel", executor=executor
     )

@@ -298,10 +298,13 @@ def test_shard_resolves_stale_rounds_from_its_cache():
 
 
 def test_executor_capability_flags():
-    assert InlineExecutor.supports_pipelining is False
-    assert ThreadExecutor.supports_pipelining is False
-    assert ProcessExecutor.supports_pipelining is False
-    assert PipelinedExecutor.supports_pipelining is True
+    assert InlineExecutor.capabilities.supports_pipelining is False
+    assert ThreadExecutor.capabilities.supports_pipelining is False
+    assert ProcessExecutor.capabilities.supports_pipelining is False
+    assert PipelinedExecutor.capabilities.supports_pipelining is True
+    # The PR 6 boolean survives as an instance-level view of the record.
+    assert InlineExecutor().supports_pipelining is False
+    assert PipelinedExecutor(workers=1).supports_pipelining is True
 
 
 def test_non_pipelining_executors_decline_step_stream():

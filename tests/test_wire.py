@@ -1,0 +1,448 @@
+"""The cluster wire format: codec round-trips, framing, inbox combining.
+
+Three contracts:
+
+* **Round-trip fidelity** — ``loads(dumps(x))`` reproduces every protocol
+  shape exactly, *including Python types*: the worker must see the same
+  ``int`` vertex ids, ``float`` payloads, tuples-vs-lists and dataclass
+  records the coordinator sent, or shard compute would silently diverge
+  across transports.  Pinned by example for the hot packed paths and by
+  hypothesis for arbitrary compositions.
+* **Framing** — ``[u32 length][payload]`` with exact reads; a peer closing
+  *between* frames is :class:`EOFError` (the departed-worker signal), a
+  close mid-frame or an oversized length prefix is :class:`WireError`.
+* **Combining** — :func:`~repro.cluster.wire.combine_inbox` folds mailboxes
+  with the program's combiner *without changing modelled cost*:
+  :class:`~repro.cluster.wire.CombinedMessages` iterates as one message but
+  ``len()`` reports the pre-combining count, which is what keeps
+  compute-unit timelines bit-identical across combining executors.
+"""
+
+import math
+import pickle
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import wire
+from repro.cluster.shard import ShardDelta, ShardPatch, ShardTask
+from repro.cluster.wire import (
+    CODEC_BINARY,
+    CODEC_PICKLE,
+    CombinedMessages,
+    WireError,
+    combine_inbox,
+)
+
+try:
+    import numpy
+except ImportError:  # pragma: no cover - the numpy-free CI leg
+    numpy = None
+
+
+def roundtrip(obj, codec=CODEC_BINARY):
+    return wire.loads(wire.dumps(obj, codec=codec))
+
+
+def assert_same(got, want):
+    """Equality plus exact container/scalar types (the codec's contract)."""
+    assert type(got) is type(want)
+    assert got == want or (
+        isinstance(want, float) and math.isnan(want) and math.isnan(got)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips, by example
+# ---------------------------------------------------------------------------
+
+
+SCALARS = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    7,
+    255,
+    -128,
+    1 << 40,
+    -(1 << 40),
+    (1 << 63) - 1,
+    -(1 << 63),
+    (1 << 200) + 3,  # past i64: varint zigzag path
+    -(1 << 200),
+    0.0,
+    -0.0,
+    1.5,
+    float("inf"),
+    float("-inf"),
+    float("nan"),
+    "",
+    "vertex",
+    "ünïcodé \N{GREEK SMALL LETTER PI}",
+    b"",
+    b"\x00\x80raw",
+]
+
+
+@pytest.mark.parametrize("value", SCALARS, ids=repr)
+@pytest.mark.parametrize("codec", [CODEC_BINARY, CODEC_PICKLE])
+def test_scalar_roundtrip(value, codec):
+    assert_same(roundtrip(value, codec), value)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        [],
+        (),
+        {},
+        set(),
+        [1, 2, 3],
+        (4, 5, 6),
+        [1.0, -2.5, float("inf")],
+        (0.25, 0.75),
+        [1, 2.0, "mixed", None],
+        [1, 2, 1 << 100],  # bigint spoils the packed path, not the result
+        {"a": 1, 3: (1, 2)},
+        {0: 0.5, 7: 0.25, -3: 1.0},  # the packed {int: float} inbox shape
+        {"v1": 0.5, "v2": 0.25},  # str vertex ids stay generic
+        {frozenset({1}), 2, "x"},
+        [(1, 2), (3, 4)],  # placement_delta shape
+        [((0, 5), 0.1), ((1, 6), 0.2)],  # outbox shape
+        [((0, 5), "payload")],  # non-float payload falls back cleanly
+        [[1, [2, [3, []]]]],
+    ],
+    ids=repr,
+)
+@pytest.mark.parametrize("codec", [CODEC_BINARY, CODEC_PICKLE])
+def test_container_roundtrip(value, codec):
+    got = roundtrip(value, codec)
+    assert_same(got, value)
+    if isinstance(value, (list, tuple)) and value:
+        for got_item, want_item in zip(got, value):
+            assert type(got_item) is type(want_item)
+
+
+def test_empty_frames_and_messages():
+    # The protocol's smallest messages must survive: empty containers
+    # everywhere, and the ("ok", None) ack.
+    for value in ([], {}, (), set(), ("ok", None), ("apply", {})):
+        assert_same(roundtrip(value), value)
+    with pytest.raises(WireError, match="empty"):
+        wire.loads(b"")
+
+
+def test_vertex_ids_may_be_ints_or_strings():
+    # Graphs are allowed non-int vertex ids; inboxes keyed by str must
+    # round-trip just like the packed int fast path.
+    int_inbox = {0: [0.5], 1: [0.25, 0.125]}
+    str_inbox = {"a": [0.5], "b:1": [0.25, 0.125]}
+    assert_same(roundtrip(int_inbox), int_inbox)
+    assert_same(roundtrip(str_inbox), str_inbox)
+
+
+def test_large_id_columns_delta_encode():
+    # Mesh-scale vertex ids need 4-byte slots as absolute values, but the
+    # gaps between consecutive entries fit one byte — the column must ship
+    # near one byte per id, not four (the bench_wire full-scale floor
+    # depends on this).
+    ids = list(range(100_000, 101_000))
+    assert_same(roundtrip(ids), ids)
+    assert len(wire.dumps(ids)) < 1000 * 2
+    # Unsorted and negative gaps take the same path and round-trip exactly.
+    jittered = [100_000 + ((i * 37) % 50) for i in range(1_000)]
+    assert_same(roundtrip(jittered), jittered)
+    assert len(wire.dumps(jittered)) < 1_000 * 2
+    # The packed inbox shape inherits the narrow keys.
+    inbox = {vid: 0.5 for vid in ids}
+    assert_same(roundtrip(inbox), inbox)
+    # A first value beyond i64 ships as a varint, so even a bigint column
+    # packs when its gaps are narrow.
+    big = [(1 << 80) + i for i in range(10)]
+    assert_same(roundtrip(big), big)
+
+
+def test_scattered_columns_stay_plain_packed():
+    # Gaps as wide as the values buy nothing: the plain width-packed form
+    # is kept and still round-trips exactly.
+    scattered = [0, 1 << 30, -(1 << 30), 1 << 20]
+    assert_same(roundtrip(scattered), scattered)
+
+
+def test_empty_delta_int_array_is_a_wire_error():
+    # A corrupt frame claiming a delta-encoded column with zero entries
+    # must fail loudly, not read a negative payload length.
+    frame = bytes([wire.CODEC_BINARY, 0x0B, 0x00, 0x41, 0x00])
+    with pytest.raises(WireError, match="delta"):
+        wire.loads(frame)
+
+
+def test_combined_messages_roundtrip_preserves_logical_len():
+    combined = CombinedMessages((0.75,), 5)
+    for codec in (CODEC_BINARY, CODEC_PICKLE):
+        got = roundtrip(combined, codec)
+        assert type(got) is CombinedMessages
+        assert len(got) == 5
+        assert list(got) == [0.75]
+    # Non-float payloads (a FEM-style tuple message) use the generic tag.
+    fancy = CombinedMessages(((1.0, 2.0),), 3)
+    got = roundtrip(fancy)
+    assert len(got) == 3 and list(got) == [(1.0, 2.0)]
+    # The packed combined-inbox shape: {int: CombinedMessages([float])}.
+    inbox = {4: CombinedMessages((0.5,), 9), 7: CombinedMessages((1.5,), 2)}
+    got = roundtrip(inbox)
+    assert {k: (list(v), len(v)) for k, v in got.items()} == {
+        4: ([0.5], 9),
+        7: ([1.5], 2),
+    }
+
+
+def test_protocol_records_roundtrip():
+    task = ShardTask(
+        superstep=3,
+        inbox={0: [0.5, 0.25], 9: [1.0]},
+        num_vertices=216,
+        agg_previous={"pagerank_sum": 1.0},
+        decision=None,
+        candidates=(4, 9),
+    )
+    patch = ShardPatch(
+        upserts={5: ((1, 2), 0.125)},
+        removes=[7],
+        placement_delta=[(5, 1), (7, -1)],
+    )
+    delta = ShardDelta(
+        shard_id=2,
+        computed=51,
+        values={0: 0.3, 1: 0.7},
+        outbox=[((0, 5), 0.1), ((1, 6), 0.2)],
+        halted_added=[3],
+        halted_removed=[],
+        aggregated={"pagerank_sum": 0.4},
+        compute_units=77,
+        proposals=[(5, 0, 1)],
+    )
+    for record in (task, patch, delta):
+        for codec in (CODEC_BINARY, CODEC_PICKLE):
+            assert_same(roundtrip(record, codec), record)
+    message = ("step", {2: (task, patch)})
+    assert_same(roundtrip(message), message)
+
+
+@pytest.mark.skipif(numpy is None, reason="numpy not installed")
+def test_ndarray_roundtrip():
+    arrays = [
+        numpy.arange(12, dtype=numpy.float64).reshape(3, 4),
+        numpy.array([], dtype=numpy.int32),
+        numpy.arange(10)[::2],  # non-contiguous view
+        numpy.array(3.5),  # zero-dim
+    ]
+    for want in arrays:
+        got = roundtrip(want)
+        assert isinstance(got, numpy.ndarray)
+        assert got.dtype == want.dtype and got.shape == want.shape
+        assert numpy.array_equal(got, want)
+        got[...] = 0  # the decode must hand back a writable copy
+    # Object-dtype arrays cannot be raw buffers; they fall back to pickle.
+    objarr = numpy.array([{"k": 1}, None], dtype=object)
+    got = roundtrip(objarr)
+    assert got[0] == {"k": 1} and got[1] is None
+
+
+def test_arbitrary_values_fall_back_to_pickle():
+    # Program values the codec has no tag for ride the pickle fallback.
+    value = complex(1.0, -2.0)
+    assert_same(roundtrip(value), value)
+    assert_same(roundtrip(range(5)), range(5))
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips, by property
+# ---------------------------------------------------------------------------
+
+
+def message_values():
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=False),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.lists(children, max_size=4).map(tuple),
+            st.dictionaries(
+                st.one_of(st.integers(), st.text(max_size=8)),
+                children,
+                max_size=4,
+            ),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(value=message_values())
+@settings(max_examples=150, deadline=None)
+def test_property_binary_roundtrip_is_exact(value):
+    assert_same(roundtrip(value), value)
+
+
+@given(
+    inbox=st.dictionaries(
+        st.integers(min_value=-(1 << 62), max_value=1 << 62),
+        st.lists(st.floats(allow_nan=False), min_size=1, max_size=5),
+        max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_inbox_shapes_roundtrip(inbox):
+    assert_same(roundtrip(inbox), inbox)
+
+
+@given(
+    payloads=st.lists(st.floats(allow_nan=False), min_size=2, max_size=6)
+)
+@settings(max_examples=100, deadline=None)
+def test_property_combining_preserves_fold_and_count(payloads):
+    inbox = {0: list(payloads)}
+    folded = combine_inbox(inbox, lambda a, b: a + b)
+    mailbox = folded[0]
+    assert type(mailbox) is CombinedMessages
+    assert len(mailbox) == len(payloads)  # modelled cost is unchanged
+    want = payloads[0]
+    for payload in payloads[1:]:
+        want = want + payload
+    assert list(mailbox) == [want]  # compute sees the left fold, once
+    assert_same(roundtrip(folded), folded)
+
+
+# ---------------------------------------------------------------------------
+# Framing and codec negotiation
+# ---------------------------------------------------------------------------
+
+
+def test_codec_id_resolution():
+    assert wire.codec_id("binary") == CODEC_BINARY
+    assert wire.codec_id(CODEC_BINARY) == CODEC_BINARY
+    assert wire.codec_id("pickle") == CODEC_PICKLE
+    assert wire.codec_id(CODEC_PICKLE) == CODEC_PICKLE
+    with pytest.raises(ValueError, match="unknown wire codec"):
+        wire.codec_id("json")
+
+
+def test_raw_pickles_are_valid_frames():
+    # Connection.send produces bare pickles; 0x80 (the PROTO opcode) is
+    # the pickle codec byte, so they decode without a wrapper.
+    payload = pickle.dumps(("step", {0: (None, None)}))
+    assert payload[0] == CODEC_PICKLE
+    assert wire.loads(payload) == ("step", {0: (None, None)})
+
+
+def test_unknown_codec_byte_is_rejected():
+    with pytest.raises(WireError, match="codec"):
+        wire.loads(b"\x7fgarbage")
+
+
+def test_truncated_binary_payload_is_a_wire_error():
+    payload = wire.dumps({0: [0.5, 0.25], 1: [1.0]})
+    with pytest.raises(WireError, match="truncated"):
+        wire.loads(payload[: len(payload) - 3])
+
+
+def socket_pair():
+    left, right = socket.socketpair()
+    left.settimeout(5)
+    right.settimeout(5)
+    return left, right
+
+
+def test_frames_cross_a_socket_in_order():
+    left, right = socket_pair()
+    try:
+        messages = [("init", {0: None}), ("step", {}), ("stop", None)]
+        total = 0
+        for message in messages:
+            total += wire.send_frame(left, message)
+        for want in messages:
+            got, codec = wire.recv_frame(right, with_codec=True)
+            assert got == want and codec == CODEC_BINARY
+        assert total == sum(len(wire.frame(m)) for m in messages)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_close_is_eof_but_midframe_close_is_wire_error():
+    left, right = socket_pair()
+    left.close()
+    try:
+        with pytest.raises(EOFError):
+            wire.recv_frame(right)  # closed at a frame boundary
+    finally:
+        right.close()
+
+    left, right = socket_pair()
+    try:
+        data = wire.frame(("step", {0: (None, None)}))
+        left.sendall(data[: len(data) // 2])
+        left.close()
+        with pytest.raises(WireError, match="mid-frame"):
+            wire.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_oversized_length_prefix_is_rejected_without_allocating():
+    left, right = socket_pair()
+    try:
+        import struct
+
+        left.sendall(struct.pack("<I", wire.MAX_FRAME + 1))
+        with pytest.raises(WireError, match="MAX_FRAME"):
+            wire.recv_payload(right)
+    finally:
+        left.close()
+        right.close()
+
+
+# ---------------------------------------------------------------------------
+# Combining semantics
+# ---------------------------------------------------------------------------
+
+
+def test_combine_inbox_identity_cases():
+    # No combiner, or nothing to fold: the original mapping comes back
+    # untouched (same object — no copy on the hot path).
+    inbox = {0: [0.5], 1: [1.0]}
+    assert combine_inbox(inbox, None) is inbox
+    assert combine_inbox(inbox, lambda a, b: a + b) is inbox
+    assert combine_inbox({}, lambda a, b: a + b) == {}
+
+
+def test_combine_inbox_folds_in_mailbox_order():
+    seen = []
+
+    def combiner(a, b):
+        seen.append((a, b))
+        return a + b
+
+    folded = combine_inbox({7: [1.0, 2.0, 4.0], 8: [8.0]}, combiner)
+    assert seen == [(1.0, 2.0), (3.0, 4.0)]  # left fold, delivery order
+    assert list(folded[7]) == [7.0] and len(folded[7]) == 3
+    assert folded[8] == [8.0]  # single-message mailboxes pass through
+
+
+def test_combined_messages_sum_matches_uncombined():
+    # The exact compute-side contract: sum(list(mailbox)) over a combined
+    # mailbox equals the uncombined sum bit-for-bit for additive folds.
+    messages = [0.1, 0.2, 0.30000000000000004, 0.4]
+    folded = combine_inbox({0: messages}, lambda a, b: a + b)[0]
+    assert sum(list(folded)) == sum(messages)
