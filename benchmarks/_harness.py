@@ -48,8 +48,15 @@ def pick(full, smoke):
     return smoke if SMOKE else full
 
 
-def record_result(name, payload):
-    """Stash one figure's JSON-serialisable results for the CI artifact."""
+def record_result(name, payload, phases=None):
+    """Stash one figure's JSON-serialisable results for the CI artifact.
+
+    ``phases`` is the optional ``{phase: seconds}`` breakdown from
+    :meth:`repro.obs.MetricsRegistry.phase_seconds` — where the reference
+    run's wall-clock went — recorded under the payload's ``"phases"`` key.
+    """
+    if phases:
+        payload = {**payload, "phases": dict(phases)}
     _RESULTS[name] = payload
 
 

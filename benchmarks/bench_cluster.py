@@ -28,6 +28,7 @@ from repro.apps.fem_simulation import CombinedCardiacFemSimulation
 from repro.cluster import Coordinator, make_executor
 from repro.generators import mesh_3d
 from repro.graph.backend import to_backend
+from repro.obs import MetricsRegistry
 from repro.pregel.system import PregelConfig
 
 from benchmarks import _harness
@@ -47,7 +48,7 @@ EXECUTOR_SPECS = [
 ]
 
 
-def _build_system(executor_name, workers):
+def _build_system(executor_name, workers, registry):
     graph = to_backend(mesh_3d(MESH_SIDE), "compact")
     # The combined variant folds diffusion messages per worker (the Pregel
     # combiner idiom), so cross-process traffic is per-worker-pair, not
@@ -61,6 +62,7 @@ def _build_system(executor_name, workers):
         program,
         config,
         executor=make_executor(executor_name, workers),
+        metrics_registry=registry,
     )
 
 
@@ -70,7 +72,8 @@ def _timed_run(executor_name, workers):
     Construction stays outside the timer: shard build + worker spawn is a
     one-time cost, and the claim under test is per-superstep throughput.
     """
-    system = _build_system(executor_name, workers)
+    registry = MetricsRegistry()
+    system = _build_system(executor_name, workers, registry)
     try:
         start = time.perf_counter()
         reports = system.run(SUPERSTEPS)
@@ -96,6 +99,7 @@ def _timed_run(executor_name, workers):
             "per_superstep_ms": 1000.0 * elapsed / SUPERSTEPS,
             "timeline": timeline,
             "final_values_sample": sorted(system.values.items())[:5],
+            "phases": registry.phase_seconds(),
         }
     finally:
         system.close()
@@ -109,11 +113,14 @@ def _experiment():
             f"{row['executor']} timeline diverged from inline"
         )
         assert row["final_values_sample"] == inline_row["final_values_sample"]
+    phases = inline_row["phases"]  # where the reference run's time went
     for row in rows:
         row["speedup_vs_inline"] = inline_row["seconds"] / row["seconds"]
         del row["timeline"]  # asserted above; too bulky for the artifact
         del row["final_values_sample"]
+        del row["phases"]
     return {
+        "phases": phases,
         "mesh_side": MESH_SIDE,
         "vertices": MESH_SIDE ** 3,
         "substeps": SUBSTEPS,
@@ -125,7 +132,9 @@ def _experiment():
 
 def test_cluster_executor_matrix(run_once, capsys):
     results = run_once(_experiment)
-    record_result("cluster_executors", results)
+    record_result(
+        "cluster_executors", results, phases=results.pop("phases")
+    )
     with capsys.disabled():
         print()
         print(

@@ -37,6 +37,7 @@ from repro.analysis import format_table
 from repro.cluster import Coordinator, InlineExecutor
 from repro.generators import mesh_3d
 from repro.graph.backend import to_backend
+from repro.obs import MetricsRegistry
 from repro.pregel.system import PregelConfig
 from repro.pregel.vertex import VertexProgram
 
@@ -72,8 +73,10 @@ def _timed_run(decisions, backend):
     config = PregelConfig(
         num_workers=PARTITIONS, seed=0, quiet_window=10, decisions=decisions
     )
+    registry = MetricsRegistry()
     with Coordinator(
-        graph, _Sensor(), config, executor=InlineExecutor()
+        graph, _Sensor(), config, executor=InlineExecutor(),
+        metrics_registry=registry,
     ) as system:
         start = time.perf_counter()
         reports = system.run(SUPERSTEPS)
@@ -84,6 +87,7 @@ def _timed_run(decisions, backend):
             "seconds": elapsed,
             "decision_seconds": sum(r.decision_seconds for r in reports),
             "migrations": sum(r.migrations_announced for r in reports),
+            "phases": registry.phase_seconds(),
             "timeline": [
                 (
                     r.superstep,
@@ -101,6 +105,7 @@ def _timed_run(decisions, backend):
 
 def _experiment():
     pairs = {}
+    phases = None
     for backend in ("adjacency", "compact"):
         shard = _timed_run("shard", backend)
         coordinator = _timed_run("coordinator", backend)
@@ -108,8 +113,11 @@ def _experiment():
             f"decision modes diverged on the {backend} backend"
         )
         assert shard["migrations"] > 0, "no adaptation measured"
+        if backend == "adjacency":
+            phases = shard["phases"]  # the headline run's breakdown
         for row in (shard, coordinator):
             del row["timeline"]  # asserted above; too bulky for the artifact
+            del row["phases"]
         pairs[backend] = {
             "shard": shard,
             "coordinator": coordinator,
@@ -123,12 +131,13 @@ def _experiment():
         "supersteps": SUPERSTEPS,
         "partitions": PARTITIONS,
         "pairs": pairs,
+        "phases": phases,
     }
 
 
 def test_decision_phase_decentralisation(run_once, capsys):
     results = run_once(_experiment)
-    record_result("decision_phase", results)
+    record_result("decision_phase", results, phases=results.pop("phases"))
     with capsys.disabled():
         print()
         rows = []

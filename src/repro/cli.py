@@ -119,6 +119,18 @@ def build_parser():
     sc.add_argument("--max-rounds", type=int, default=None)
     sc.add_argument("--json", dest="json_out",
                     help="write the exact per-round digest to this file")
+    sc.add_argument("--trace", default=None, metavar="FILE",
+                    help="pregel engine only: record phase spans and write "
+                    "them here (.jsonl = span rows, anything else = Chrome "
+                    "trace JSON loadable in Perfetto); never changes "
+                    "results")
+    sc.add_argument("--show-metrics", action="store_true",
+                    help="pregel engine only: print the metrics-registry "
+                    "snapshot (phase seconds, executor byte counters) "
+                    "after the timeline")
+    sc.add_argument("--metrics-json", default=None, metavar="FILE",
+                    help="pregel engine only: write the metrics-registry "
+                    "snapshot to this file as JSON")
 
     sub.add_parser("datasets", help="print the Table-1 dataset catalog")
 
@@ -210,10 +222,15 @@ def _cmd_scenario(args, out):
         or args.workers is not None
         or args.decisions is not None
         or args.staleness is not None
+        or args.trace is not None
+        or args.show_metrics
+        or args.metrics_json is not None
     ):
         out.write(
-            "--executor/--workers/--decisions/--staleness only apply to "
-            "--engine pregel (the adaptive engine has no shard executors)\n"
+            "--executor/--workers/--decisions/--staleness/--trace/"
+            "--show-metrics/--metrics-json only apply to --engine pregel "
+            "(the adaptive engine has no shard executors or phase "
+            "instrumentation)\n"
         )
         return 2
     if args.staleness is not None and args.staleness < 0:
@@ -256,6 +273,7 @@ def _cmd_scenario(args, out):
             executor=executor,
             decisions=args.decisions or "shard",
             staleness=args.staleness or 0,
+            trace=args.trace,
         )
     engine_label = args.engine
     if args.engine == "pregel":
@@ -272,6 +290,7 @@ def _cmd_scenario(args, out):
             with open(args.json_out, "w", encoding="utf-8") as fh:
                 json.dump(result.digest(), fh, indent=2, sort_keys=True)
             out.write(f"digest written to {args.json_out}\n")
+        _write_observability(args, result, out)
         return 0
     rows = [
         [r.round, r.events, r.changed, r.migrations, r.num_vertices,
@@ -303,7 +322,26 @@ def _cmd_scenario(args, out):
         with open(args.json_out, "w", encoding="utf-8") as fh:
             json.dump(result.digest(), fh, indent=2, sort_keys=True)
         out.write(f"digest written to {args.json_out}\n")
+    _write_observability(args, result, out)
     return 0
+
+
+def _write_observability(args, result, out):
+    """Emit the scenario run's trace/metrics artefacts (pregel engine)."""
+    if args.trace:
+        spans = len(result.tracer.spans) if result.tracer else 0
+        out.write(f"trace written to {args.trace} ({spans} spans)\n")
+    registry = result.metrics_registry
+    if registry is None:
+        return
+    if args.show_metrics:
+        out.write("\nmetrics snapshot:\n")
+        out.write(registry.render_text() + "\n")
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write(f"metrics written to {args.metrics_json}\n")
 
 
 def _cmd_datasets(out):

@@ -44,12 +44,13 @@ timelines are byte-identical across modes — only wall-clock moves.
 """
 
 from itertools import compress as _compress
-from time import perf_counter
+from time import perf_counter, time
 
 from repro.cluster.executor import make_executor
 from repro.cluster.shard import Shard, ShardPatch, ShardTask
 from repro.core.sweep import sort_vertices
 from repro.graph.events import AddVertex, RemoveVertex
+from repro.obs import Tracer
 from repro.pregel.system import PregelSystem
 
 __all__ = ["Coordinator"]
@@ -68,22 +69,32 @@ class Coordinator(PregelSystem):
     """
 
     def __init__(self, graph, program, config=None, fault_plan=None,
-                 executor=None):
+                 executor=None, tracer=None, metrics_registry=None):
         self._dirty = set()
         self._vertex_shard = {}
         self._pending_patches = {}
         self._placement_log = []
         self._shard_proposals = []
         self._shard_decisions = False
-        super().__init__(graph, program, config, fault_plan)
+        super().__init__(graph, program, config, fault_plan,
+                         tracer=tracer, metrics_registry=metrics_registry)
         self._shard_decisions = (
             self.config.adaptive and self.config.decisions == "shard"
         )
         combiner = program.combiner()
         continuous = self.config.continuous
         heuristic = self.config.heuristic if self._shard_decisions else None
+        # Every shard owns a tracer of its own (lane "shard-<id>") even
+        # when it runs in this process: run_superstep drains the shard's
+        # tracer into its delta, and a shared tracer would let that drain
+        # steal coordinator spans.  Disabled tracing keeps the no-op
+        # default — shards then never time anything.
+        trace_on = self.tracer.enabled
         shards = {
-            sid: Shard(sid, program, combiner, continuous, heuristic)
+            sid: Shard(
+                sid, program, combiner, continuous, heuristic,
+                tracer=Tracer(lane=f"shard-{sid}") if trace_on else None,
+            )
             for sid in range(self.config.num_workers)
         }
         for v in graph.vertices():
@@ -101,6 +112,11 @@ class Coordinator(PregelSystem):
         self._dirty.clear()  # initial build covered everything
         self._placement_log.clear()
         self.executor = make_executor(executor)
+        # Re-home the executor's counters in the run's registry (and hand
+        # it the run's tracer for wire spans) before any traffic flows.
+        self.executor.bind_observability(
+            tracer=self.tracer, metrics=self.metrics_registry
+        )
         try:
             self.executor.start(shards)
         except BaseException:
@@ -199,6 +215,14 @@ class Coordinator(PregelSystem):
         computed = 0
         proposals = self._shard_proposals
         proposals.clear()
+        tracer = self.tracer
+        traced = tracer.enabled
+        if traced:
+            # One span over the whole delta fold; with a pipelined executor
+            # it also covers the waits on still-computing shards (the
+            # overlap the executor's counters quantify).
+            merge_wall = time()
+            merge_tick = perf_counter()
         try:
             for sid, delta in delta_stream:
                 computed += delta.computed
@@ -212,6 +236,10 @@ class Coordinator(PregelSystem):
                 # One shard per worker: the shard's compute IS the worker's.
                 per_worker[sid] += delta.compute_units
                 self.network.count_compute(delta.compute_units)
+                if traced:
+                    # Worker-side spans ride home in the delta; merging
+                    # them here is what builds the one shared timeline.
+                    tracer.absorb(delta.spans)
         finally:
             if stream is not None:
                 # A merge failure must not abandon the stream mid-flight:
@@ -219,6 +247,11 @@ class Coordinator(PregelSystem):
                 # finally), so no shard future is still mutating state when
                 # the caller regains control.
                 stream.close()
+        if traced:
+            tracer.record(
+                "barrier-merge", merge_wall, perf_counter() - merge_tick,
+                args={"superstep": self.superstep},
+            )
         return computed, per_worker
 
     def _generate_proposals(self, context):

@@ -58,10 +58,11 @@ import traceback
 import weakref
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
-from time import perf_counter
+from time import perf_counter, time
 
 from repro.cluster import wire
 from repro.cluster.worker import ShardHost, parse_worker_addresses
+from repro.obs import NULL_TRACER, MetricsRegistry
 
 __all__ = [
     "EXECUTORS",
@@ -111,10 +112,31 @@ class Executor:
     #: to it.
     capabilities = ExecutorCapabilities()
 
+    #: The coordinator's tracer, installed by :meth:`bind_observability`;
+    #: the class-level default is the shared disabled tracer, so every
+    #: instrumentation site can read ``self.tracer.enabled`` unconditionally.
+    tracer = NULL_TRACER
+
     @property
     def supports_pipelining(self):
         """Legacy view of ``capabilities.supports_pipelining`` (PR 6 flag)."""
         return self.capabilities.supports_pipelining
+
+    def bind_observability(self, tracer=None, metrics=None):
+        """Attach the run's tracer and/or metrics registry (before start).
+
+        Executors work without this — counters live in a private registry
+        and the tracer stays the no-op default — but a coordinator that
+        owns a :class:`~repro.obs.MetricsRegistry` re-homes the executor's
+        instruments there so one snapshot covers the whole run.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self._bind_metrics(metrics)
+
+    def _bind_metrics(self, metrics):
+        """Subclass hook: move instrument state into ``metrics``."""
 
     def start(self, shards):
         """Take ownership of ``{shard_id: Shard}`` before the first superstep."""
@@ -286,6 +308,12 @@ class PipelinedExecutor(ThreadExecutor):
       multi-core host this is wall-clock saved outright; on one core it is
       the honest projection of the saving (the GIL interleaves rather than
       parallelises the overlap).
+
+    Both live in the metrics registry (``executor.merge_seconds``,
+    ``executor.overlap_seconds``, ``executor.steps_streamed``); the
+    attributes are read-through views and :meth:`start` resets all three,
+    so a reused executor reports per-session numbers instead of silently
+    accumulating across runs (the pre-registry behaviour).
     """
 
     name = "pipelined"
@@ -294,9 +322,34 @@ class PipelinedExecutor(ThreadExecutor):
 
     def __init__(self, workers=None):
         super().__init__(workers)
-        self.merge_seconds = 0.0
-        self.overlap_seconds = 0.0
-        self.steps_streamed = 0
+        self._bind_metrics(MetricsRegistry())
+
+    def _bind_metrics(self, metrics):
+        self._merge_counter = metrics.counter("executor.merge_seconds")
+        self._overlap_counter = metrics.counter("executor.overlap_seconds")
+        self._steps_counter = metrics.counter("executor.steps_streamed")
+
+    @property
+    def merge_seconds(self):
+        """Registry view: seconds the coordinator spent merging our deltas."""
+        return self._merge_counter.value
+
+    @property
+    def overlap_seconds(self):
+        """Registry view: merge seconds overlapped with in-flight compute."""
+        return self._overlap_counter.value
+
+    @property
+    def steps_streamed(self):
+        """Registry view: how many supersteps went through the stream path."""
+        return self._steps_counter.value
+
+    def start(self, shards):
+        """Start the pool and zero the per-session overlap counters."""
+        super().start(shards)
+        self._merge_counter.reset()
+        self._overlap_counter.reset()
+        self._steps_counter.reset()
 
     def step_stream(self, tasks, patches):
         """Submit every shard's task, then stream deltas in shard-id order.
@@ -322,7 +375,7 @@ class PipelinedExecutor(ThreadExecutor):
             )
             for sid in order
         }
-        self.steps_streamed += 1
+        self._steps_counter.add(1)
         try:
             for position, sid in enumerate(order):
                 delta = futures[sid].result()
@@ -330,11 +383,11 @@ class PipelinedExecutor(ThreadExecutor):
                 yield sid, delta
                 merged = perf_counter()
                 spent = merged - handed
-                self.merge_seconds += spent
+                self._merge_counter.add(spent)
                 if any(
                     not futures[later].done() for later in order[position + 1:]
                 ):
-                    self.overlap_seconds += spent
+                    self._overlap_counter.add(spent)
         finally:
             pending = [f for f in futures.values() if not f.done()]
             if pending:
@@ -386,26 +439,81 @@ class _WorkerProtocolExecutor(Executor):
 
     :class:`ProcessExecutor` (pipes) and :class:`SocketExecutor` (TCP)
     differ only in transport; the command routing, the shard→worker
-    ownership map, shard-side inbox combining and — critically — the
-    reply-draining discipline live here.  Subclasses provide
-    :meth:`_send` and :meth:`_recv_message` plus lifecycle.
+    ownership map, shard-side inbox combining, byte metering and —
+    critically — the reply-draining discipline live here.  Subclasses
+    provide :meth:`_transport_send` and :meth:`_transport_recv` plus
+    lifecycle.
+
+    Byte accounting: every command's payload bytes are tallied per command
+    kind in :attr:`bytes_sent` / :attr:`bytes_received` — live
+    :class:`~repro.obs.CounterGroup` views over registry counters
+    (``executor.bytes_sent.<kind>`` / ``executor.bytes_received.<kind>``).
+    The tally is whatever :meth:`_transport_send` reports having put on its
+    medium: framed bytes including the 4-byte length prefix on the socket
+    path, the wire payload alone on the pipe path (the
+    :class:`multiprocessing.connection.Connection` frame is the OS's
+    business).  :meth:`start` resets the counters, so a reused executor
+    reports per-session traffic; the stop handshake is deliberately not
+    metered (it may race a dying worker).
     """
 
     def __init__(self, combine_inbox=True):
         self._owner = {}
         self._task_combiner = None
         self._combine_inbox = bool(combine_inbox)
+        self._pending_kind = {}
+        self._bind_metrics(MetricsRegistry())
+
+    def _bind_metrics(self, metrics):
+        self.bytes_sent = metrics.group("executor.bytes_sent")
+        self.bytes_received = metrics.group("executor.bytes_received")
 
     # -- transport contract -------------------------------------------------
 
-    def _send(self, worker, message):
+    def _transport_send(self, worker, message):
+        """Put one message on the medium; returns the bytes written."""
         raise NotImplementedError
 
-    def _recv_message(self, worker):
+    def _transport_recv(self, worker):
+        """Take one reply off the medium; returns ``(message, bytes_read)``."""
         raise NotImplementedError
 
     def _worker_ids(self):
         raise NotImplementedError
+
+    # -- metered, traced transport wrappers ---------------------------------
+
+    def _send(self, worker, message):
+        kind = message[0]
+        self._pending_kind[worker] = kind
+        tracer = self.tracer
+        if tracer.enabled:
+            wall = time()
+            tick = perf_counter()
+            sent = self._transport_send(worker, message)
+            tracer.record(
+                "wire-send", wall, perf_counter() - tick, lane="wire",
+                args={"kind": kind, "worker": worker, "bytes": sent},
+            )
+        else:
+            sent = self._transport_send(worker, message)
+        self.bytes_sent.add(kind, sent)
+
+    def _recv_message(self, worker):
+        kind = self._pending_kind.get(worker, "?")
+        tracer = self.tracer
+        if tracer.enabled:
+            wall = time()
+            tick = perf_counter()
+            message, received = self._transport_recv(worker)
+            tracer.record(
+                "wire-recv", wall, perf_counter() - tick, lane="wire",
+                args={"kind": kind, "worker": worker, "bytes": received},
+            )
+        else:
+            message, received = self._transport_recv(worker)
+        self.bytes_received.add(kind, received)
+        return message
 
     # -- shared protocol ----------------------------------------------------
 
@@ -550,6 +658,8 @@ class ProcessExecutor(_WorkerProtocolExecutor):
         workers = min(self._workers, max(1, len(shards)))
         assignments = self._assign(shards, workers)
         self._note_combiner(shards)
+        self.bytes_sent.reset()
+        self.bytes_received.reset()
         try:
             for worker in range(workers):
                 parent_conn, child_conn = ctx.Pipe()
@@ -580,24 +690,27 @@ class ProcessExecutor(_WorkerProtocolExecutor):
     def _worker_ids(self):
         return range(len(self._pipes))
 
-    def _send(self, worker, message):
+    def _transport_send(self, worker, message):
         """Send to one worker, surfacing a dead process as a clear error."""
+        data = wire.dumps(message)
         try:
-            self._pipes[worker].send_bytes(wire.dumps(message))
+            self._pipes[worker].send_bytes(data)
         except (BrokenPipeError, OSError) as exc:
             raise RuntimeError(
                 f"shard worker {worker} died (pipe closed); it may have "
                 "crashed or been killed mid-run"
             ) from exc
+        return len(data)
 
-    def _recv_message(self, worker):
+    def _transport_recv(self, worker):
         try:
-            return wire.loads(self._pipes[worker].recv_bytes())
+            payload = self._pipes[worker].recv_bytes()
         except EOFError:
             raise RuntimeError(
                 f"shard worker {worker} died (pipe closed); shard state or "
                 "messages may not be picklable"
             ) from None
+        return wire.loads(payload), len(payload)
 
     def stop(self):
         """Stop the workers: polite ack, then SIGTERM, then SIGKILL."""
@@ -628,6 +741,7 @@ class ProcessExecutor(_WorkerProtocolExecutor):
         self._procs = []
         self._pipes = []
         self._owner = {}
+        self._pending_kind = {}
 
 
 class SocketExecutor(_WorkerProtocolExecutor):
@@ -647,7 +761,8 @@ class SocketExecutor(_WorkerProtocolExecutor):
     and read timeouts are bounded so a dead or wedged worker surfaces as
     the same ``RuntimeError`` shape the pipe path raises instead of a
     hang.  Bytes on the wire are tallied per command kind in
-    :attr:`bytes_sent` / :attr:`bytes_received` — the counters
+    :attr:`bytes_sent` / :attr:`bytes_received` (framed length: payload
+    plus the 4-byte length prefix) — the counters
     ``benchmarks/bench_wire.py`` reads.
     """
 
@@ -677,9 +792,6 @@ class SocketExecutor(_WorkerProtocolExecutor):
         )
         self._sockets = []
         self._peers = []
-        self.bytes_sent = {}
-        self.bytes_received = {}
-        self._pending_kind = {}
 
     def _resolve_addresses(self):
         spec = self._given_addresses
@@ -702,6 +814,8 @@ class SocketExecutor(_WorkerProtocolExecutor):
         workers = min(len(addresses), max(1, len(shards)))
         assignments = self._assign(shards, workers)
         self._note_combiner(shards)
+        self.bytes_sent.reset()
+        self.bytes_received.reset()
         try:
             for worker in range(workers):
                 host, port = addresses[worker]
@@ -729,14 +843,9 @@ class SocketExecutor(_WorkerProtocolExecutor):
     def _worker_ids(self):
         return range(len(self._sockets))
 
-    def _count(self, counters, kind, n):
-        counters[kind] = counters.get(kind, 0) + n
-
-    def _send(self, worker, message):
-        kind = message[0]
-        self._pending_kind[worker] = kind
+    def _transport_send(self, worker, message):
         try:
-            sent = wire.send_frame(
+            return wire.send_frame(
                 self._sockets[worker], message, codec=self._codec
             )
         except (BrokenPipeError, ConnectionError, OSError) as exc:
@@ -745,10 +854,8 @@ class SocketExecutor(_WorkerProtocolExecutor):
                 "(connection lost); it may have crashed or been killed "
                 "mid-run"
             ) from exc
-        self._count(self.bytes_sent, kind, sent)
 
-    def _recv_message(self, worker):
-        kind = self._pending_kind.get(worker, "?")
+    def _transport_recv(self, worker):
         try:
             payload = wire.recv_payload(self._sockets[worker])
         except TimeoutError:
@@ -762,8 +869,7 @@ class SocketExecutor(_WorkerProtocolExecutor):
                 "(connection closed); shard state or messages may not be "
                 "picklable"
             ) from None
-        self._count(self.bytes_received, kind, len(payload) + 4)
-        return wire.loads(payload)
+        return wire.loads(payload), len(payload) + 4
 
     def stop(self):
         """End the session: polite stop + short ack wait, then close."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.core.heuristic import DecisionContext
 from repro.core.sweep import make_shard_sweeper, sort_vertices
+from repro.obs import NULL_TRACER
 from repro.pregel.compute import compute_block, decide_block
 
 __all__ = ["Shard", "ShardDelta", "ShardPatch", "ShardTask"]
@@ -98,6 +99,12 @@ class ShardDelta:
     desired, willing)`` for every candidate that wants to move, willingness
     coin already flipped (it is vertex-local state in the paper) — ready
     for the coordinator's quota arbitration.
+
+    ``spans`` carries the shard tracer's phase spans for this superstep
+    (plus any apply-patch spans recorded since the last one) back to the
+    coordinator's timeline.  Pure measurement: the barrier merge absorbs
+    and discards it before anything digest-relevant happens, and it is
+    always empty when tracing is off.
     """
 
     shard_id: int
@@ -109,6 +116,7 @@ class ShardDelta:
     aggregated: list       # (name, value) contributions in call order
     compute_units: float
     proposals: list = field(default_factory=list)
+    spans: list = field(default_factory=list)
 
 
 class _ShardGraph:
@@ -189,10 +197,14 @@ class Shard:
     """
 
     def __init__(self, shard_id, program, combiner, continuous,
-                 heuristic=None):
+                 heuristic=None, tracer=None):
         self.shard_id = shard_id
         self.program = program
         self.continuous = continuous
+        # Each shard owns its own tracer (lane "shard-<id>") even when it
+        # runs in the coordinator's process: drain() must only ever take
+        # this shard's spans into its delta.
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.values = {}
         self.halted = set()
         self._adj = {}
@@ -257,7 +269,22 @@ class Shard:
                     sweeper.place(vertex, pid)
 
     def apply_patch(self, patch):
-        """Apply one barrier's changes (removes first, then upserts)."""
+        """Apply one barrier's changes (removes first, then upserts).
+
+        The ``apply-patch`` span recorded here ships with the *next*
+        superstep's delta (patches precede compute in the step protocol).
+        """
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "apply-patch",
+                upserts=len(patch.upserts),
+                removes=len(patch.removes),
+            ):
+                self._apply_patch(patch)
+        else:
+            self._apply_patch(patch)
+
+    def _apply_patch(self, patch):
         for vertex in patch.removes:
             self.evict(vertex)
         for vertex, (value, neighbours, halted) in patch.upserts.items():
@@ -322,15 +349,34 @@ class Shard:
 
     def run_superstep(self, task):
         """Run the compute pass for ``task``; returns the :class:`ShardDelta`."""
+        tracer = self.tracer
         self.router = _ShardRouter(self.shard_id, self._combiner)
         self.aggregators = _ShardAggregators(task.agg_previous)
         self.graph.num_vertices = task.num_vertices
         self._compute_units = 0.0
         self._computed_ids = []
         halted_before = set(self.halted)
-        computed = compute_block(
-            self, list(self.values), task.inbox, task.superstep
-        )
+        if tracer.enabled:
+            with tracer.span(
+                "compute",
+                superstep=task.superstep,
+                residents=len(self.values),
+            ):
+                computed = compute_block(
+                    self, list(self.values), task.inbox, task.superstep
+                )
+            if task.decision is not None:
+                with tracer.span("decide", superstep=task.superstep):
+                    proposals = self._decision_phase(task)
+            else:
+                proposals = self._decision_phase(task)
+            spans = tracer.drain()
+        else:
+            computed = compute_block(
+                self, list(self.values), task.inbox, task.superstep
+            )
+            proposals = self._decision_phase(task)
+            spans = []
         delta = ShardDelta(
             shard_id=self.shard_id,
             computed=computed,
@@ -340,7 +386,8 @@ class Shard:
             halted_removed=sort_vertices(halted_before - self.halted),
             aggregated=self.aggregators.contributions,
             compute_units=self._compute_units,
-            proposals=self._decision_phase(task),
+            proposals=proposals,
+            spans=spans,
         )
         self.router = None
         self.aggregators = None

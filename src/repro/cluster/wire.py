@@ -486,6 +486,7 @@ def _encode_delta(obj, out):
     _encode(obj.aggregated, out)
     _encode(obj.compute_units, out)
     _encode(obj.proposals, out)
+    _encode(obj.spans, out)
 
 
 _ENCODERS = {
@@ -689,6 +690,7 @@ def _decode(reader):
             aggregated=_decode(reader),
             compute_units=_decode(reader),
             proposals=_decode(reader),
+            spans=_decode(reader),
         )
     if tag == _TAG_PICKLE:
         return pickle.loads(bytes(reader.take(reader.uint())))

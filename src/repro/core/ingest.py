@@ -81,6 +81,15 @@ class BatchIngestor:
 
     def apply(self, batch):
         """Apply every segment in order; returns the changed-event count."""
+        tracer = getattr(self.runner, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "ingest-batch", segments=len(batch.segments)
+            ):
+                return self._apply(batch)
+        return self._apply(batch)
+
+    def _apply(self, batch):
         runner = self.runner
         changed = 0
         for segment in batch.segments:

@@ -1,0 +1,33 @@
+"""Observability: phase-span tracing, a metrics registry, trace exporters.
+
+``repro.obs`` answers "where did the time and traffic go" without ever
+touching what the run computes: a :class:`Tracer` collects nestable phase
+spans across coordinator, executors and workers (worker-side spans ride
+home in ``ShardDelta`` records and merge into one timeline with per-shard
+lanes); a :class:`MetricsRegistry` holds the named counters/gauges/
+histograms the scattered legacy attributes now read through to; and the
+exporters write JSONL or Perfetto-loadable Chrome trace JSON.
+
+The whole layer is determinism-safe by construction — tracing on or off,
+golden digests are byte-identical, and the disabled path costs a single
+attribute check (pinned by ``benchmarks/bench_obs.py``).  See
+``docs/observability.md``.
+"""
+
+from .export import write_chrome_trace, write_jsonl, write_trace
+from .metrics import Counter, CounterGroup, Gauge, Histogram, MetricsRegistry
+from .trace import NULL_TRACER, Tracer, span_dict
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "CounterGroup",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "span_dict",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

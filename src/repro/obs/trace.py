@@ -1,0 +1,168 @@
+"""Phase-span tracing: where one run's wall-clock actually went.
+
+A :class:`Tracer` collects **spans** — named, timed phases of a run
+(``superstep``, ``compute``, ``decide``, ``barrier``, ``barrier-merge``,
+``ingest``, ``apply-patch``, ``wire-send``/``wire-recv``, ``arbitrate``;
+see ``docs/observability.md`` for the full taxonomy).  Every span is a
+plain tuple
+
+    ``(name, lane, start, duration, args)``
+
+where ``name`` is the phase, ``lane`` names the timeline row it renders on
+(``"coordinator"``, ``"shard-3"``, ``"wire"``), ``start`` is wall-clock
+seconds (``time.time()`` — comparable *across processes*, which is what
+lets worker-side spans merge into the coordinator's timeline), ``duration``
+is measured with ``perf_counter`` deltas (monotonic, immune to clock
+steps), and ``args`` is a small JSON-able dict or None.  Tuples rather
+than objects because spans cross the cluster wire inside
+:class:`~repro.cluster.shard.ShardDelta` records: the binary codec packs
+them natively, no pickle needed.
+
+**The determinism contract.**  Tracing is measurement, never semantics:
+
+* a span can only *observe* a phase, it cannot reorder one — nothing in
+  this module touches RNG streams, placements or values;
+* spans never enter ``superstep_digest()`` or any golden fixture;
+* the disabled path is one attribute check: every instrumentation site
+  guards on :attr:`Tracer.enabled` (or calls :meth:`Tracer.span`, which
+  returns a shared no-op scope without allocating), so a run with the
+  default :data:`NULL_TRACER` does no timing calls at all.  The floor is
+  pinned by ``benchmarks/bench_obs.py``.
+
+Instances pickle (a shard's tracer ships to worker processes with the
+shard); a disabled tracer stays disabled on the far side.
+"""
+
+from time import perf_counter, time
+
+__all__ = ["NULL_TRACER", "Tracer", "span_dict"]
+
+# Span tuple field indices, for readers that index rather than unpack.
+NAME, LANE, START, DURATION, ARGS = range(5)
+
+
+def span_dict(span):
+    """One span tuple as a JSON-able dict (the JSONL exporter's row shape)."""
+    name, lane, start, duration, args = span
+    row = {"name": name, "lane": lane, "start": start, "dur": duration}
+    if args:
+        row["args"] = args
+    return row
+
+
+class _NullScope:
+    """The shared no-op context manager a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _SpanScope:
+    """An open span: records itself on the owning tracer at ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_lane", "_args", "_wall", "_tick")
+
+    def __init__(self, tracer, name, lane, args):
+        self._tracer = tracer
+        self._name = name
+        self._lane = lane
+        self._args = args
+
+    def __enter__(self):
+        self._wall = time()
+        self._tick = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._tracer.spans.append(
+            (
+                self._name,
+                self._lane,
+                self._wall,
+                perf_counter() - self._tick,
+                self._args,
+            )
+        )
+        return False
+
+
+class Tracer:
+    """A span collector for one lane of the run.
+
+    ``enabled`` is the single hot-path switch: instrumentation sites guard
+    on it, and every method on a disabled tracer is a no-op, so the
+    default :data:`NULL_TRACER` costs one attribute read per site.
+    ``lane`` is the default timeline row for spans recorded here — the
+    coordinator's tracer uses ``"coordinator"``, each shard's its own
+    ``"shard-<id>"`` lane.
+    """
+
+    def __init__(self, enabled=True, lane="coordinator"):
+        self.enabled = bool(enabled)
+        self.lane = lane
+        self.spans = []
+
+    def span(self, name, lane=None, **args):
+        """A context manager timing one phase; no-op when disabled.
+
+        Extra keyword arguments become the span's ``args`` dict (keep them
+        small and wire-friendly: str/int/float values).
+        """
+        if not self.enabled:
+            return _NULL_SCOPE
+        return _SpanScope(self, name, lane or self.lane, args or None)
+
+    def record(self, name, start, duration, lane=None, args=None):
+        """Append one pre-measured span (for sites that time inline)."""
+        if self.enabled:
+            self.spans.append(
+                (name, lane or self.lane, start, duration, args or None)
+            )
+
+    def absorb(self, spans):
+        """Merge spans collected elsewhere (a shard's delta) into this
+        tracer's timeline."""
+        if self.enabled and spans:
+            self.spans.extend(spans)
+
+    def drain(self):
+        """Return and clear the collected spans (the delta-shipping hook)."""
+        spans = self.spans
+        self.spans = []
+        return spans
+
+    def clear(self):
+        """Drop every collected span."""
+        self.spans = []
+
+    def lanes(self):
+        """The distinct lanes seen so far, coordinator first, shards sorted."""
+        seen = {span[LANE] for span in self.spans}
+
+        def key(lane):
+            if lane == "coordinator":
+                return (0, 0, lane)
+            if lane.startswith("shard-"):
+                suffix = lane[len("shard-"):]
+                if suffix.isdigit():
+                    return (1, int(suffix), lane)
+            return (2, 0, lane)
+
+        return sorted(seen, key=key)
+
+    def __repr__(self):
+        state = "on" if self.enabled else "off"
+        return f"Tracer({state}, lane={self.lane!r}, spans={len(self.spans)})"
+
+
+#: The shared disabled tracer every un-traced run uses.  Do not record on
+#: it (its methods are no-ops anyway); pass a fresh ``Tracer()`` to trace.
+NULL_TRACER = Tracer(enabled=False)

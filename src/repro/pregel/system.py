@@ -36,7 +36,7 @@ this substitution preserves the paper's measured shapes).
 """
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, time
 
 from repro.core.balance import VertexBalance
 from repro.core.capacity import QuotaTable
@@ -56,6 +56,7 @@ from repro.graph.events import (
     RemoveEdge,
     RemoveVertex,
 )
+from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.partitioning.base import PartitionState
 from repro.partitioning.hashing import HashPartitioner
 from repro.pregel.aggregators import Aggregators, SumAggregator
@@ -185,10 +186,28 @@ class _PlacementView:
 class PregelSystem:
     """A simulated Pregel cluster running one vertex program continuously."""
 
-    def __init__(self, graph, program, config=None, fault_plan=None):
+    def __init__(self, graph, program, config=None, fault_plan=None,
+                 tracer=None, metrics_registry=None):
         self.graph = graph
         self.program = program
         self.config = config or PregelConfig()
+        # Observability: the tracer defaults to the shared no-op (spans cost
+        # one attribute check); the registry always exists — its phase
+        # counters are per-superstep, not per-vertex, so keeping them live
+        # costs a handful of perf_counter() calls per superstep.  Note
+        # ``metrics_registry``, not ``metrics``: that name already means
+        # the incremental partition metrics below.
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics_registry = (
+            MetricsRegistry() if metrics_registry is None else metrics_registry
+        )
+        registry = self.metrics_registry
+        self._supersteps_counter = registry.counter("supersteps")
+        self._compute_counter = registry.counter("phase.compute.seconds")
+        self._decide_counter = registry.counter("phase.decide.seconds")
+        self._barrier_counter = registry.counter("phase.barrier.seconds")
+        self._ingest_counter = registry.counter("ingest.events")
+        self._migrations_counter = registry.counter("migrations.announced")
         k = self.config.num_workers
         capacities = self.config.balance.capacities(graph, k)
         self.state = self.config.initial_partitioner.partition(
@@ -264,8 +283,23 @@ class PregelSystem:
         """
         events = self._pending_events
         self._pending_events = []
+        if not events:
+            return 0
+        if self.tracer.enabled:
+            with self.tracer.span("ingest", events=len(events)):
+                applied = self._ingest_events(events)
+        else:
+            applied = self._ingest_events(events)
+        self._ingest_counter.add(applied)
+        if applied:
+            self.detector.reset()
+            self._refresh_capacities()
+        return applied
+
+    def _ingest_events(self, events):
+        """Apply one barrier's events (bulk path when provably equivalent)."""
         applied = None
-        if self._ingestor is not None and events:
+        if self._ingestor is not None:
             batch = EventBatch.from_events(events)
             if not batch.unsupported:
                 applied = self._ingestor.apply(batch)
@@ -274,9 +308,6 @@ class PregelSystem:
             for event in events:
                 if self._apply_event(event):
                     applied += 1
-        if applied:
-            self.detector.reset()
-            self._refresh_capacities()
         return applied
 
     def _apply_one(self, event):
@@ -513,12 +544,25 @@ class PregelSystem:
         quotas = QuotaTable(context.remaining, self.config.num_workers)
         balance = self.config.balance
         graph = self.graph
-        requested, blocked, kept_active = arbitrate_proposals(
-            proposals,
-            self.migration,
-            quotas,
-            lambda v: balance.load_of(graph, v),
-        )
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "arbitrate",
+                superstep=self.superstep,
+                proposals=len(proposals),
+            ):
+                requested, blocked, kept_active = arbitrate_proposals(
+                    proposals,
+                    self.migration,
+                    quotas,
+                    lambda v: balance.load_of(graph, v),
+                )
+        else:
+            requested, blocked, kept_active = arbitrate_proposals(
+                proposals,
+                self.migration,
+                quotas,
+                lambda v: balance.load_of(graph, v),
+            )
         self._active = kept_active
         self._last_decision_remaining = context.remaining
         self._decision_seconds += perf_counter() - started
@@ -578,6 +622,14 @@ class PregelSystem:
 
     def run_superstep(self):
         """Execute one full superstep; returns its :class:`SuperstepReport`."""
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("superstep", superstep=self.superstep + 1):
+                return self._run_superstep(tracer, True)
+        return self._run_superstep(tracer, False)
+
+    def _run_superstep(self, tracer, traced):
+        """The superstep body; ``traced`` caches ``tracer.enabled``."""
         self.superstep += 1
         # Freeze the decision snapshot before compute: the sharded
         # coordinator ships it with the compute tasks, the single-process
@@ -591,7 +643,16 @@ class PregelSystem:
         inbox = dict(self.router.pending_inbox)
         self.router.pending_inbox.clear()
 
+        phase_wall = time()
+        phase_tick = perf_counter()
         computed, per_worker = self._compute_phase(inbox)
+        compute_elapsed = perf_counter() - phase_tick
+        self._compute_counter.add(compute_elapsed)
+        if traced:
+            tracer.record(
+                "compute", phase_wall, compute_elapsed,
+                args={"superstep": self.superstep, "computed": computed},
+            )
         # Hot-spot aware balancing (§6 future work): feed measured
         # per-worker compute back into the balance policy so hot workers
         # offer less capacity and shed vertices.
@@ -604,6 +665,8 @@ class PregelSystem:
             requested, blocked = 0, 0
 
         # ---- barrier (order matters; see module docstring) ----
+        phase_wall = time()
+        phase_tick = perf_counter()
         self.migration.complete_barrier()
         self.router.deliver()  # classified against the old placement
         announced = self._announce_migrations()
@@ -621,7 +684,17 @@ class PregelSystem:
         failed_worker = self._maybe_fail_worker()
         self._after_barrier()
         traffic = self.network.barrier(self.superstep)
+        barrier_elapsed = perf_counter() - phase_tick
+        self._barrier_counter.add(barrier_elapsed)
+        if traced:
+            tracer.record(
+                "barrier", phase_wall, barrier_elapsed,
+                args={"superstep": self.superstep, "announced": len(announced)},
+            )
 
+        self._supersteps_counter.add(1)
+        self._decide_counter.add(self._decision_seconds)
+        self._migrations_counter.add(len(announced))
         self.detector.observe(len(announced))
         report = SuperstepReport(
             superstep=self.superstep,

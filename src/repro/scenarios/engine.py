@@ -67,7 +67,8 @@ class ScenarioResult:
     """A completed scenario run: per-round records plus summaries."""
 
     def __init__(self, scenario, backend, adaptive, rounds, settle_iterations,
-                 engine="adaptive", reports=None):
+                 engine="adaptive", reports=None, tracer=None,
+                 metrics_registry=None):
         self.scenario = scenario
         self.backend = backend
         self.adaptive = adaptive
@@ -75,6 +76,8 @@ class ScenarioResult:
         self.settle_iterations = settle_iterations
         self.engine = engine
         self.reports = reports  # pregel engine: the SuperstepReport timeline
+        self.tracer = tracer    # pregel engine: the run's span collector
+        self.metrics_registry = metrics_registry  # pregel engine: counters
 
     def __len__(self):
         return len(self.rounds)
@@ -197,6 +200,8 @@ def play_scenario(
     program=None,
     decisions="shard",
     staleness=0,
+    trace=None,
+    metrics_registry=None,
 ):
     """Run ``scenario`` end to end; returns a :class:`ScenarioResult`.
 
@@ -218,13 +223,27 @@ def play_scenario(
     decision snapshots are reused for up to that many supersteps between
     capacity resyncs; ``0``, the default, is the strict-BSP behaviour the
     golden fixtures pin).  All four are ignored by the adaptive engine.
+
+    ``trace`` turns on phase-span tracing (pregel engine only): pass a
+    :class:`~repro.obs.Tracer` to collect spans in-process, or a path to
+    export them on completion (``*.jsonl`` span rows, anything else Chrome
+    trace JSON — see :mod:`repro.obs.export`).  ``metrics_registry``
+    supplies the run's :class:`~repro.obs.MetricsRegistry` (one is created
+    either way; passing yours lets several runs share counters).  Both are
+    pure measurement — timelines and digests are byte-identical with them
+    on or off.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if engine == "pregel":
         return _play_pregel(
             scenario, backend, adaptive, metrics, max_rounds, executor,
-            program, decisions, staleness,
+            program, decisions, staleness, trace, metrics_registry,
+        )
+    if trace is not None or metrics_registry is not None:
+        raise ValueError(
+            "trace/metrics_registry require engine='pregel' (the adaptive "
+            "round loop has no phase instrumentation)"
         )
     return _play_adaptive(scenario, backend, adaptive, metrics, max_rounds)
 
@@ -329,11 +348,21 @@ def _play_adaptive(scenario, backend, adaptive, metrics, max_rounds):
 
 
 def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
-                 program, decisions="shard", staleness=0):
+                 program, decisions="shard", staleness=0, trace=None,
+                 metrics_registry=None):
     from repro.apps.pagerank import PageRank
     from repro.cluster.coordinator import Coordinator
+    from repro.obs import Tracer, write_trace
     from repro.pregel.system import PregelConfig
 
+    tracer = None
+    trace_path = None
+    if trace is not None:
+        if isinstance(trace, Tracer):
+            tracer = trace
+        else:
+            trace_path = trace
+            tracer = Tracer()
     if scenario.steps_per_round < 1:
         raise ValueError(
             "the pregel engine needs steps_per_round >= 1: stream mutations "
@@ -357,7 +386,10 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
     # Context-managed: an exception anywhere mid-scenario (bad spec, a
     # worker crash, a failing program) must stop the executor's worker
     # processes, never orphan them.
-    with Coordinator(graph, program, config, executor=executor) as system:
+    with Coordinator(
+        graph, program, config, executor=executor, tracer=tracer,
+        metrics_registry=metrics_registry,
+    ) as system:
         settle_iterations = 0
         if adaptive and scenario.settle_iterations:
             while (
@@ -410,7 +442,7 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
                 run_round(index, -1.0, [])
                 index += 1
 
-        return ScenarioResult(
+        result = ScenarioResult(
             scenario,
             backend,
             adaptive,
@@ -418,4 +450,11 @@ def _play_pregel(scenario, backend, adaptive, metrics, max_rounds, executor,
             settle_iterations,
             engine="pregel",
             reports=list(system.reports),
+            tracer=system.tracer,
+            metrics_registry=system.metrics_registry,
         )
+    # Export outside the with-block: the executor is stopped, so every
+    # worker-side span the run will ever produce has been absorbed.
+    if trace_path is not None:
+        write_trace(tracer.spans, trace_path)
+    return result
