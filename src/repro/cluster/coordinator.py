@@ -178,7 +178,9 @@ class Coordinator(PregelSystem):
             if not self._decision_needs_full_sweep(decision_ctx):
                 candidate_slices = {sid: [] for sid in range(num_workers)}
                 vertex_shard = self._vertex_shard
-                for v in self._active:
+                # Canonical order: the slices cross the wire in ShardTask
+                # .candidates and feed per-shard decision sweeps.
+                for v in sort_vertices(self._active):
                     sid = vertex_shard.get(v)
                     if sid is not None:
                         candidate_slices[sid].append(v)
@@ -423,6 +425,7 @@ class Coordinator(PregelSystem):
                 if shard.placement != expected:
                     drift = {
                         v: (shard.placement.get(v), expected.get(v))
+                        # reprolint: allow-DET001 failure-path diagnostic; order only shapes the exception text
                         for v in set(shard.placement) ^ set(expected)
                         | {
                             v

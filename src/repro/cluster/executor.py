@@ -51,18 +51,28 @@ strict :meth:`Executor.step` protocol when a capability is absent.
 Executors are context managers; :meth:`Executor.stop` is idempotent.
 """
 
+from __future__ import annotations
+
 import multiprocessing
 import os
 import socket
 import traceback
 import weakref
+from collections.abc import Callable, Iterable, Iterator, Mapping
 from concurrent.futures import ThreadPoolExecutor, wait
 from dataclasses import dataclass, replace
 from time import perf_counter, time
+from typing import TYPE_CHECKING, Any
 
 from repro.cluster import wire
 from repro.cluster.worker import ShardHost, parse_worker_addresses
-from repro.obs import NULL_TRACER, MetricsRegistry
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+    from multiprocessing.process import BaseProcess
+
+    from repro.cluster.shard import Shard, ShardDelta, ShardPatch, ShardTask
 
 __all__ = [
     "EXECUTORS",
@@ -118,11 +128,15 @@ class Executor:
     tracer = NULL_TRACER
 
     @property
-    def supports_pipelining(self):
+    def supports_pipelining(self) -> bool:
         """Legacy view of ``capabilities.supports_pipelining`` (PR 6 flag)."""
         return self.capabilities.supports_pipelining
 
-    def bind_observability(self, tracer=None, metrics=None):
+    def bind_observability(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         """Attach the run's tracer and/or metrics registry (before start).
 
         Executors work without this — counters live in a private registry
@@ -135,14 +149,18 @@ class Executor:
         if metrics is not None:
             self._bind_metrics(metrics)
 
-    def _bind_metrics(self, metrics):
+    def _bind_metrics(self, metrics: MetricsRegistry) -> None:
         """Subclass hook: move instrument state into ``metrics``."""
 
-    def start(self, shards):
+    def start(self, shards: Mapping[int, Shard]) -> None:
         """Take ownership of ``{shard_id: Shard}`` before the first superstep."""
         raise NotImplementedError
 
-    def step(self, tasks, patches):
+    def step(
+        self,
+        tasks: Mapping[int, ShardTask],
+        patches: Mapping[int, ShardPatch],
+    ) -> dict[int, ShardDelta]:
         """Run one superstep: apply ``patches`` (previous barrier's changes),
         then compute every shard's task.
 
@@ -153,7 +171,11 @@ class Executor:
         """
         raise NotImplementedError
 
-    def step_stream(self, tasks, patches):
+    def step_stream(
+        self,
+        tasks: Mapping[int, ShardTask],
+        patches: Mapping[int, ShardPatch],
+    ) -> Iterator[tuple[int, ShardDelta]]:
         """Like :meth:`step`, but yield ``(shard_id, delta)`` pairs in
         shard-id order as soon as each is available.
 
@@ -170,7 +192,7 @@ class Executor:
             "step_stream"
         )
 
-    def apply(self, patches):
+    def apply(self, patches: Mapping[int, ShardPatch]) -> None:
         """Apply ``{shard_id: ShardPatch}`` without computing (flush path).
 
         :meth:`step` already applies its patches; this exists so
@@ -178,28 +200,30 @@ class Executor:
         """
         raise NotImplementedError
 
-    def snapshot(self):
+    def snapshot(self) -> dict[int, Any]:
         """``{shard_id: (values, halted)}`` — test/debug consistency view."""
         raise NotImplementedError
 
-    def stop(self):
+    def stop(self) -> None:
         """Release workers; idempotent, safe after a failed start."""
 
-    def __enter__(self):
+    def __enter__(self) -> Executor:
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:
         self.stop()
         return False
 
 
-def _step_shard(shard, task, patch):
+def _step_shard(
+    shard: Shard, task: ShardTask, patch: ShardPatch | None
+) -> ShardDelta:
     if patch is not None:
         shard.apply_patch(patch)
     return shard.run_superstep(task)
 
 
-def _require_workers(workers, what):
+def _require_workers(workers: int | None, what: str) -> int | None:
     if workers is not None and workers < 1:
         raise ValueError(f"need at least one {what}, got workers={workers!r}")
     return workers
@@ -212,26 +236,30 @@ class InlineExecutor(Executor):
 
     capabilities = ExecutorCapabilities()
 
-    def __init__(self):
-        self._shards = {}
+    def __init__(self) -> None:
+        self._shards: dict[int, Shard] = {}
 
-    def start(self, shards):
+    def start(self, shards: Mapping[int, Shard]) -> None:
         """Keep the shard map; everything runs in the calling thread."""
         self._shards = dict(shards)
 
-    def step(self, tasks, patches):
+    def step(
+        self,
+        tasks: Mapping[int, ShardTask],
+        patches: Mapping[int, ShardPatch],
+    ) -> dict[int, ShardDelta]:
         """Patch + compute each shard sequentially, in shard-id order."""
         return {
             sid: _step_shard(self._shards[sid], tasks[sid], patches.get(sid))
             for sid in sorted(tasks)
         }
 
-    def apply(self, patches):
+    def apply(self, patches: Mapping[int, ShardPatch]) -> None:
         """Apply patches without computing, in shard-id order."""
         for sid in sorted(patches):
             self._shards[sid].apply_patch(patches[sid])
 
-    def snapshot(self):
+    def snapshot(self) -> dict[int, Any]:
         """Consistency view straight off the in-process shards."""
         return {sid: shard.snapshot() for sid, shard in self._shards.items()}
 
@@ -243,12 +271,12 @@ class ThreadExecutor(Executor):
 
     capabilities = ExecutorCapabilities()
 
-    def __init__(self, workers=None):
+    def __init__(self, workers: int | None = None) -> None:
         self._requested_workers = _require_workers(workers, "worker thread")
-        self._pool = None
-        self._shards = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._shards: dict[int, Shard] = {}
 
-    def start(self, shards):
+    def start(self, shards: Mapping[int, Shard]) -> None:
         """Keep the shard map and spin up the worker thread pool."""
         self._shards = dict(shards)
         workers = self._requested_workers
@@ -258,26 +286,32 @@ class ThreadExecutor(Executor):
             max_workers=workers, thread_name_prefix="repro-shard"
         )
 
-    def step(self, tasks, patches):
+    def step(
+        self,
+        tasks: Mapping[int, ShardTask],
+        patches: Mapping[int, ShardPatch],
+    ) -> dict[int, ShardDelta]:
         """Fan patch + compute out over the pool; gather in shard-id order."""
+        pool = self._pool
+        assert pool is not None, "start() before step()"
         futures = {
-            sid: self._pool.submit(
+            sid: pool.submit(
                 _step_shard, self._shards[sid], tasks[sid], patches.get(sid)
             )
             for sid in sorted(tasks)
         }
         return {sid: future.result() for sid, future in futures.items()}
 
-    def apply(self, patches):
+    def apply(self, patches: Mapping[int, ShardPatch]) -> None:
         """Apply patches without computing (serial; shards share memory)."""
         for sid in sorted(patches):
             self._shards[sid].apply_patch(patches[sid])
 
-    def snapshot(self):
+    def snapshot(self) -> dict[int, Any]:
         """Consistency view straight off the in-process shards."""
         return {sid: shard.snapshot() for sid, shard in self._shards.items()}
 
-    def stop(self):
+    def stop(self) -> None:
         """Shut the thread pool down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -320,38 +354,42 @@ class PipelinedExecutor(ThreadExecutor):
 
     capabilities = ExecutorCapabilities(supports_pipelining=True)
 
-    def __init__(self, workers=None):
+    def __init__(self, workers: int | None = None) -> None:
         super().__init__(workers)
         self._bind_metrics(MetricsRegistry())
 
-    def _bind_metrics(self, metrics):
+    def _bind_metrics(self, metrics: MetricsRegistry) -> None:
         self._merge_counter = metrics.counter("executor.merge_seconds")
         self._overlap_counter = metrics.counter("executor.overlap_seconds")
         self._steps_counter = metrics.counter("executor.steps_streamed")
 
     @property
-    def merge_seconds(self):
+    def merge_seconds(self) -> float:
         """Registry view: seconds the coordinator spent merging our deltas."""
         return self._merge_counter.value
 
     @property
-    def overlap_seconds(self):
+    def overlap_seconds(self) -> float:
         """Registry view: merge seconds overlapped with in-flight compute."""
         return self._overlap_counter.value
 
     @property
-    def steps_streamed(self):
+    def steps_streamed(self) -> float:
         """Registry view: how many supersteps went through the stream path."""
         return self._steps_counter.value
 
-    def start(self, shards):
+    def start(self, shards: Mapping[int, Shard]) -> None:
         """Start the pool and zero the per-session overlap counters."""
         super().start(shards)
         self._merge_counter.reset()
         self._overlap_counter.reset()
         self._steps_counter.reset()
 
-    def step_stream(self, tasks, patches):
+    def step_stream(
+        self,
+        tasks: Mapping[int, ShardTask],
+        patches: Mapping[int, ShardPatch],
+    ) -> Iterator[tuple[int, ShardDelta]]:
         """Submit every shard's task, then stream deltas in shard-id order.
 
         The generator body resumes between yields while the consumer (the
@@ -368,9 +406,11 @@ class PipelinedExecutor(ThreadExecutor):
         caller moved on to the next ``step()``/``apply()`` — a data race
         dressed up as early cleanup.
         """
+        pool = self._pool
+        assert pool is not None, "start() before step_stream()"
         order = sorted(tasks)
         futures = {
-            sid: self._pool.submit(
+            sid: pool.submit(
                 _step_shard, self._shards[sid], tasks[sid], patches.get(sid)
             )
             for sid in order
@@ -394,7 +434,7 @@ class PipelinedExecutor(ThreadExecutor):
                 wait(pending)
 
 
-def _process_worker_main(conn):
+def _process_worker_main(conn: Connection) -> None:
     """Worker loop: owns its shards for the life of the run."""
     host = ShardHost()
     while True:
@@ -409,7 +449,7 @@ def _process_worker_main(conn):
             return
 
 
-def _reap_workers(procs, pipes):
+def _reap_workers(procs: list[BaseProcess], pipes: list[Connection]) -> None:
     """Last-resort worker teardown: no acks, straight to the signals.
 
     Runs from the :mod:`weakref` finalizer when a :class:`ProcessExecutor`
@@ -457,33 +497,33 @@ class _WorkerProtocolExecutor(Executor):
     metered (it may race a dying worker).
     """
 
-    def __init__(self, combine_inbox=True):
-        self._owner = {}
-        self._task_combiner = None
+    def __init__(self, combine_inbox: bool = True) -> None:
+        self._owner: dict[int, int] = {}
+        self._task_combiner: Callable[[Any, Any], Any] | None = None
         self._combine_inbox = bool(combine_inbox)
-        self._pending_kind = {}
+        self._pending_kind: dict[int, str] = {}
         self._bind_metrics(MetricsRegistry())
 
-    def _bind_metrics(self, metrics):
+    def _bind_metrics(self, metrics: MetricsRegistry) -> None:
         self.bytes_sent = metrics.group("executor.bytes_sent")
         self.bytes_received = metrics.group("executor.bytes_received")
 
     # -- transport contract -------------------------------------------------
 
-    def _transport_send(self, worker, message):
+    def _transport_send(self, worker: int, message: tuple[str, Any]) -> int:
         """Put one message on the medium; returns the bytes written."""
         raise NotImplementedError
 
-    def _transport_recv(self, worker):
+    def _transport_recv(self, worker: int) -> tuple[Any, int]:
         """Take one reply off the medium; returns ``(message, bytes_read)``."""
         raise NotImplementedError
 
-    def _worker_ids(self):
+    def _worker_ids(self) -> Iterable[int]:
         raise NotImplementedError
 
     # -- metered, traced transport wrappers ---------------------------------
 
-    def _send(self, worker, message):
+    def _send(self, worker: int, message: tuple[str, Any]) -> None:
         kind = message[0]
         self._pending_kind[worker] = kind
         tracer = self.tracer
@@ -499,7 +539,7 @@ class _WorkerProtocolExecutor(Executor):
             sent = self._transport_send(worker, message)
         self.bytes_sent.add(kind, sent)
 
-    def _recv_message(self, worker):
+    def _recv_message(self, worker: int) -> Any:
         kind = self._pending_kind.get(worker, "?")
         tracer = self.tracer
         if tracer.enabled:
@@ -517,30 +557,32 @@ class _WorkerProtocolExecutor(Executor):
 
     # -- shared protocol ----------------------------------------------------
 
-    def _assign(self, shards, workers):
+    def _assign(
+        self, shards: Mapping[int, Shard], workers: int
+    ) -> list[dict[int, Shard]]:
         """Fix shard→worker ownership (shard ``i`` on worker ``i % workers``)."""
-        assignments = [{} for _ in range(workers)]
+        assignments: list[dict[int, Shard]] = [{} for _ in range(workers)]
         for sid, shard in shards.items():
             worker = sid % workers
             assignments[worker][sid] = shard
             self._owner[sid] = worker
         return assignments
 
-    def _note_combiner(self, shards):
+    def _note_combiner(self, shards: Mapping[int, Shard]) -> None:
         """Capture the program's combiner for pre-wire inbox folding."""
         self._task_combiner = None
         if self._combine_inbox and shards:
             shard = next(iter(shards.values()))
             self._task_combiner = getattr(shard, "_combiner", None)
 
-    def _receive(self, worker):
+    def _receive(self, worker: int) -> Any:
         """One reply from ``worker``, raising its failure as RuntimeError."""
         status, payload = self._recv_message(worker)
         if status == "error":
             raise RuntimeError(f"shard worker {worker} failed:\n{payload}")
         return payload
 
-    def _gather(self, touched):
+    def _gather(self, touched: Iterable[int]) -> dict[Any, Any]:
         """Collect every touched worker's reply, then raise the first failure.
 
         Draining unconditionally is the protocol invariant: each command
@@ -548,8 +590,8 @@ class _WorkerProtocolExecutor(Executor):
         leave later workers' replies queued for the *next* command to
         misread.  Only after the sweep does the first failure propagate.
         """
-        merged = {}
-        failure = None
+        merged: dict[Any, Any] = {}
+        failure: RuntimeError | None = None
         for worker in touched:
             try:
                 result = self._receive(worker)
@@ -563,13 +605,19 @@ class _WorkerProtocolExecutor(Executor):
             raise failure
         return merged
 
-    def _broadcast(self, per_worker_payload, kind):
+    def _broadcast(
+        self, per_worker_payload: Mapping[int, Any], kind: str
+    ) -> dict[Any, Any]:
         touched = sorted(per_worker_payload)
         for worker in touched:
             self._send(worker, (kind, per_worker_payload[worker]))
         return self._gather(touched)
 
-    def step(self, tasks, patches):
+    def step(
+        self,
+        tasks: Mapping[int, ShardTask],
+        patches: Mapping[int, ShardPatch],
+    ) -> dict[int, ShardDelta]:
         """Route each shard's (task, patch) to its owning worker.
 
         With a combiner available, every multi-message mailbox is folded
@@ -578,7 +626,7 @@ class _WorkerProtocolExecutor(Executor):
         the bytes.
         """
         combiner = self._task_combiner
-        per_worker = {}
+        per_worker: dict[int, dict[int, tuple[Any, Any]]] = {}
         for sid, task in tasks.items():
             if combiner is not None and task.inbox:
                 folded = wire.combine_inbox(task.inbox, combiner)
@@ -590,14 +638,14 @@ class _WorkerProtocolExecutor(Executor):
             )
         return self._broadcast(per_worker, "step")
 
-    def apply(self, patches):
+    def apply(self, patches: Mapping[int, ShardPatch]) -> None:
         """Route patch-only applications to the owning workers."""
-        per_worker = {}
+        per_worker: dict[int, dict[int, Any]] = {}
         for sid, patch in patches.items():
             per_worker.setdefault(self._owner[sid], {})[sid] = patch
         self._broadcast(per_worker, "apply")
 
-    def snapshot(self):
+    def snapshot(self) -> dict[int, Any]:
         """Gather the consistency view from every worker."""
         workers = list(self._worker_ids())
         for worker in workers:
@@ -634,25 +682,30 @@ class ProcessExecutor(_WorkerProtocolExecutor):
     _ACK_TIMEOUT = 1.0
     _JOIN_TIMEOUT = 5.0
 
-    def __init__(self, workers=4, mp_context=None, combine_inbox=True):
+    def __init__(
+        self,
+        workers: int | None = 4,
+        mp_context: str | None = None,
+        combine_inbox: bool = True,
+    ) -> None:
         super().__init__(combine_inbox=combine_inbox)
         if workers is None or workers < 1:
             raise ValueError("need at least one worker process")
         self._workers = workers
         self._context_name = mp_context
-        self._procs = []
-        self._pipes = []
-        self._reaper = None
+        self._procs: list[BaseProcess] = []
+        self._pipes: list[Connection] = []
+        self._reaper: weakref.finalize | None = None
 
-    def _context(self):
+    def _context(self) -> Any:
         if self._context_name is not None:
             return multiprocessing.get_context(self._context_name)
         methods = multiprocessing.get_all_start_methods()
-        return multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context(None)
 
-    def start(self, shards):
+    def start(self, shards: Mapping[int, Shard]) -> None:
         """Spawn the workers, ship each its shard subset, await the acks."""
         ctx = self._context()
         workers = min(self._workers, max(1, len(shards)))
@@ -687,10 +740,10 @@ class ProcessExecutor(_WorkerProtocolExecutor):
             self.stop()  # no leaked worker processes on a failed start
             raise
 
-    def _worker_ids(self):
+    def _worker_ids(self) -> Iterable[int]:
         return range(len(self._pipes))
 
-    def _transport_send(self, worker, message):
+    def _transport_send(self, worker: int, message: tuple[str, Any]) -> int:
         """Send to one worker, surfacing a dead process as a clear error."""
         data = wire.dumps(message)
         try:
@@ -702,7 +755,7 @@ class ProcessExecutor(_WorkerProtocolExecutor):
             ) from exc
         return len(data)
 
-    def _transport_recv(self, worker):
+    def _transport_recv(self, worker: int) -> tuple[Any, int]:
         try:
             payload = self._pipes[worker].recv_bytes()
         except EOFError:
@@ -712,7 +765,7 @@ class ProcessExecutor(_WorkerProtocolExecutor):
             ) from None
         return wire.loads(payload), len(payload)
 
-    def stop(self):
+    def stop(self) -> None:
         """Stop the workers: polite ack, then SIGTERM, then SIGKILL."""
         for pipe in self._pipes:
             try:
@@ -777,8 +830,16 @@ class SocketExecutor(_WorkerProtocolExecutor):
     _READ_TIMEOUT = 600.0
     _ACK_TIMEOUT = 1.0
 
-    def __init__(self, addresses=None, workers=None, *, codec="binary",
-                 combine_inbox=True, connect_timeout=None, read_timeout=None):
+    def __init__(
+        self,
+        addresses: str | Iterable[str] | None = None,
+        workers: int | None = None,
+        *,
+        codec: int | str = "binary",
+        combine_inbox: bool = True,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+    ) -> None:
         super().__init__(combine_inbox=combine_inbox)
         self._requested_workers = _require_workers(workers, "socket worker")
         self._given_addresses = addresses
@@ -790,10 +851,10 @@ class SocketExecutor(_WorkerProtocolExecutor):
         self._read_timeout = (
             self._READ_TIMEOUT if read_timeout is None else read_timeout
         )
-        self._sockets = []
-        self._peers = []
+        self._sockets: list[socket.socket] = []
+        self._peers: list[str] = []
 
-    def _resolve_addresses(self):
+    def _resolve_addresses(self) -> list[tuple[str, int]]:
         spec = self._given_addresses
         if spec is None:
             spec = os.environ.get("REPRO_SOCKET_WORKERS") or None
@@ -808,7 +869,7 @@ class SocketExecutor(_WorkerProtocolExecutor):
             addresses = addresses[: self._requested_workers]
         return addresses
 
-    def start(self, shards):
+    def start(self, shards: Mapping[int, Shard]) -> None:
         """Connect to the workers, ship each its shard subset, await acks."""
         addresses = self._resolve_addresses()
         workers = min(len(addresses), max(1, len(shards)))
@@ -840,10 +901,10 @@ class SocketExecutor(_WorkerProtocolExecutor):
             self.stop()  # no half-connected session on a failed start
             raise
 
-    def _worker_ids(self):
+    def _worker_ids(self) -> Iterable[int]:
         return range(len(self._sockets))
 
-    def _transport_send(self, worker, message):
+    def _transport_send(self, worker: int, message: tuple[str, Any]) -> int:
         try:
             return wire.send_frame(
                 self._sockets[worker], message, codec=self._codec
@@ -855,7 +916,7 @@ class SocketExecutor(_WorkerProtocolExecutor):
                 "mid-run"
             ) from exc
 
-    def _transport_recv(self, worker):
+    def _transport_recv(self, worker: int) -> tuple[Any, int]:
         try:
             payload = wire.recv_payload(self._sockets[worker])
         except TimeoutError:
@@ -871,7 +932,7 @@ class SocketExecutor(_WorkerProtocolExecutor):
             ) from None
         return wire.loads(payload), len(payload) + 4
 
-    def stop(self):
+    def stop(self) -> None:
         """End the session: polite stop + short ack wait, then close."""
         for worker, sock in enumerate(self._sockets):
             try:
@@ -891,7 +952,7 @@ class SocketExecutor(_WorkerProtocolExecutor):
         self._pending_kind = {}
 
 
-EXECUTORS = {
+EXECUTORS: dict[str, Callable[..., Executor]] = {
     "inline": InlineExecutor,
     "thread": ThreadExecutor,
     "pipelined": PipelinedExecutor,
@@ -900,7 +961,7 @@ EXECUTORS = {
 }
 
 
-def validate_executor(executor):
+def validate_executor(executor: Executor) -> Executor:
     """Check an executor's capability declaration; returns the executor.
 
     Two honesty rules: the record must actually be an
@@ -929,7 +990,9 @@ def validate_executor(executor):
     return executor
 
 
-def make_executor(spec=None, workers=None):
+def make_executor(
+    spec: str | Executor | None = None, workers: int | None = None
+) -> Executor:
     """Resolve an executor spec: None/name/instance → a fresh :class:`Executor`.
 
     ``None`` means :class:`InlineExecutor` (the deterministic default); a

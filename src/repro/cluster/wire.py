@@ -32,10 +32,15 @@ count through ``len()`` — which is exactly what keeps modelled compute cost
 with it every golden timeline, bit-identical to the uncombined executors.
 """
 
+from __future__ import annotations
+
 import pickle
+import socket
 import struct
 import sys
 from array import array
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
 
 from repro.cluster.shard import ShardDelta, ShardPatch, ShardTask
 
@@ -78,7 +83,7 @@ class WireError(ValueError):
     """A malformed frame or an unencodable/undecodable payload."""
 
 
-def codec_id(spec):
+def codec_id(spec: int | str) -> int:
     """Resolve a codec spec — ``"binary"``/``"pickle"`` or a codec byte."""
     if spec in ("binary", CODEC_BINARY):
         return CODEC_BINARY
@@ -109,24 +114,26 @@ class CombinedMessages(list):
 
     __slots__ = ("logical_len",)
 
-    def __init__(self, items, logical_len):
+    def __init__(self, items: Iterable[Any], logical_len: int) -> None:
         super().__init__(items)
         self.logical_len = int(logical_len)
 
-    def __len__(self):
+    def __len__(self) -> int:
         return self.logical_len
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         return (CombinedMessages, (list(self), self.logical_len))
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return (
             f"CombinedMessages({list.__repr__(self)}, "
             f"logical_len={self.logical_len})"
         )
 
 
-def combine_inbox(inbox, combiner):
+def combine_inbox(
+    inbox: dict[Any, Any], combiner: Callable[[Any, Any], Any] | None
+) -> dict[Any, Any]:
     """Fold every multi-message mailbox in ``inbox`` with ``combiner``.
 
     Returns a new inbox dict where each mailbox of ``n > 1`` messages became
@@ -139,7 +146,7 @@ def combine_inbox(inbox, combiner):
     if combiner is None:
         return inbox
     folded_any = False
-    combined = {}
+    combined: dict[Any, Any] = {}
     for vertex, messages in inbox.items():
         count = len(messages)
         if count > 1:
@@ -182,9 +189,9 @@ _TAG_DELTA = 0x15
 _TAG_PICKLE = 0x16         # anything else
 
 
-def _int_typecodes():
+def _int_typecodes() -> dict[int, str]:
     """Map item sizes 1/2/4/8 to signed :mod:`array` typecodes, portably."""
-    by_size = {}
+    by_size: dict[int, str] = {}
     for code in "bhilq":
         by_size.setdefault(array(code).itemsize, code)
     return {size: by_size[size] for size in (1, 2, 4, 8)}
@@ -203,7 +210,7 @@ _INT_BOUNDS = {
 _DELTA_FLAG = 0x40
 
 
-def _write_uint(out, n):
+def _write_uint(out: bytearray, n: int) -> None:
     while True:
         byte = n & 0x7F
         n >>= 7
@@ -214,7 +221,7 @@ def _write_uint(out, n):
             return
 
 
-def _select_width(lo, hi):
+def _select_width(lo: int, hi: int) -> int | None:
     for size in (1, 2, 4, 8):
         lo_bound, hi_bound = _INT_BOUNDS[size]
         if lo_bound <= lo and hi <= hi_bound:
@@ -222,14 +229,16 @@ def _select_width(lo, hi):
     return None
 
 
-def _pack_array(typecode, values, out):
+def _pack_array(
+    typecode: str, values: Sequence[int], out: bytearray
+) -> None:
     packed = array(typecode, values)
     if _BIG_ENDIAN:  # pragma: no cover - little-endian hosts
         packed.byteswap()
     out += packed.tobytes()
 
 
-def _pack_ints(values, out):
+def _pack_ints(values: Sequence[int], out: bytearray) -> bool:
     """Width-select and pack a list of ints; False when out of i64 range.
 
     Appends ``[width byte][count varint][payload]`` to ``out``.  When the
@@ -260,7 +269,7 @@ def _pack_ints(values, out):
     return True
 
 
-def _pack_floats(values, out):
+def _pack_floats(values: Sequence[float], out: bytearray) -> None:
     """Pack a list of floats as ``[count varint][f64 payload]``."""
     _write_uint(out, len(values))
     packed = array("d", values)
@@ -269,11 +278,13 @@ def _pack_floats(values, out):
     out += packed.tobytes()
 
 
-def _all_exact(items, kind):
+def _all_exact(items: Iterable[Any], kind: type) -> bool:
     return all(type(item) is kind for item in items)
 
 
-def _encode_sequence(obj, out, container):
+def _encode_sequence(
+    obj: Sequence[Any], out: bytearray, container: int
+) -> None:
     generic_tag = _TAG_LIST if container == 0 else _TAG_TUPLE
     n = len(obj)
     if n:
@@ -296,15 +307,15 @@ def _encode_sequence(obj, out, container):
         _encode(item, out)
 
 
-def _encode_list(obj, out):
+def _encode_list(obj: Sequence[Any], out: bytearray) -> None:
     _encode_sequence(obj, out, 0)
 
 
-def _encode_tuple(obj, out):
+def _encode_tuple(obj: Sequence[Any], out: bytearray) -> None:
     _encode_sequence(obj, out, 1)
 
 
-def _is_combined_float(value):
+def _is_combined_float(value: Any) -> bool:
     return (
         type(value) is CombinedMessages
         and list.__len__(value) == 1
@@ -312,9 +323,10 @@ def _is_combined_float(value):
     )
 
 
-def _encode_dict(obj, out):
+def _encode_dict(obj: dict[Any, Any], out: bytearray) -> None:
     n = len(obj)
     if n:
+        # reprolint: allow-DET001 the codec must preserve the host dict's insertion order byte-for-byte
         keys = list(obj.keys())
         values = list(obj.values())
         if _all_exact(keys, int):
@@ -341,7 +353,7 @@ def _encode_dict(obj, out):
         _encode(value, out)
 
 
-def _encode_int_pairs(pairs, out):
+def _encode_int_pairs(pairs: Sequence[Any], out: bytearray) -> bool:
     """Two-column packing for ``[(int, int), ...]``; False when shape differs."""
     if not pairs or not all(
         type(p) is tuple
@@ -362,7 +374,7 @@ def _encode_int_pairs(pairs, out):
     return False
 
 
-def _encode_outbox(entries, out):
+def _encode_outbox(entries: Sequence[Any], out: bytearray) -> None:
     """Three-column packing for ``[((worker, target), payload), ...]``."""
     if entries and all(
         type(e) is tuple
@@ -386,7 +398,7 @@ def _encode_outbox(entries, out):
     _encode_list(entries, out)
 
 
-def _encode_ndarray(obj, out):
+def _encode_ndarray(obj: Any, out: bytearray) -> None:
     if obj.dtype.hasobject:
         _encode_pickle(obj, out)
         return
@@ -404,52 +416,52 @@ def _encode_ndarray(obj, out):
     out += payload
 
 
-def _encode_pickle(obj, out):
+def _encode_pickle(obj: Any, out: bytearray) -> None:
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     out.append(_TAG_PICKLE)
     _write_uint(out, len(payload))
     out += payload
 
 
-def _encode_none(obj, out):
+def _encode_none(obj: None, out: bytearray) -> None:
     out.append(_TAG_NONE)
 
 
-def _encode_bool(obj, out):
+def _encode_bool(obj: bool, out: bytearray) -> None:
     out.append(_TAG_TRUE if obj else _TAG_FALSE)
 
 
-def _encode_int(obj, out):
+def _encode_int(obj: int, out: bytearray) -> None:
     out.append(_TAG_INT)
     _write_uint(out, (obj << 1) if obj >= 0 else ((-obj << 1) - 1))
 
 
-def _encode_float(obj, out):
+def _encode_float(obj: float, out: bytearray) -> None:
     out.append(_TAG_FLOAT)
     out += _F64.pack(obj)
 
 
-def _encode_str(obj, out):
+def _encode_str(obj: str, out: bytearray) -> None:
     payload = obj.encode("utf-8")
     out.append(_TAG_STR)
     _write_uint(out, len(payload))
     out += payload
 
 
-def _encode_bytes(obj, out):
+def _encode_bytes(obj: bytes, out: bytearray) -> None:
     out.append(_TAG_BYTES)
     _write_uint(out, len(obj))
     out += obj
 
 
-def _encode_set(obj, out):
+def _encode_set(obj: set[Any], out: bytearray) -> None:
     out.append(_TAG_SET)
     _write_uint(out, len(obj))
     for item in obj:
         _encode(item, out)
 
 
-def _encode_combined(obj, out):
+def _encode_combined(obj: CombinedMessages, out: bytearray) -> None:
     out.append(_TAG_COMBINED)
     _write_uint(out, obj.logical_len)
     _write_uint(out, list.__len__(obj))
@@ -457,7 +469,7 @@ def _encode_combined(obj, out):
         _encode(item, out)
 
 
-def _encode_task(obj, out):
+def _encode_task(obj: ShardTask, out: bytearray) -> None:
     out.append(_TAG_TASK)
     _encode(obj.superstep, out)
     _encode(obj.inbox, out)
@@ -467,7 +479,7 @@ def _encode_task(obj, out):
     _encode(obj.candidates, out)
 
 
-def _encode_patch(obj, out):
+def _encode_patch(obj: ShardPatch, out: bytearray) -> None:
     out.append(_TAG_PATCH)
     _encode(obj.upserts, out)
     _encode(obj.removes, out)
@@ -475,7 +487,7 @@ def _encode_patch(obj, out):
         _encode(obj.placement_delta, out)
 
 
-def _encode_delta(obj, out):
+def _encode_delta(obj: ShardDelta, out: bytearray) -> None:
     out.append(_TAG_DELTA)
     _encode(obj.shard_id, out)
     _encode(obj.computed, out)
@@ -489,7 +501,7 @@ def _encode_delta(obj, out):
     _encode(obj.spans, out)
 
 
-_ENCODERS = {
+_ENCODERS: dict[type, Callable[[Any, bytearray], None]] = {
     type(None): _encode_none,
     bool: _encode_bool,
     int: _encode_int,
@@ -507,7 +519,7 @@ _ENCODERS = {
 }
 
 
-def _encode(obj, out):
+def _encode(obj: Any, out: bytearray) -> None:
     encoder = _ENCODERS.get(type(obj))
     if encoder is not None:
         encoder(obj, out)
@@ -525,11 +537,11 @@ def _encode(obj, out):
 class _Reader:
     __slots__ = ("buf", "pos")
 
-    def __init__(self, buf, pos):
+    def __init__(self, buf: memoryview, pos: int) -> None:
         self.buf = buf
         self.pos = pos
 
-    def take(self, n):
+    def take(self, n: int) -> memoryview:
         end = self.pos + n
         if end > len(self.buf):
             raise WireError("truncated frame")
@@ -537,14 +549,14 @@ class _Reader:
         self.pos = end
         return chunk
 
-    def byte(self):
+    def byte(self) -> int:
         if self.pos >= len(self.buf):
             raise WireError("truncated frame")
         value = self.buf[self.pos]
         self.pos += 1
         return value
 
-    def uint(self):
+    def uint(self) -> int:
         shift = 0
         value = 0
         while True:
@@ -555,7 +567,7 @@ class _Reader:
             shift += 7
 
 
-def _read_int_array(reader):
+def _read_int_array(reader: _Reader) -> list[int]:
     spec = reader.byte()
     size = spec & ~_DELTA_FLAG
     typecode = _INT_TC.get(size)
@@ -584,7 +596,7 @@ def _read_int_array(reader):
     return packed.tolist()
 
 
-def _read_float_array(reader):
+def _read_float_array(reader: _Reader) -> list[float]:
     count = reader.uint()
     packed = array("d")
     packed.frombytes(reader.take(count * 8))
@@ -593,7 +605,7 @@ def _read_float_array(reader):
     return packed.tolist()
 
 
-def _decode(reader):
+def _decode(reader: _Reader) -> Any:
     tag = reader.byte()
     if tag == _TAG_NONE:
         return None
@@ -702,7 +714,7 @@ def _decode(reader):
 # ---------------------------------------------------------------------------
 
 
-def dumps(obj, codec=CODEC_BINARY):
+def dumps(obj: Any, codec: int | str = CODEC_BINARY) -> bytes:
     """Encode one protocol message to a frame payload (codec byte included)."""
     codec = codec_id(codec)
     if codec == CODEC_PICKLE:
@@ -712,7 +724,7 @@ def dumps(obj, codec=CODEC_BINARY):
     return bytes(out)
 
 
-def loads(payload):
+def loads(payload: bytes) -> Any:
     """Decode one frame payload produced by :func:`dumps`.
 
     Raw pickles (from a peer speaking the legacy ``Connection.send``
@@ -730,7 +742,7 @@ def loads(payload):
     raise WireError(f"unknown codec byte {codec:#x}")
 
 
-def frame(obj, codec=CODEC_BINARY):
+def frame(obj: Any, codec: int | str = CODEC_BINARY) -> bytes:
     """Encode ``obj`` as one complete length-prefixed frame."""
     payload = dumps(obj, codec)
     if len(payload) > MAX_FRAME:
@@ -740,14 +752,16 @@ def frame(obj, codec=CODEC_BINARY):
     return _U32.pack(len(payload)) + payload
 
 
-def send_frame(sock, obj, codec=CODEC_BINARY):
+def send_frame(
+    sock: socket.socket, obj: Any, codec: int | str = CODEC_BINARY
+) -> int:
     """Send one frame over ``sock``; returns the bytes put on the wire."""
     data = frame(obj, codec)
     sock.sendall(data)
     return len(data)
 
 
-def _recv_exactly(sock, n, at_boundary):
+def _recv_exactly(sock: socket.socket, n: int, at_boundary: bool) -> bytes:
     chunks = []
     remaining = n
     while remaining:
@@ -761,7 +775,7 @@ def _recv_exactly(sock, n, at_boundary):
     return b"".join(chunks)
 
 
-def recv_payload(sock):
+def recv_payload(sock: socket.socket) -> bytes:
     """Receive one frame from ``sock``; returns the undecoded payload bytes.
 
     A peer that closes cleanly *between* frames raises :class:`EOFError`
@@ -775,7 +789,7 @@ def recv_payload(sock):
     return _recv_exactly(sock, length, at_boundary=False)
 
 
-def recv_frame(sock, with_codec=False):
+def recv_frame(sock: socket.socket, with_codec: bool = False) -> Any:
     """Receive one frame from ``sock``; decode and return the message.
 
     With ``with_codec=True`` returns ``(message, codec_byte)`` so servers

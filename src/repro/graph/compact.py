@@ -315,6 +315,7 @@ class CompactGraph(Graph):
             caps.extend([0] * grow)
         index = self._index
         ids = self._slot_ids
+        # reprolint: allow-DET001 slot order only picks arena block placement; adjacency content is unaffected
         for slot in self._dirty:
             v = ids[slot]
             if v is None:  # recycled hole: its block is garbage now

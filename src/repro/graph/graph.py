@@ -227,13 +227,21 @@ class Graph:
 
         The subgraph is built on the same backend as ``self``.
         """
-        keep = {v for v in vertices if v in self._adj}
+        # Keep the caller's order (deduplicated): the subgraph's vertex
+        # insertion order — hence its iteration order — must not depend
+        # on hash-table layout.
+        seen = set()
+        keep = []
+        for v in vertices:
+            if v in self._adj and v not in seen:
+                seen.add(v)
+                keep.append(v)
         sub = type(self)()
         for v in keep:
             sub.add_vertex(v)
         for v in keep:
             for w in self._adj[v]:
-                if w in keep:
+                if w in seen:
                     sub.add_edge(v, w)  # add_edge dedups the reverse visit
         return sub
 
@@ -255,8 +263,11 @@ class Graph:
         """List of vertex sets, one per connected component (BFS)."""
         unvisited = set(self._adj)
         components = []
-        while unvisited:
-            root = next(iter(unvisited))
+        # Roots come from insertion order, not set order, so the component
+        # *list* order is a function of the graph's history alone.
+        for root in self._adj:
+            if root not in unvisited:
+                continue
             component = {root}
             frontier = [root]
             unvisited.discard(root)

@@ -1,0 +1,68 @@
+"""CAP001 fixture: honest, lying, and silently-capable executors."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExecutorCapabilities:
+    """Mini twin of the real capability dataclass."""
+
+    supports_pipelining: bool = False
+    releases_gil: bool = False
+    remote: bool = False
+    requires_picklable: bool = False
+
+
+class Executor:
+    """Base: no claims, stub protocol methods."""
+
+    capabilities = ExecutorCapabilities()
+
+    def step_stream(self, tasks):
+        """Protocol stub — does not count as an implementation."""
+        raise NotImplementedError
+
+    def _transport_send(self, payload):
+        """Protocol stub."""
+        raise NotImplementedError
+
+    def _transport_recv(self):
+        """Protocol stub."""
+        raise NotImplementedError
+
+
+class HonestPipelined(Executor):
+    """Claims pipelining and really implements step_stream: clean."""
+
+    capabilities = ExecutorCapabilities(supports_pipelining=True)
+
+    def step_stream(self, tasks):
+        """A real implementation."""
+        for task in tasks:
+            yield task
+
+
+class LyingPipelined(Executor):
+    """Claims pipelining over the inherited stub: CAP001."""
+
+    capabilities = ExecutorCapabilities(supports_pipelining=True)  # line 48
+
+
+class SilentStreamer(Executor):
+    """Implements step_stream but never claims it: CAP001 (reverse)."""
+
+    capabilities = ExecutorCapabilities(releases_gil=True)
+
+    def step_stream(self, tasks):  # line 56
+        """A real implementation the coordinator would never use."""
+        return list(tasks)
+
+
+class LyingRemote(Executor):
+    """Claims remote with only one real transport: CAP001."""
+
+    capabilities = ExecutorCapabilities(False, True, True)  # line 64
+
+    def _transport_send(self, payload):
+        """A real sender — but recv stays the inherited stub."""
+        return len(payload)

@@ -1,0 +1,14 @@
+"""DET001 fixture: order-leaking iteration in a det-critical path."""
+
+table = {"a": 1, "b": 2}
+pending = {3, 1, 2}
+
+
+def sweep(system):
+    """Three violations: for-loop, list() conversion, comprehension."""
+    out = []
+    for v in pending:  # line 10: DET001
+        out.append(v)
+    snapshot = list({v for v in out})  # line 12: DET001
+    doubled = [k for k in table.keys()]  # line 13: DET001
+    return out, snapshot, doubled

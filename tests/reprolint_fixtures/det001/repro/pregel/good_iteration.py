@@ -1,0 +1,17 @@
+"""DET001 fixture: canonical-order wrappers and aggregations are clean."""
+
+pending = {3, 1, 2}
+
+
+def sort_vertices(vertices):
+    """Stand-in for repro.core.sweep.sort_vertices."""
+    return sorted(vertices)
+
+
+def sweep():
+    """No violations: wrapped, aggregated, or order-free."""
+    ordered = [v for v in sorted(pending)]
+    canonical = sort_vertices(pending)
+    count = len(pending)
+    biggest = max(pending)
+    return ordered, canonical, count, biggest

@@ -1,0 +1,17 @@
+"""DET002 fixture: module-RNG calls that bypass repro.utils.rng."""
+
+import random
+from random import Random, shuffle
+
+import numpy as np
+
+
+def pick(items):
+    """Four violations and two allowed constructions."""
+    roll = random.random()  # line 11: DET002 (module RNG)
+    shuffle(items)  # line 12: DET002 (re-exported module RNG)
+    noise = np.random.rand(3)  # line 13: DET002 (numpy global RNG)
+    unseeded = Random()  # line 14: DET002 (no seed argument)
+    seeded = Random(1234)  # allowed: explicitly seeded instance
+    also_seeded = random.Random(1234)  # allowed: explicitly seeded
+    return roll, noise, unseeded, seeded, also_seeded

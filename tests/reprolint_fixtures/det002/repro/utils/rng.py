@@ -1,0 +1,9 @@
+"""DET002 fixture: the rng module itself may touch ``random`` freely."""
+
+import random
+
+
+def make_rng(seed):
+    """The one sanctioned seeding point (exempt module)."""
+    random.seed(seed)
+    return random.Random(seed)

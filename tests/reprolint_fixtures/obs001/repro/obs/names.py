@@ -1,0 +1,7 @@
+"""OBS001 fixture: a registry with one stale entry per pool."""
+
+SPAN_NAMES = frozenset({"superstep", "never-emitted"})
+
+METRIC_NAMES = frozenset({"supersteps", "orphan.metric"})
+
+METRIC_PREFIXES = frozenset({"executor.bytes_sent"})

@@ -1,0 +1,11 @@
+"""OBS001 fixture: registered, unregistered, and dynamic name usages."""
+
+
+def run(tracer, metrics, lane):
+    """One clean usage per pool, one violation, and skipped dynamics."""
+    with tracer.span("superstep"):  # registered: clean
+        metrics.counter("supersteps").add(1)  # registered: clean
+        metrics.group("executor.bytes_sent")  # registered prefix: clean
+        metrics.counter("executor.bytes_sent.worker")  # prefix ext: clean
+        tracer.record("mystery-span", 0.0, 1.0)  # line 10: OBS001
+        metrics.gauge(f"lane.{lane}.depth")  # dynamic: skipped

@@ -1,0 +1,13 @@
+"""Pragma fixture: every malformed-pragma shape is a PRAGMA001 finding."""
+
+pending = {3, 1, 2}
+
+
+def sweep():
+    """Reason-less, unknown-directive, and in-string pragmas."""
+    for v in pending:  # reprolint: allow-DET001
+        print(v)
+    # reprolint: ignore-DET001 unknown directive shape
+    snapshot = list(pending)  # line 11: DET001 (the pragma above is invalid)
+    note = "# reprolint: allow-DET001 inside a string, never a pragma"
+    return snapshot, note

@@ -1,0 +1,18 @@
+"""Pragma fixture: valid suppressions, a stale one, and malformed ones."""
+
+pending = {3, 1, 2}
+
+
+def sweep():
+    """Inline and standalone suppressions, both with reasons."""
+    for v in pending:  # reprolint: allow-DET001 fixture demonstrates an explained inline suppression
+        print(v)
+    # reprolint: allow-DET001 fixture demonstrates a standalone suppression
+    snapshot = list(pending)
+    return snapshot
+
+
+def clean():
+    """A pragma that suppresses nothing is itself a finding."""
+    # reprolint: allow-DET001 stale reason kept for the PRAGMA002 test
+    return sorted(pending)

@@ -1,0 +1,32 @@
+"""WIRE001 fixture: wire structs with deliberate codec-coverage gaps."""
+
+from dataclasses import dataclass
+
+from repro.core.heuristic import DecisionContext, make_context
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Covered fields plus ``extra``, which the codec never touches."""
+
+    superstep: int
+    inbox: dict
+    extra: float
+
+
+@dataclass(frozen=True)
+class ShardPatch:
+    """Absent from the codec's dispatch table entirely."""
+
+    upserts: dict
+
+
+@dataclass(frozen=True)
+class ShardDelta:
+    """Fully covered, but references a non-picklable imported type."""
+
+    shard_id: int
+    context: DecisionContext
+
+
+__all__ = ["ShardDelta", "ShardPatch", "ShardTask", "make_context"]

@@ -1,0 +1,30 @@
+"""WIRE001 fixture: a miniature codec with deliberate gaps."""
+
+from repro.cluster.shard import ShardDelta, ShardTask
+
+_TAG_TASK = 1
+_TAG_DELTA = 2
+
+
+def _encode_task(obj, out):
+    """Reads superstep and inbox but never ``extra``."""
+    out.append((_TAG_TASK, obj.superstep, obj.inbox))
+
+
+def _encode_delta(obj, out):
+    """Reads every ShardDelta field."""
+    out.append((_TAG_DELTA, obj.shard_id, obj.context))
+
+
+_ENCODERS = {
+    ShardTask: _encode_task,
+    ShardDelta: _encode_delta,
+}
+
+
+def _decode(payload):
+    """Reconstructs ShardTask without ``inbox``/``extra``; delta fully."""
+    tag = payload[0]
+    if tag == _TAG_TASK:
+        return ShardTask(superstep=payload[1])
+    return ShardDelta(shard_id=payload[1], context=payload[2])

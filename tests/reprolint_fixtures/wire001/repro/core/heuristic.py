@@ -1,0 +1,24 @@
+"""WIRE001 fixture: a type that is NOT pickle-fallback-safe.
+
+``DecisionContext`` is built by a class factory, so it is not a top-level
+class in this module — ``pickle`` cannot re-import it by qualified name.
+"""
+
+
+def _make_class():
+    """Return a class object defined inside a function (pickle-unsafe)."""
+
+    class DecisionContext:
+        """Not reachable as ``repro.core.heuristic.DecisionContext``."""
+
+        round_index = 0
+
+    return DecisionContext
+
+
+DecisionContext = _make_class()
+
+
+def make_context():
+    """Factory the shard fixture re-exports."""
+    return DecisionContext()

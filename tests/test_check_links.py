@@ -1,0 +1,84 @@
+"""The docs link checker: file resolution plus GitHub-slug anchors."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from tools.check_links import dead_links, heading_anchors
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestHeadingAnchors:
+    def test_github_slug_rules(self):
+        text = (
+            "# Big Title\n"
+            "## CLI & flags (v2)\n"
+            "## under_scored\n"
+        )
+        assert heading_anchors(text) == {
+            "big-title",
+            "cli--flags-v2",
+            "under_scored",
+        }
+
+    def test_duplicate_headings_get_numeric_suffixes(self):
+        text = "## Setup\n## Setup\n## Setup\n"
+        assert heading_anchors(text) == {"setup", "setup-1", "setup-2"}
+
+    def test_code_fence_comments_do_not_mint_anchors(self):
+        text = "```python\n# not a heading\n```\n# Real\n"
+        assert heading_anchors(text) == {"real"}
+
+    def test_links_in_headings_reduce_to_their_label(self):
+        assert heading_anchors("## See [the docs](docs/x.md)\n") == {
+            "see-the-docs"
+        }
+
+
+class TestDeadLinks:
+    def test_in_page_anchor_is_verified(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Alpha\n[ok](#alpha)\n[bad](#missing)\n")
+        assert list(dead_links(doc)) == [(3, "#missing")]
+
+    def test_cross_file_anchor_is_verified(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "other.md").write_text("## Section Two\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](other.md#section-two)\n[bad](other.md#section-three)\n"
+        )
+        assert list(dead_links(doc)) == [(2, "other.md#section-three")]
+
+    def test_missing_file_still_reported(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        doc = tmp_path / "doc.md"
+        doc.write_text("[gone](nowhere.md#any)\n")
+        assert list(dead_links(doc)) == [(1, "nowhere.md#any")]
+
+    def test_fragment_into_non_markdown_is_not_checked(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "conf.py").write_text("x = 1\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[src](conf.py#L1)\n")
+        assert list(dead_links(doc)) == []
+
+
+def test_repo_docs_have_no_dead_links():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "tools/check_links.py",
+            "README.md",
+            "ROADMAP.md",
+            "docs",
+        ],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr + proc.stdout

@@ -540,3 +540,41 @@ class TestCapacityAwareActivation:
                 ]
 
         assert run("shard") == run("coordinator")
+
+
+class _CandidateSpy(InlineExecutor):
+    """Records every candidate slice the coordinator ships to a shard."""
+
+    def __init__(self):
+        super().__init__()
+        self.slices = []
+
+    def step(self, tasks, patches):
+        for task in tasks.values():
+            if task.candidates is not None:
+                self.slices.append(list(task.candidates))
+        return super().step(tasks, patches)
+
+
+def test_shipped_candidate_slices_are_canonically_ordered():
+    """Regression for the DET001 fix in ``Coordinator._compute_phase``.
+
+    Candidate slices are wire payload: their order must be a function of
+    the graph, not of the active set's hash-table layout.  The vertex ids
+    (multiples of 100) are chosen to collide in CPython's set table, so
+    raw set iteration would ship them out of order — the receiving shard
+    re-sorts before deciding, which is exactly why the divergence was
+    silent until reprolint flagged it.
+    """
+    from repro.graph import Graph
+
+    ids = [100 * i for i in range(24)]
+    assert list(set(ids)) != sorted(ids)  # the ids do scramble
+    graph = Graph(list(zip(ids, ids[1:])))
+    spy = _CandidateSpy()
+    config = PregelConfig(num_workers=3, seed=1, quiet_window=5)
+    with Coordinator(graph, PageRank(), config, executor=spy) as system:
+        system.run(8)
+    assert any(len(s) > 1 for s in spy.slices), "vacuous run: no slices"
+    for shipped in spy.slices:
+        assert shipped == sorted(shipped)

@@ -151,3 +151,32 @@ class TestDerived:
 
     def test_repr(self, triangle):
         assert "3" in repr(triangle)
+
+
+class TestCanonicalOrder:
+    """Regression tests for the DET001 fixes (reprolint).
+
+    ``{1, 8, 16}`` iterates as ``[16, 8, 1]`` on CPython — 8 and 16
+    collide in the hash table, so set order disagrees with both sorted
+    and insertion order.  Before the fixes, ``subgraph`` and
+    ``connected_components`` leaked that order into their results.
+    """
+
+    def test_subgraph_preserves_caller_vertex_order(self):
+        g = Graph([(1, 8), (8, 16)])
+        sub = g.subgraph([1, 8, 16])
+        assert list(sub.vertices()) == [1, 8, 16]
+        reversed_sub = g.subgraph([16, 8, 1])
+        assert list(reversed_sub.vertices()) == [16, 8, 1]
+
+    def test_subgraph_deduplicates_without_reordering(self):
+        g = Graph([(1, 8), (8, 16)])
+        sub = g.subgraph([16, 1, 16, 8, 1])
+        assert list(sub.vertices()) == [16, 1, 8]
+        assert sub.num_edges == 2
+
+    def test_connected_components_follow_insertion_order(self):
+        g = Graph()
+        for v in (1, 8, 16):
+            g.add_vertex(v)
+        assert g.connected_components() == [{1}, {8}, {16}]

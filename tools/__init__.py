@@ -1,0 +1,6 @@
+"""Repo tooling: standalone scripts plus the :mod:`tools.reprolint` package.
+
+``check_links.py`` and ``trace_summary.py`` stay plain scripts; this
+``__init__`` exists so ``python -m tools.reprolint`` resolves from a bare
+checkout (CI runs it exactly that way).
+"""

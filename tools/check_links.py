@@ -10,17 +10,20 @@ Arguments are markdown files or directories (scanned recursively for
 
 * absolute URLs (``http://``, ``https://``, ``mailto:`` — anything with a
   scheme); a link checker that needs the network is a flaky link checker;
-* pure in-page anchors (``#section``);
 * targets that resolve *outside* the working tree (relative to the
   current directory) — the GitHub site-relative idiom, e.g. the CI badge's
   ``../../actions/workflows/ci.yml``, which is a URL on github.com rather
   than a file in the checkout.
 
-Relative targets are resolved against the *containing file's* directory;
-an optional ``#anchor`` suffix is stripped (anchor existence is not
-verified — only that the file it points into exists).  Exit status is the
-number of dead links, capped at process-exit semantics (non-zero = fail),
-with one ``file:line: target`` diagnostic per dead link on stderr.
+Relative targets are resolved against the *containing file's* directory.
+``#anchor`` fragments — pure in-page (``#section``) and cross-file
+(``other.md#section``) — are verified against the target document's
+headings, slugged the way GitHub does (lowercase, punctuation stripped,
+spaces to hyphens, ``-N`` suffixes for duplicates); fenced code blocks
+are ignored so a ``# comment`` in an example never mints an anchor.
+Exit status is the number of dead links, capped at process-exit
+semantics (non-zero = fail), with one ``file:line: target`` diagnostic
+per dead link on stderr.
 
 Stdlib only, so it runs identically in CI and on a bare checkout.
 """
@@ -33,6 +36,53 @@ from pathlib import Path
 # brackets around the target and a trailing "title" are tolerated.
 _LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
 _SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+_HEADING_LINK = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+
+def heading_anchors(text):
+    """GitHub-style anchor slugs for every heading in ``text``.
+
+    The slug rules GitHub applies when rendering: take the heading text
+    (links reduced to their label), lowercase it, drop every character
+    that is not a word character, space or hyphen, turn spaces into
+    hyphens, and disambiguate repeats with ``-1``, ``-2``, … suffixes.
+    """
+    anchors = set()
+    counts = {}
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match is None:
+            continue
+        title = _HEADING_LINK.sub(r"\1", match.group(1))
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def _anchor_cache():
+    """A memoised ``path -> heading_anchors`` lookup for cross-file checks."""
+    cache = {}
+
+    def anchors_of(path):
+        """Anchor slugs of ``path``, parsed at most once."""
+        resolved = path.resolve()
+        if resolved not in cache:
+            cache[resolved] = heading_anchors(
+                resolved.read_text(encoding="utf-8")
+            )
+        return cache[resolved]
+
+    return anchors_of
 
 
 def iter_markdown(arguments):
@@ -45,22 +95,35 @@ def iter_markdown(arguments):
             yield path
 
 
-def dead_links(path):
-    """Yield ``(line_number, target)`` for each unresolvable link."""
+def dead_links(path, anchors_of=None):
+    """Yield ``(line_number, target)`` for each unresolvable link.
+
+    A link is dead when its file does not exist *or* its ``#fragment``
+    names no heading in the document it points into (the containing
+    document for pure ``#anchor`` targets).
+    """
+    if anchors_of is None:
+        anchors_of = _anchor_cache()
     text = path.read_text(encoding="utf-8")
     for line_number, line in enumerate(text.splitlines(), start=1):
         for match in _LINK.finditer(line):
             target = match.group(1)
-            if _SCHEME.match(target) or target.startswith("#"):
+            if _SCHEME.match(target):
                 continue
-            relative = target.split("#", 1)[0]
-            if not relative:
+            relative, _, fragment = target.partition("#")
+            if not relative:  # in-page anchor: check this document
+                if fragment and fragment not in anchors_of(path):
+                    yield line_number, target
                 continue
             resolved = (path.parent / relative).resolve()
             if not resolved.is_relative_to(Path.cwd().resolve()):
                 continue  # site-relative (escapes the checkout): not ours
             if not resolved.exists():
                 yield line_number, target
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    yield line_number, target
 
 
 def main(argv):
@@ -70,13 +133,14 @@ def main(argv):
         return 2
     failures = 0
     checked = 0
+    anchors_of = _anchor_cache()
     for path in iter_markdown(argv):
         if not path.exists():
             print(f"{path}: no such file", file=sys.stderr)
             failures += 1
             continue
         checked += 1
-        for line_number, target in dead_links(path):
+        for line_number, target in dead_links(path, anchors_of):
             print(f"{path}:{line_number}: dead link -> {target}",
                   file=sys.stderr)
             failures += 1

@@ -1,0 +1,72 @@
+"""CLI for reprolint: ``python -m tools.reprolint <paths> [--json]``.
+
+Exit codes: 0 for a clean tree, 1 when there are findings, 2 for usage
+errors (unknown flags, nonexistent paths).  CI runs
+``python -m tools.reprolint src/repro --json`` and gates on the exit
+code; the JSON document is the job artifact.
+"""
+
+import argparse
+import sys
+
+from tools.reprolint.config import DEFAULT_CONFIG
+from tools.reprolint.core import (
+    _iter_python_files,
+    lint_paths,
+    render_human,
+    render_json,
+)
+from tools.reprolint.rules import make_rules
+
+
+def main(argv=None):
+    """Run the linter over the given paths; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "AST-based determinism & wire-contract analyzer for this repo "
+            "(rule catalog: docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    rules = make_rules()
+    if args.select:
+        wanted = {code.strip() for code in args.select.split(",") if code}
+        known = {rule.code for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            parser.error(
+                f"unknown rule code(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    try:
+        findings = lint_paths(args.paths, DEFAULT_CONFIG, rules=rules)
+        checked = len(_iter_python_files(args.paths))
+    except FileNotFoundError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(render_json(findings, checked))
+    else:
+        print(render_human(findings, checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""The declared project knowledge reprolint checks the tree against.
+
+Everything a checker needs to know about *this* repo that an AST cannot
+tell it lives here, checked in and reviewed like code: which packages are
+determinism-critical, which attributes are known to hold sets across
+module boundaries, which functions are allowed to read the wall clock
+(and why), where the wire structs and the observability name registry
+live.  Tests construct their own :class:`LintConfig` pointing at fixture
+trees; the CLI always uses :data:`DEFAULT_CONFIG`.
+"""
+
+from dataclasses import dataclass, field
+
+__all__ = ["DEFAULT_CONFIG", "LintConfig"]
+
+
+#: Wall-clock sites allowed by DET003, keyed by module path suffix.  Every
+#: entry is measurement-only by documented contract — the values feed
+#: counters, tracer spans or ``SuperstepReport`` timing fields, never a
+#: digest, timeline value or wire payload:
+#:
+#: * ``PregelSystem._run_superstep`` / ``._partitioning_phase`` — phase
+#:   counters, tracer span stamps and ``SuperstepReport.decision_seconds``
+#:   (documented "measurement, not semantics" on the dataclass);
+#: * ``Coordinator._compute_phase`` — the decision-slicing stopwatch and
+#:   the ``barrier-merge`` span stamps;
+#: * ``PipelinedExecutor.step_stream`` — the merge/overlap counters;
+#: * ``_WorkerProtocolExecutor._send`` / ``._recv_message`` — the
+#:   ``wire-send``/``wire-recv`` span stamps.
+#:
+#: DET003 cross-checks this map against the tree: an entry whose function
+#: no longer reads the clock is reported as stale, so the allowlist can
+#: only shrink with the code.
+_WALLCLOCK_ALLOWLIST = {
+    "repro/pregel/system.py": frozenset(
+        {
+            "PregelSystem._run_superstep",
+            "PregelSystem._partitioning_phase",
+        }
+    ),
+    "repro/cluster/coordinator.py": frozenset(
+        {"Coordinator._compute_phase"}
+    ),
+    "repro/cluster/executor.py": frozenset(
+        {
+            "PipelinedExecutor.step_stream",
+            "_WorkerProtocolExecutor._send",
+            "_WorkerProtocolExecutor._recv_message",
+        }
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One run's project knowledge; all paths are posix substring/suffixes."""
+
+    #: Packages where iteration order is digest- or wire-relevant (DET001,
+    #: DET003 scope).  Matched as substrings of the file's posix path.
+    det_critical: tuple = (
+        "repro/pregel/",
+        "repro/cluster/",
+        "repro/core/",
+        "repro/partitioning/",
+        "repro/graph/",
+    )
+    #: The one module allowed to touch ``random`` directly (DET002).
+    rng_module: str = "repro/utils/rng.py"
+    #: Paths where wall-clock reads are always fine (DET003): the
+    #: observability layer exists to measure wall-clock.
+    wallclock_exempt: tuple = ("repro/obs/",)
+    #: Declared measurement-only wall-clock sites (DET003); see above.
+    wallclock_allowlist: dict = field(
+        default_factory=lambda: dict(_WALLCLOCK_ALLOWLIST)
+    )
+    #: Attributes known to hold sets across module boundaries (DET001's
+    #: intra-module inference cannot see e.g. ``PregelSystem._active``
+    #: from ``coordinator.py``).
+    known_set_attrs: frozenset = frozenset(
+        {"halted", "_active", "_dirty", "_in_flight_origins"}
+    )
+    #: Callables that canonicalise an unordered iterable (DET001
+    #: neutralisers).
+    order_wrappers: frozenset = frozenset({"sorted", "sort_vertices"})
+    #: The module defining the wire-crossing structs, its codec sibling,
+    #: the struct names and the codec's dispatch table (WIRE001).
+    wire_shard_suffix: str = "cluster/shard.py"
+    wire_codec_name: str = "wire.py"
+    wire_structs: tuple = ("ShardTask", "ShardPatch", "ShardDelta")
+    wire_dispatch: str = "_ENCODERS"
+    #: Capability flags and the methods an honest claimant must implement
+    #: (CAP001), plus the reverse map: methods whose presence requires the
+    #: claim.
+    capability_requirements: dict = field(
+        default_factory=lambda: {
+            "supports_pipelining": ("step_stream",),
+            "remote": ("_transport_send", "_transport_recv"),
+        }
+    )
+    capability_reverse: dict = field(
+        default_factory=lambda: {"step_stream": "supports_pipelining"}
+    )
+    #: The checked-in span/metric name registry (OBS001).
+    obs_registry_suffix: str = "repro/obs/names.py"
+
+
+#: The repo's own configuration — what ``python -m tools.reprolint`` uses.
+DEFAULT_CONFIG = LintConfig()

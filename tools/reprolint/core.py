@@ -1,0 +1,334 @@
+"""The reprolint framework: findings, pragmas, the engine, the outputs.
+
+A *rule* is a class with a ``code`` (``DET001``-style), a per-module
+:meth:`Rule.check_module` hook and a cross-module :meth:`Rule.finalize`
+hook.  The engine parses every ``*.py`` file once into a
+:class:`ParsedModule`, runs each rule over each module, then each rule's
+finalizer over the whole set, and finally applies suppression pragmas:
+
+* ``# reprolint: allow-CODE reason`` at the end of the offending line (or
+  alone on the line directly above) suppresses that line's ``CODE``
+  findings;
+* the reason is mandatory — a pragma without one is a ``PRAGMA001``
+  finding;
+* a pragma that suppressed nothing is a ``PRAGMA002`` finding, so stale
+  suppressions cannot linger after the offending code is fixed.
+
+Output is one ``path:line:col: CODE message`` diagnostic per finding
+(``--json`` renders the same data as a document); the exit code is 0 only
+for a clean tree.
+"""
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "MALFORMED_PRAGMA",
+    "PARSE_ERROR",
+    "ParsedModule",
+    "Pragma",
+    "Rule",
+    "UNUSED_PRAGMA",
+    "lint_paths",
+    "render_human",
+    "render_json",
+]
+
+#: Framework finding codes (rules own the ``DET``/``WIRE``/… families).
+PARSE_ERROR = "PARSE001"
+MALFORMED_PRAGMA = "PRAGMA001"
+UNUSED_PRAGMA = "PRAGMA002"
+
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(?P<directive>\S+)(?:\s+(?P<reason>.*\S))?\s*$"
+)
+_ALLOW = re.compile(r"^allow-(?P<code>[A-Z]+\d+)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule code anchored to a file position."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self):
+        """The human one-liner: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class Pragma:
+    """One well-formed ``allow-CODE`` suppression found in a comment."""
+
+    line: int
+    code: str
+    reason: str
+    standalone: bool
+    used: bool = False
+
+    def covers(self, line):
+        """True when a finding on ``line`` falls under this pragma."""
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+
+class ParsedModule:
+    """One parsed source file plus its comment pragmas."""
+
+    def __init__(self, path, display, source):
+        self.path = Path(path)
+        #: Output-facing path (relative, posix) — what findings carry.
+        self.display = display
+        #: Resolution-facing posix path — what scope patterns match on.
+        self.posix = self.path.resolve().as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        self.pragmas, self.pragma_errors = _scan_pragmas(display, source)
+
+    def module_suffix_matches(self, suffix):
+        """True when this file is the one ``suffix`` names."""
+        return self.posix.endswith("/" + suffix) or self.posix == suffix
+
+    def in_any(self, patterns):
+        """True when any posix ``pattern`` appears in this file's path."""
+        return any(pattern in self.posix for pattern in patterns)
+
+
+def _scan_pragmas(display, source):
+    """Find every ``# reprolint:`` comment; returns (pragmas, errors).
+
+    Comments are located with :mod:`tokenize`, not string search, so a
+    ``# reprolint:`` inside a string literal is never misread as one.
+    """
+    pragmas = []
+    errors = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            tok for tok in tokens if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenizeError:  # pragma: no cover - ast.parse ran first
+        return pragmas, errors
+    for tok in comments:
+        if "reprolint:" not in tok.string:
+            continue
+        line_no, col = tok.start
+        match = _PRAGMA.search(tok.string)
+        if match is None:
+            errors.append(
+                Finding(
+                    MALFORMED_PRAGMA, display, line_no, col,
+                    "unparsable reprolint pragma "
+                    "(expected `# reprolint: allow-CODE reason`)",
+                )
+            )
+            continue
+        directive = match.group("directive")
+        allow = _ALLOW.match(directive)
+        if allow is None:
+            errors.append(
+                Finding(
+                    MALFORMED_PRAGMA, display, line_no, col,
+                    f"unknown reprolint directive {directive!r} "
+                    "(expected `allow-CODE`)",
+                )
+            )
+            continue
+        reason = match.group("reason")
+        if not reason:
+            errors.append(
+                Finding(
+                    MALFORMED_PRAGMA, display, line_no, col,
+                    f"suppression `{directive}` needs a reason: "
+                    "`# reprolint: allow-CODE why this is safe`",
+                )
+            )
+            continue
+        standalone = not tok.line[: col].strip()
+        pragmas.append(
+            Pragma(line_no, allow.group("code"), reason, standalone)
+        )
+    return pragmas, errors
+
+
+class Rule:
+    """Base class every checker subclasses.
+
+    ``code`` is the finding family (one code per rule), ``title`` the
+    one-line summary the rule catalog renders.  :meth:`check_module` runs
+    once per parsed file; :meth:`finalize` runs once after every module was
+    seen, for cross-module contracts and staleness checks.  Both yield
+    :class:`Finding` objects.
+    """
+
+    code = "RULE000"
+    title = ""
+
+    def check_module(self, module, ctx):
+        """Per-file hook; yields findings for ``module``."""
+        return ()
+
+    def finalize(self, ctx):
+        """Whole-tree hook, after every module was checked."""
+        return ()
+
+    def finding(self, module_or_path, line, col, message):
+        """Construct a finding of this rule's code."""
+        path = getattr(module_or_path, "display", module_or_path)
+        return Finding(self.code, path, line, col, message)
+
+
+class LintContext:
+    """What rules see: the config, every parsed module, shared scratch."""
+
+    def __init__(self, config, modules):
+        self.config = config
+        self.modules = modules
+        #: Free-form per-rule scratch space (keyed by rule code) so a
+        #: rule's ``check_module`` can leave notes for its ``finalize``.
+        self.scratch = {}
+
+    def find_module(self, suffix):
+        """The scanned module whose path ends with ``suffix`` (or None)."""
+        for module in self.modules:
+            if module.module_suffix_matches(suffix):
+                return module
+        return None
+
+
+def _iter_python_files(paths):
+    """Resolve CLI path arguments to a sorted, de-duplicated file list."""
+    seen = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(path.rglob("*.py"))
+        else:
+            found = [path]
+        for item in found:
+            if item not in seen:
+                seen.append(item)
+    return seen
+
+
+def lint_paths(paths, config, rules=None):
+    """Lint every python file under ``paths``; returns sorted findings.
+
+    ``rules`` defaults to one instance of every registered rule (the
+    import lives inside the function: :mod:`tools.reprolint.rules` imports
+    this module).  Raises :class:`FileNotFoundError` for a named path that
+    does not exist — a misspelt CLI argument must not pass as a clean run.
+    """
+    if rules is None:
+        from tools.reprolint.rules import make_rules
+
+        rules = make_rules()
+    modules = []
+    findings = []
+    for path in _iter_python_files(paths):
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        display = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(ParsedModule(path, display, source))
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Finding(
+                    PARSE_ERROR, display, line, 0,
+                    f"cannot parse file: {exc}",
+                )
+            )
+    ctx = LintContext(config, modules)
+    for rule in rules:
+        for module in modules:
+            findings.extend(rule.check_module(module, ctx))
+        findings.extend(rule.finalize(ctx))
+    return _apply_pragmas(modules, findings)
+
+
+def _display_path(path):
+    """Relative posix rendering for output (falls back to the input)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _apply_pragmas(modules, findings):
+    """Drop suppressed findings; add pragma-error and unused-pragma ones."""
+    by_path = {module.display: module for module in modules}
+    kept = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        suppressed = False
+        if module is not None and finding.code not in (
+            MALFORMED_PRAGMA, UNUSED_PRAGMA, PARSE_ERROR,
+        ):
+            for pragma in module.pragmas:
+                if pragma.code == finding.code and pragma.covers(finding.line):
+                    pragma.used = True
+                    suppressed = True
+                    break
+        if not suppressed:
+            kept.append(finding)
+    for module in modules:
+        kept.extend(module.pragma_errors)
+        for pragma in module.pragmas:
+            if not pragma.used:
+                kept.append(
+                    Finding(
+                        UNUSED_PRAGMA, module.display, pragma.line, 0,
+                        f"pragma `allow-{pragma.code}` suppresses nothing "
+                        "here; remove it",
+                    )
+                )
+    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def render_human(findings, checked):
+    """The terminal rendering: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    lines.append(
+        f"reprolint: checked {checked} file(s), "
+        f"{len(findings) or 'no'} finding(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings, checked):
+    """The machine rendering ``--json`` prints."""
+    counts = {}
+    for finding in findings:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+    return json.dumps(
+        {
+            "version": 1,
+            "checked": checked,
+            "findings": [
+                {
+                    "code": f.code,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "counts": dict(sorted(counts.items())),
+        },
+        indent=2,
+    )

@@ -1,0 +1,31 @@
+"""The checker registry: one module per rule code.
+
+Adding a checker is three steps (``docs/static-analysis.md`` walks through
+them): subclass :class:`tools.reprolint.core.Rule` in a new module here,
+import it below, and append it to :data:`ALL_RULES`.  The engine
+instantiates every registered rule per run via :func:`make_rules`.
+"""
+
+from tools.reprolint.rules.cap001 import CapabilityHonestyRule
+from tools.reprolint.rules.det001 import UnorderedIterationRule
+from tools.reprolint.rules.det002 import UnseededRandomRule
+from tools.reprolint.rules.det003 import WallClockRule
+from tools.reprolint.rules.obs001 import ObservabilityNamesRule
+from tools.reprolint.rules.wire001 import WireContractRule
+
+__all__ = ["ALL_RULES", "make_rules"]
+
+#: Every registered rule class, in catalog order.
+ALL_RULES = (
+    UnorderedIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+    WireContractRule,
+    CapabilityHonestyRule,
+    ObservabilityNamesRule,
+)
+
+
+def make_rules():
+    """Fresh instances of every registered rule (rules may keep state)."""
+    return [rule_cls() for rule_cls in ALL_RULES]

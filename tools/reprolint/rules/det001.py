@@ -1,0 +1,149 @@
+"""DET001 — iteration over unordered collections in determinism-critical code.
+
+Sets and frozensets iterate in hash-table order: deterministic for one
+interning history, but *not* canonical — a different insertion history, a
+different process, or a different vertex-id distribution reorders them.
+Anything downstream of such an iteration (wire payloads, dict insertion
+orders, digest inputs) silently inherits that order.  The repo's
+convention is to wrap every order-carrying iteration in ``sorted()`` /
+``sort_vertices()`` (PR 4's stream-merge tie-order bug is what happens
+when one site forgets); DET001 enforces the convention inside the
+determinism-critical packages.
+
+What counts as *unordered*: set/frozenset displays and comprehensions,
+``set(...)``/``frozenset(...)`` calls, set-algebra expressions, names and
+attributes assigned a set in the same module, attributes declared
+set-typed in :class:`~tools.reprolint.config.LintConfig.known_set_attrs`
+(cross-module knowledge the AST cannot infer), ``dict.keys()`` calls and
+set-returning methods (``difference``/``union``/…).
+
+What counts as *iteration*: ``for`` targets, comprehension sources
+(except set comprehensions — their result is itself unordered, so no
+order escapes), and ``list``/``tuple``/``iter`` conversions.  Aggregations
+(``len``/``min``/``max``/``any``/``all``) are order-insensitive and never
+flagged; ``sorted()``/``sort_vertices()`` neutralise.
+"""
+
+import ast
+
+from tools.reprolint.core import Rule
+
+__all__ = ["UnorderedIterationRule"]
+
+_SET_CALLS = frozenset({"set", "frozenset"})
+_SET_METHODS = frozenset(
+    {"keys", "difference", "union", "intersection", "symmetric_difference"}
+)
+_SET_OPS = (ast.Sub, ast.BitAnd, ast.BitOr, ast.BitXor)
+_ITER_CALLS = frozenset({"list", "tuple", "iter"})
+
+
+def _infer_set_names(tree):
+    """Names/attributes assigned an obviously-set value anywhere in the file."""
+    names = set()
+    attrs = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        if not _is_set_literalish(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                attrs.add(target.attr)
+    return names, attrs
+
+
+def _is_set_literalish(node):
+    """True for expressions that are a set by construction."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_CALLS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_set_literalish(node.left) or _is_set_literalish(node.right)
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """Flag order-carrying iteration over unordered collections."""
+
+    code = "DET001"
+    title = (
+        "unordered iteration in a determinism-critical module without a "
+        "canonical-order wrapper"
+    )
+
+    def check_module(self, module, ctx):
+        """Scan one module (skipped outside the det-critical packages)."""
+        config = ctx.config
+        if not module.in_any(config.det_critical):
+            return
+        names, attrs = _infer_set_names(module.tree)
+        attrs |= config.known_set_attrs
+
+        def unordered(node):
+            """True when ``node`` evaluates to an unordered collection."""
+            if _is_set_literalish(node):
+                return True
+            if isinstance(node, ast.Name):
+                return node.id in names
+            if isinstance(node, ast.Attribute):
+                return node.attr in attrs
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+                return unordered(node.left) or unordered(node.right)
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _SET_METHODS
+                ):
+                    # .keys() is unordered by *convention* here: dict order
+                    # is insertion history, which canonical paths must not
+                    # depend on.  The set-algebra methods return sets.
+                    return func.attr != "keys" or not node.args
+                if isinstance(func, ast.Name) and func.id in _SET_CALLS:
+                    return True
+            return False
+
+        def describe(node):
+            """Short phrase naming what is being iterated."""
+            if isinstance(node, ast.Name):
+                return f"set {node.id!r}"
+            if isinstance(node, ast.Attribute):
+                return f"set attribute {node.attr!r}"
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                return f"result of .{node.func.attr}()"
+            return "unordered expression"
+
+        for node in ast.walk(module.tree):
+            sites = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                sites.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                sites.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _ITER_CALLS
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                sites.append(node.args[0])
+            for site in sites:
+                if unordered(site):
+                    yield self.finding(
+                        module, site.lineno, site.col_offset,
+                        f"iteration over {describe(site)} leaks hash-table "
+                        "order; wrap the iterable in sorted() / "
+                        "sort_vertices() or iterate a canonical order",
+                    )

@@ -1,0 +1,113 @@
+"""DET002 — module-level RNG use outside ``repro/utils/rng.py``.
+
+Every stochastic component in the repo draws through
+:mod:`repro.utils.rng` — either a labelled ``make_rng`` stream or the
+counter-split :class:`~repro.utils.rng.WillingnessSource` — so adding a
+consumer of randomness never perturbs existing draws, and shards can draw
+without coordination.  A direct ``random.random()`` (or any
+``numpy.random.*`` call) bypasses both disciplines: it reads mutable
+global state seeded by nobody, so results change run to run and executor
+to executor.  DET002 flags every call on the ``random`` module object,
+every ``from random import shuffle``-style re-export, and every
+``numpy.random`` access — anywhere except the rng module itself.
+``random.Random(seed)`` with an explicit seed is the one allowed
+construction (it is how ``make_rng`` exists at all).
+"""
+
+import ast
+
+from tools.reprolint.core import Rule
+
+__all__ = ["UnseededRandomRule"]
+
+
+def _alias_maps(tree):
+    """(module aliases, from-imported random names) for one module."""
+    modules = {}      # local name -> dotted module path
+    from_random = {}  # local name -> attribute of the random module
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "random":
+                for alias in node.names:
+                    from_random[alias.asname or alias.name] = alias.name
+            elif node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        modules[alias.asname or "random"] = "numpy.random"
+    return modules, from_random
+
+
+def _dotted(node):
+    """Render an attribute chain as ``a.b.c`` (None when not a pure chain)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class UnseededRandomRule(Rule):
+    """Flag module-level ``random``/``numpy.random`` calls."""
+
+    code = "DET002"
+    title = (
+        "module-level random/numpy.random call outside repro/utils/rng.py"
+    )
+
+    _HINT = (
+        "; route randomness through repro.utils.rng "
+        "(make_rng / derive_seed / WillingnessSource)"
+    )
+
+    def check_module(self, module, ctx):
+        """Scan one module (the rng module itself is exempt)."""
+        if module.module_suffix_matches(ctx.config.rng_module):
+            return
+        modules, from_random = _alias_maps(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                origin = from_random.get(func.id)
+                if origin is None:
+                    continue
+                if origin == "Random" and node.args:
+                    continue  # explicitly seeded instance
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"call to random.{origin} imported as {func.id!r} uses "
+                    f"the shared module RNG{self._HINT}",
+                )
+                continue
+            dotted = _dotted(func)
+            if dotted is None or "." not in dotted:
+                continue
+            head, _, rest = dotted.partition(".")
+            resolved = modules.get(head)
+            if resolved is None:
+                continue
+            full = f"{resolved}.{rest}"
+            if full.startswith("numpy.random."):
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"numpy.random call ({dotted}) mutates/reads numpy's "
+                    f"global RNG state{self._HINT}",
+                )
+            elif full.startswith("random."):
+                attr = full[len("random."):]
+                if attr == "Random" and node.args:
+                    continue  # explicitly seeded instance
+                yield self.finding(
+                    module, node.lineno, node.col_offset,
+                    f"call to {dotted} uses the shared module RNG"
+                    f"{self._HINT}",
+                )

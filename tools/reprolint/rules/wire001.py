@@ -1,0 +1,266 @@
+"""WIRE001 — the shard-struct / wire-codec contract.
+
+``cluster/shard.py`` defines the dataclasses that cross the wire
+(``ShardTask``/``ShardPatch``/``ShardDelta``); ``cluster/wire.py`` encodes
+them with a tagged binary codec.  The two files agree only by discipline:
+adding a field to a struct without teaching the codec drops it silently on
+the remote side (the encoder just never reads it), and referencing a type
+the codec has no tag for falls back to pickle — fine for top-level
+classes, a runtime error for anything else.
+
+WIRE001 makes the discipline a check, cross-module and purely static:
+
+* every wire struct must appear as a key in the codec's dispatch table
+  (``_ENCODERS``);
+* its encoder function must read **every** declared field, and
+  ``_decode`` must pass every field to the reconstructing constructor
+  call — a field missing on either side is a finding anchored at the
+  struct definition;
+* every non-builtin type named in a struct field annotation must either
+  have its own codec tag or be pickle-fallback-safe, i.e. a *top-level*
+  class in the module it is imported from.
+
+The whole rule runs in :meth:`WireContractRule.finalize` because it needs
+both files parsed; fixture trees exercise it with miniature shard/wire
+pairs in the same layout.
+"""
+
+import ast
+
+from tools.reprolint.core import Rule
+
+__all__ = ["WireContractRule"]
+
+#: Annotation names that never need a codec tag.
+_BUILTIN_TYPES = frozenset(
+    {
+        "int", "float", "str", "bytes", "bool", "None", "object",
+        "tuple", "list", "dict", "set", "frozenset",
+        "Tuple", "List", "Dict", "Set", "FrozenSet", "Optional", "Union",
+        "Any", "Mapping", "Sequence", "Iterable", "Callable",
+    }
+)
+
+
+def _annotation_names(node):
+    """Every bare name referenced inside a field annotation."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+
+
+def _class_fields(class_node):
+    """Declared dataclass fields: annotated names in the class body."""
+    fields = {}
+    for stmt in class_node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields[stmt.target.id] = stmt.annotation
+    return fields
+
+
+def _top_level_classes(tree):
+    """Names of classes defined at module top level (pickle-safe)."""
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _import_origins(tree):
+    """Local name -> dotted source module, from ``from X import Y`` forms."""
+    origins = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                origins[alias.asname or alias.name] = node.module
+    return origins
+
+
+def _assign_targets(node):
+    """Name targets of a plain or annotated assignment (else empty)."""
+    if isinstance(node, ast.Assign):
+        return [t for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target]
+    return []
+
+
+def _find_dispatch(tree, dispatch_name):
+    """The ``_ENCODERS`` dict literal: {struct name: encoder func name}."""
+    for node in ast.walk(tree):
+        if node.__class__ not in (ast.Assign, ast.AnnAssign):
+            continue
+        if not any(t.id == dispatch_name for t in _assign_targets(node)):
+            continue
+        if node.value is None:
+            continue  # a bare annotation declares nothing
+        if not isinstance(node.value, ast.Dict):
+            return node, {}
+        table = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            if isinstance(key, ast.Name) and isinstance(value, ast.Name):
+                table[key.id] = value.id
+        return node, table
+    return None, {}
+
+
+class WireContractRule(Rule):
+    """Cross-check the wire structs against their codec."""
+
+    code = "WIRE001"
+    title = (
+        "wire struct field or type not covered by the cluster/wire.py codec"
+    )
+
+    def finalize(self, ctx):
+        """Pair each shard module with its codec sibling and cross-check."""
+        config = ctx.config
+        for shard in ctx.modules:
+            if not shard.module_suffix_matches(config.wire_shard_suffix):
+                continue
+            codec = self._codec_sibling(shard, ctx)
+            if codec is None:
+                yield self.finding(
+                    shard, 1, 0,
+                    f"wire structs defined here but no codec module "
+                    f"({config.wire_codec_name}) found next to it",
+                )
+                continue
+            yield from self._check_pair(shard, codec, ctx)
+
+    def _codec_sibling(self, shard, ctx):
+        """The wire codec module living in the same directory as ``shard``."""
+        expected = shard.path.resolve().with_name(ctx.config.wire_codec_name)
+        for module in ctx.modules:
+            if module.path.resolve() == expected:
+                return module
+        return None
+
+    def _check_pair(self, shard, codec, ctx):
+        config = ctx.config
+        classes = {
+            node.name: node
+            for node in ast.walk(shard.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        dispatch_node, dispatch = _find_dispatch(
+            codec.tree, config.wire_dispatch
+        )
+        if dispatch_node is None:
+            yield self.finding(
+                codec, 1, 0,
+                f"codec has no {config.wire_dispatch} dispatch table; "
+                "WIRE001 cannot verify struct coverage",
+            )
+            return
+        funcs = {
+            node.name: node
+            for node in ast.walk(codec.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        decode_kwargs = self._decode_constructions(codec.tree)
+
+        for struct_name in config.wire_structs:
+            struct = classes.get(struct_name)
+            if struct is None:
+                yield self.finding(
+                    shard, 1, 0,
+                    f"declared wire struct {struct_name} not defined in "
+                    f"{shard.display}",
+                )
+                continue
+            fields = _class_fields(struct)
+            encoder_name = dispatch.get(struct_name)
+            if encoder_name is None:
+                yield self.finding(
+                    codec, dispatch_node.lineno, dispatch_node.col_offset,
+                    f"{struct_name} has no entry in {config.wire_dispatch}; "
+                    "instances would take the pickle fallback on every send",
+                )
+                continue
+            encoder = funcs.get(encoder_name)
+            read = (
+                self._attrs_read(encoder) if encoder is not None else set()
+            )
+            passed = decode_kwargs.get(struct_name, set())
+            for field_name in fields:
+                if field_name not in read:
+                    yield self.finding(
+                        shard, struct.lineno, struct.col_offset,
+                        f"{struct_name}.{field_name} is never read by "
+                        f"{encoder_name}(); the field would be dropped on "
+                        "encode",
+                    )
+                if field_name not in passed:
+                    yield self.finding(
+                        shard, struct.lineno, struct.col_offset,
+                        f"{struct_name}.{field_name} is not passed to the "
+                        f"{struct_name}(...) reconstruction in the codec's "
+                        "decode path",
+                    )
+            yield from self._check_field_types(
+                shard, struct, fields, dispatch, ctx
+            )
+
+    @staticmethod
+    def _attrs_read(func):
+        """Every ``<x>.attr`` attribute name read inside ``func``."""
+        return {
+            node.attr
+            for node in ast.walk(func)
+            if isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+        }
+
+    @staticmethod
+    def _decode_constructions(tree):
+        """Struct name -> keyword names of ``Struct(field=...)`` calls."""
+        constructions = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Name):
+                continue
+            kwargs = {
+                kw.arg for kw in node.keywords if kw.arg is not None
+            }
+            if kwargs:
+                constructions.setdefault(node.func.id, set()).update(kwargs)
+        return constructions
+
+    def _check_field_types(self, shard, struct, fields, dispatch, ctx):
+        """Non-builtin annotation types need a tag or pickle-fallback safety."""
+        origins = _import_origins(shard.tree)
+        local_classes = _top_level_classes(shard.tree)
+        seen = set()
+        for field_name, annotation in fields.items():
+            for name in _annotation_names(annotation):
+                if name in _BUILTIN_TYPES or name in seen:
+                    continue
+                seen.add(name)
+                if name in dispatch or name in local_classes:
+                    continue
+                origin = origins.get(name)
+                if origin is None:
+                    continue  # builtin-namespace or locally aliased: no call
+                defining = ctx.find_module(
+                    origin.replace(".", "/") + ".py"
+                )
+                if defining is None:
+                    continue  # outside the scanned tree; cannot verify
+                if name not in _top_level_classes(defining.tree):
+                    yield self.finding(
+                        shard, struct.lineno, struct.col_offset,
+                        f"{struct.name}.{field_name} references {name} "
+                        f"(from {origin}), which has no codec tag and is "
+                        "not a top-level class there — the pickle fallback "
+                        "would fail on it",
+                    )
