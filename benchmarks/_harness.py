@@ -15,6 +15,8 @@ their result payloads through :func:`record_result`; the benchmarks
 ``conftest`` writes them to ``$BENCH_RESULTS_DIR/results.json``.
 """
 
+import os
+
 from repro.core import AdaptiveConfig, run_to_convergence
 from repro.datasets import build_dataset
 from repro.partitioning import balanced_capacities, make_partitioner
@@ -48,13 +50,35 @@ def pick(full, smoke):
     return smoke if SMOKE else full
 
 
+def host_cores():
+    """CPU cores visible to this bench run (1 when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def parallel_floor_applies(workers):
+    """Whether a parallel-speedup floor is meaningful on this host.
+
+    Speedup assertions against an inline baseline presume at least
+    ``workers`` cores; on smaller hosts a parallel executor only adds
+    scheduling overhead, so the floor would measure the machine, not
+    the code.  Benches must still *run* their parallel legs and assert
+    timeline identity everywhere — only the wall-clock floor is gated.
+    """
+    return host_cores() >= workers
+
+
 def record_result(name, payload, phases=None):
     """Stash one figure's JSON-serialisable results for the CI artifact.
 
     ``phases`` is the optional ``{phase: seconds}`` breakdown from
     :meth:`repro.obs.MetricsRegistry.phase_seconds` — where the reference
     run's wall-clock went — recorded under the payload's ``"phases"`` key.
+    Mapping payloads also record the host's core count under ``"cores"``
+    so trajectory consumers can tell a gated speedup floor from a failed
+    one (list-shaped payloads — bare table rows — are stored as-is).
     """
+    if isinstance(payload, dict):
+        payload = {**payload, "cores": host_cores()}
     if phases:
         payload = {**payload, "phases": dict(phases)}
     _RESULTS[name] = payload

@@ -20,7 +20,6 @@ physics, not a regression — mirroring how smoke scale skips shape
 assertions.
 """
 
-import os
 import time
 
 from repro.analysis import format_table
@@ -159,8 +158,8 @@ def test_cluster_executor_matrix(run_once, capsys):
         )
     if _harness.SMOKE:
         return  # toy scale: IPC overhead drowns the compute signal
-    if (os.cpu_count() or 1) < PROCESS_WORKERS:
-        return  # single-core box: parallel speedup is physically unavailable
+    if not _harness.parallel_floor_applies(PROCESS_WORKERS):
+        return  # too few cores: parallel speedup is physically unavailable
     process_row = next(
         r for r in results["rows"] if r["executor"] == "process"
     )

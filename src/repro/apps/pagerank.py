@@ -7,15 +7,21 @@ motivating example for edge-balanced partitioning (its cost ∝ edges).
 """
 
 from repro.pregel.messages import sum_combiner
-from repro.pregel.vertex import VertexProgram
+from repro.pregel.vertex import BatchedVertexProgram, BlockResult
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
 
 __all__ = ["PageRank"]
 
 
-class PageRank(VertexProgram):
+class PageRank(BatchedVertexProgram):
     """Classic damped PageRank; messages are rank shares, combined by sum."""
 
     name = "pagerank"
+    batch_dtype = "float64"
 
     def __init__(self, damping=0.85):
         if not 0.0 < damping < 1.0:
@@ -35,6 +41,26 @@ class PageRank(VertexProgram):
         if degree:
             ctx.send_to_neighbors(ctx.value / degree)
         ctx.vote_to_halt()
+
+    def compute_batch(self, block):
+        """Whole-block PageRank step; same arithmetic order as ``compute``.
+
+        ``bincount`` folds each row's inbox left-to-right from ``+0.0``,
+        which reproduces the scalar ``sum(messages)`` (that sum starts at
+        the int ``0``, and ``0 + float`` is exact) — rank shares are
+        strictly positive so the ``-0.0`` caveat never bites.
+        """
+        values = block.values
+        if block.superstep > 1:
+            incoming = _np.bincount(
+                block.msg_row, weights=block.msg_values, minlength=len(block)
+            )
+            base = (1.0 - self.damping) / max(block.num_vertices, 1)
+            values = base + self.damping * incoming
+        shares = values / _np.maximum(block.degrees, 1)
+        return BlockResult(
+            values, out=block.emit_to_neighbors(shares), halt=True
+        )
 
     def combiner(self):
         return sum_combiner

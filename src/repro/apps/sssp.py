@@ -6,13 +6,10 @@ against a sequential BFS in the tests.
 
 import math
 
+from repro.pregel.messages import min_combiner
 from repro.pregel.vertex import VertexProgram
 
 __all__ = ["SingleSourceShortestPaths"]
-
-
-def min_combiner(a, b):
-    return a if a <= b else b
 
 
 class SingleSourceShortestPaths(VertexProgram):

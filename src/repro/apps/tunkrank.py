@@ -13,12 +13,17 @@ grow with audience rather than summing to 1).
 """
 
 from repro.pregel.messages import sum_combiner
-from repro.pregel.vertex import VertexProgram
+from repro.pregel.vertex import BatchedVertexProgram, BlockResult
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
 
 __all__ = ["TunkRank"]
 
 
-class TunkRank(VertexProgram):
+class TunkRank(BatchedVertexProgram):
     """Iterative TunkRank over the mention graph.
 
     Designed for continuous mode: every superstep each vertex re-emits its
@@ -28,6 +33,7 @@ class TunkRank(VertexProgram):
     """
 
     name = "tunkrank"
+    batch_dtype = "float64"
 
     def __init__(self, retweet_probability=0.05):
         if not 0.0 <= retweet_probability < 1.0:
@@ -46,6 +52,29 @@ class TunkRank(VertexProgram):
                 1.0 + self.retweet_probability * ctx.value
             ) / degree
             ctx.send_to_neighbors(contribution)
+
+    def compute_batch(self, block):
+        """Whole-block TunkRank step, or None for a mail-less row.
+
+        The scalar path writes ``sum(())`` — the *int* ``0`` — into a row
+        that received no mail, and that int is digest-visible; rather than
+        replicate a type quirk the kernel declines the block and lets the
+        scalar loop produce it.  (Past superstep 1 every connected vertex
+        has mail, so this only triggers around churn.)
+        """
+        values = block.values
+        if block.superstep > 1:
+            if (block.msg_counts == 0).any():
+                return None
+            values = _np.bincount(
+                block.msg_row, weights=block.msg_values, minlength=len(block)
+            )
+        contributions = (
+            1.0 + self.retweet_probability * values
+        ) / _np.maximum(block.degrees, 1)
+        return BlockResult(
+            values, out=block.emit_to_neighbors(contributions), halt=False
+        )
 
     def combiner(self):
         return sum_combiner

@@ -238,6 +238,10 @@ class Coordinator(PregelSystem):
                 # One shard per worker: the shard's compute IS the worker's.
                 per_worker[sid] += delta.compute_units
                 self.network.count_compute(delta.compute_units)
+                if delta.batched_blocks:
+                    # Which compute path ran, per trace/metrics dump — the
+                    # scalar fallback leaves the counter untouched.
+                    self._batched_counter.add(delta.batched_blocks)
                 if traced:
                     # Worker-side spans ride home in the delta; merging
                     # them here is what builds the one shared timeline.

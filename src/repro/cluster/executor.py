@@ -99,7 +99,14 @@ class ExecutorCapabilities:
       declining executor is simply never asked to stream.
     * ``releases_gil`` — shard compute runs outside the calling process's
       GIL (worker processes, remote hosts), so pure-Python programs scale
-      with workers instead of interleaving.
+      with workers instead of interleaving.  The flag describes the
+      *executor*, never the program: an in-process backend keeps
+      ``releases_gil=False`` even when a program's batched numpy kernel
+      (:meth:`~repro.pregel.vertex.BatchedVertexProgram.compute_batch`)
+      happens to drop the GIL inside array calls — that is a property of
+      the program's compute, orthogonal to where the executor runs it,
+      and the two compose (a thread executor + a batched kernel is
+      exactly the combination ``benchmarks/bench_kernel.py`` measures).
     * ``remote`` — workers may live on other hosts; shard traffic crosses
       a network, not just a process boundary.
     * ``requires_picklable`` — programs, values and messages must survive

@@ -28,7 +28,7 @@ is plain picklable data — that is the whole contract
 from dataclasses import dataclass, field
 
 from repro.core.heuristic import DecisionContext
-from repro.core.sweep import make_shard_sweeper, sort_vertices
+from repro.core.sweep import make_block_table, make_shard_sweeper, sort_vertices
 from repro.obs import NULL_TRACER
 from repro.pregel.compute import compute_block, decide_block
 
@@ -105,6 +105,11 @@ class ShardDelta:
     coordinator's timeline.  Pure measurement: the barrier merge absorbs
     and discards it before anything digest-relevant happens, and it is
     always empty when tracing is off.
+
+    ``batched_blocks`` counts how many blocks this superstep ran through
+    the batched vertex-kernel path (0 or 1 per shard per superstep).
+    Observability only — it feeds the coordinator's
+    ``kernel.batched_blocks`` counter and never enters a digest.
     """
 
     shard_id: int
@@ -117,6 +122,7 @@ class ShardDelta:
     compute_units: float
     proposals: list = field(default_factory=list)
     spans: list = field(default_factory=list)
+    batched_blocks: int = 0
 
 
 class _ShardGraph:
@@ -167,6 +173,18 @@ class _ShardRouter:
         else:
             self.outbox.setdefault(key, []).append(message)
 
+    def absorb_columns(self, workers, targets, payloads):
+        """Batched-kernel entry point: insert pre-reduced outbox columns.
+
+        Same contract as :meth:`MessageRouter.absorb_columns
+        <repro.pregel.messages.MessageRouter.absorb_columns>`: one entry
+        per distinct key, already combiner-folded in canonical order, keys
+        in first-send order — plain inserts reproduce exactly the dict the
+        scalar ``send`` loop would have built.  ``workers`` is always this
+        shard's id repeated (a worker's vertices live on one shard).
+        """
+        self.outbox.update(zip(zip(workers, targets), payloads))
+
 
 class _ShardAggregators:
     """Aggregator facade: reads last barrier's snapshot, records contributions."""
@@ -214,11 +232,17 @@ class Shard:
         self.placement = None  # global placement mirror (decision phase)
         self._decision_cache = None  # last fresh snapshot (staleness window)
         self._sweeper = make_shard_sweeper(heuristic)
+        # Local CSR for the batched vertex-kernel path (None without
+        # numpy); kept exact by admit/evict alongside the dict state.
+        self.batch_table = (
+            make_block_table() if program.compute_batch is not None else None
+        )
         # Per-superstep scratch, bound during run_superstep.
         self.router = None
         self.aggregators = None
         self._compute_units = 0.0
         self._computed_ids = None
+        self._batched_blocks = 0
 
     def __len__(self):
         return len(self.values)
@@ -237,6 +261,8 @@ class Shard:
             self.halted.discard(vertex)
         if self._sweeper is not None:
             self._sweeper.admit(vertex, self._adj[vertex])
+        if self.batch_table is not None:
+            self.batch_table.admit(vertex, self._adj[vertex])
 
     def evict(self, vertex):
         """Drop one resident (migration departure or stream removal)."""
@@ -245,6 +271,8 @@ class Shard:
         self.halted.discard(vertex)
         if self._sweeper is not None:
             self._sweeper.evict(vertex)
+        if self.batch_table is not None:
+            self.batch_table.evict(vertex)
 
     def seed_placement(self, assignment_items):
         """Install the initial global placement mirror (start-of-run)."""
@@ -301,6 +329,25 @@ class Shard:
         self._compute_units += cost
         self._computed_ids.append(vertex)
 
+    def note_costs(self, vertex_ids, costs):
+        """Vectorised :meth:`note_cost` for one batched block.
+
+        ``cumsum`` accumulates strictly left to right, so the final prefix
+        sum associates exactly like the scalar loop's per-vertex ``+=`` —
+        compute-unit timelines stay bit-identical.
+        """
+        self._computed_ids.extend(vertex_ids)
+        if len(costs):
+            self._compute_units += float(costs.cumsum()[-1])
+
+    def note_batched_block(self, count=1):
+        """Count one block evaluated through the batched kernel path."""
+        self._batched_blocks += count
+
+    def batch_workers(self, vertex_ids):
+        """Per-row source workers: this shard's id, for every resident."""
+        return [self.shard_id] * len(vertex_ids)
+
     @property
     def placement_of(self):
         """The decision-host contract of :func:`decide_block`: mirror reads."""
@@ -355,6 +402,7 @@ class Shard:
         self.graph.num_vertices = task.num_vertices
         self._compute_units = 0.0
         self._computed_ids = []
+        self._batched_blocks = 0
         halted_before = set(self.halted)
         if tracer.enabled:
             with tracer.span(
@@ -388,6 +436,7 @@ class Shard:
             compute_units=self._compute_units,
             proposals=proposals,
             spans=spans,
+            batched_blocks=self._batched_blocks,
         )
         self.router = None
         self.aggregators = None

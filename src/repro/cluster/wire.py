@@ -499,6 +499,7 @@ def _encode_delta(obj: ShardDelta, out: bytearray) -> None:
     _encode(obj.compute_units, out)
     _encode(obj.proposals, out)
     _encode(obj.spans, out)
+    _encode(obj.batched_blocks, out)
 
 
 _ENCODERS: dict[type, Callable[[Any, bytearray], None]] = {
@@ -703,6 +704,7 @@ def _decode(reader: _Reader) -> Any:
             compute_units=_decode(reader),
             proposals=_decode(reader),
             spans=_decode(reader),
+            batched_blocks=_decode(reader),
         )
     if tag == _TAG_PICKLE:
         return pickle.loads(bytes(reader.take(reader.uint())))

@@ -49,9 +49,12 @@ except ImportError:  # pragma: no cover - numpy is optional
     _np = None
 
 __all__ = [
+    "BlockTable",
     "CompactSweeper",
+    "LocalCsr",
     "ShardSweeper",
     "generic_decisions",
+    "make_block_table",
     "make_shard_sweeper",
     "make_sweeper",
     "sort_vertices",
@@ -605,29 +608,38 @@ def make_shard_sweeper(heuristic):
     return None
 
 
-class ShardSweeper:
-    """Vectorised greedy decisions + willingness over one shard's block.
+def make_block_table():
+    """A :class:`BlockTable` when numpy is importable, else None.
 
-    The shard feeds it the same stream of membership changes it applies to
-    its own dict state (:meth:`admit` / :meth:`evict`) plus the
-    coordinator's broadcast placement deltas (:meth:`place` /
-    :meth:`unplace`); :meth:`decisions` then evaluates a whole candidate
-    block in one pass.  Ids are interned into local slots on first sight
-    (residents *and* their neighbours); resident adjacency lives as
-    append-only ``(start, len)`` blocks in one flat array, compacted when
-    garbage from re-admissions and evictions exceeds the live volume — so
-    a quiet shard whose placements churn pays O(changed placements), and an
-    adjacency patch pays O(degree of the patched vertices).
+    The gate the batched vertex-kernel path shares with every other
+    vectorised structure here: no numpy, no table — hosts then rebuild
+    block topology per superstep (or run the scalar loop).
+    """
+    return BlockTable() if _np is not None else None
+
+
+class LocalCsr:
+    """Append-only local CSR of one shard's resident adjacency.
+
+    The storage idiom :class:`ShardSweeper` and :class:`BlockTable` share:
+    ids are interned into dense local slots on first sight (residents
+    *and* their neighbours); resident adjacency lives as append-only
+    ``(start, len)`` blocks in one flat array, compacted when garbage from
+    re-admissions and evictions exceeds the live volume — so a quiet shard
+    pays O(changed), and an adjacency patch pays O(degree of the patched
+    vertices).  Subclasses declare extra slot-indexed arrays via
+    ``_SLOT_FIELDS`` (grown in lockstep) and hook interning via
+    :meth:`_on_intern`.
     """
 
     _GROW = 1024
+    #: ``(attribute, fill, dtype)`` for every slot-indexed array.
+    _SLOT_FIELDS = (("_starts", 0, "int64"), ("_lens", 0, "int64"))
 
     def __init__(self):
         self._slot = {}
-        self._keys = _np.empty(0, dtype=_np.uint64)
-        self._place = _np.empty(0, dtype=_np.int64)
-        self._starts = _np.empty(0, dtype=_np.int64)
-        self._lens = _np.empty(0, dtype=_np.int64)
+        for name, _fill, dtype in self._SLOT_FIELDS:
+            setattr(self, name, _np.empty(0, dtype=dtype))
         self._blocks = _np.empty(0, dtype=_np.int64)
         self._used = 0
         self._garbage = 0
@@ -637,30 +649,28 @@ class ShardSweeper:
     # ------------------------------------------------------------------
 
     def _grow_slots(self, needed):
-        size = max(needed, 2 * len(self._place), self._GROW)
-        for name, fill in (
-            ("_keys", 0),
-            ("_place", -1),
-            ("_starts", 0),
-            ("_lens", 0),
-        ):
+        size = max(needed, 2 * len(self._lens), self._GROW)
+        for name, fill, _dtype in self._SLOT_FIELDS:
             old = getattr(self, name)
             grown = _np.full(size, fill, dtype=old.dtype)
             grown[: len(old)] = old
             setattr(self, name, grown)
+
+    def _on_intern(self, slot, vertex):
+        """Hook: a new ``vertex`` was just interned into ``slot``."""
 
     def _intern(self, vertex):
         slot = self._slot.get(vertex)
         if slot is None:
             slot = len(self._slot)
             self._slot[vertex] = slot
-            if slot >= len(self._place):
+            if slot >= len(self._lens):
                 self._grow_slots(slot + 1)
-            self._keys[slot] = vertex_key(vertex)
+            self._on_intern(slot, vertex)
         return slot
 
     # ------------------------------------------------------------------
-    # Membership + placement upkeep (mirrors the shard's dict state)
+    # Membership upkeep (mirrors the shard's dict state)
     # ------------------------------------------------------------------
 
     def admit(self, vertex, neighbours):
@@ -696,6 +706,105 @@ class ShardSweeper:
         self._garbage += int(self._lens[slot])
         self._lens[slot] = 0
         self._starts[slot] = 0
+
+    def _compact(self):
+        """Rewrite the block array with only live blocks (garbage drops)."""
+        live = _np.flatnonzero(self._lens > 0)
+        if not len(live):
+            self._used = 0
+            self._garbage = 0
+            return
+        nbr, row = _gather_explicit(
+            self._blocks, self._starts[live], self._lens[live]
+        )
+        del row
+        starts = _np.zeros(len(live), dtype=_np.int64)
+        _np.cumsum(self._lens[live][:-1], out=starts[1:])
+        self._blocks = nbr
+        self._starts[live] = starts
+        self._used = len(nbr)
+        self._garbage = 0
+
+
+class BlockTable(LocalCsr):
+    """A :class:`LocalCsr` that can hand whole blocks to a batched kernel.
+
+    Adds the id table the kernel path needs on the way out (block index →
+    vertex id, for decoding reduced outbox targets) and :meth:`gather`,
+    which re-indexes a computed row set's adjacency from table slots to
+    dense block indices in one vectorised pass.  Fed by
+    :meth:`~repro.cluster.shard.Shard.admit` / ``evict`` alongside the
+    shard's dict state, so it is exact whenever the shard is.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._ids = []  # slot -> vertex id (slots are assigned densely)
+
+    def _on_intern(self, slot, vertex):
+        """Record the id of a freshly interned slot (slots are dense)."""
+        self._ids.append(vertex)
+
+    def gather(self, row_ids):
+        """``(degrees, indptr, targets, slot_ids)`` for ``row_ids``.
+
+        ``targets`` holds *block indices*: computed rows keep their
+        position in ``row_ids``; every other neighbour gets an index ≥
+        ``len(row_ids)`` into ``slot_ids``, which maps block indices back
+        to vertex ids (rows first, then the extras).
+        """
+        slot_of = self._slot
+        n = len(row_ids)
+        slots = _np.fromiter(
+            map(slot_of.__getitem__, row_ids), dtype=_np.int64, count=n
+        )
+        degrees = self._lens[slots]
+        entries, row = _gather_explicit(
+            self._blocks, self._starts[slots], degrees
+        )
+        del row
+        indptr = _np.zeros(n + 1, dtype=_np.int64)
+        _np.cumsum(degrees, out=indptr[1:])
+        block_of = _np.full(len(self._lens), -1, dtype=_np.int64)
+        block_of[slots] = _np.arange(n, dtype=_np.int64)
+        targets = block_of[entries]
+        missing = targets < 0
+        slot_ids = list(row_ids)
+        if missing.any():
+            extra_slots = _np.unique(entries[missing])
+            block_of[extra_slots] = n + _np.arange(
+                len(extra_slots), dtype=_np.int64
+            )
+            targets = block_of[entries]
+            ids = self._ids
+            slot_ids.extend(ids[s] for s in extra_slots.tolist())
+        return degrees, indptr, targets, slot_ids
+
+
+class ShardSweeper(LocalCsr):
+    """Vectorised greedy decisions + willingness over one shard's block.
+
+    The shard feeds it the same stream of membership changes it applies to
+    its own dict state (:meth:`admit` / :meth:`evict`) plus the
+    coordinator's broadcast placement deltas (:meth:`place` /
+    :meth:`unplace`); :meth:`decisions` then evaluates a whole candidate
+    block in one pass over the inherited :class:`LocalCsr` adjacency.
+    """
+
+    _SLOT_FIELDS = (
+        ("_keys", 0, "uint64"),
+        ("_place", -1, "int64"),
+        ("_starts", 0, "int64"),
+        ("_lens", 0, "int64"),
+    )
+
+    def _on_intern(self, slot, vertex):
+        """Key a freshly interned slot for the vectorised willingness draw."""
+        self._keys[slot] = vertex_key(vertex)
+
+    # ------------------------------------------------------------------
+    # Placement upkeep (mirrors the coordinator's broadcast deltas)
+    # ------------------------------------------------------------------
 
     def place(self, vertex, pid):
         """Mirror one placement (any vertex, resident or not)."""
@@ -748,24 +857,6 @@ class ShardSweeper:
         slot = self._slot.get(vertex)
         if slot is not None:
             self._place[slot] = -1
-
-    def _compact(self):
-        """Rewrite the block array with only live blocks (garbage drops)."""
-        live = _np.flatnonzero(self._lens > 0)
-        if not len(live):
-            self._used = 0
-            self._garbage = 0
-            return
-        nbr, row = _gather_explicit(
-            self._blocks, self._starts[live], self._lens[live]
-        )
-        del row
-        starts = _np.zeros(len(live), dtype=_np.int64)
-        _np.cumsum(self._lens[live][:-1], out=starts[1:])
-        self._blocks = nbr
-        self._starts[live] = starts
-        self._used = len(nbr)
-        self._garbage = 0
 
     # ------------------------------------------------------------------
     # The decision pass

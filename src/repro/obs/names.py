@@ -40,6 +40,7 @@ METRIC_NAMES = frozenset(
         "phase.decide.seconds",
         "phase.barrier.seconds",
         "ingest.events",
+        "kernel.batched_blocks",
         "migrations.announced",
         "executor.merge_seconds",
         "executor.overlap_seconds",

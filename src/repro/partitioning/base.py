@@ -14,6 +14,7 @@ compare it against from-scratch recomputation.
 """
 
 import math
+import types
 
 __all__ = ["PartitionState", "Partitioner", "balanced_capacities"]
 
@@ -90,6 +91,15 @@ class PartitionState:
     def partition_of_or_none(self, vertex):
         """Partition id of ``vertex`` or None when unassigned."""
         return self._assignment.get(vertex)
+
+    def assignment_view(self):
+        """Read-only live view of vertex → partition for bulk lookups.
+
+        Hot per-message paths (the router's delivery loop) go through this
+        proxy's C-level ``get`` instead of paying a Python method call per
+        vertex; the proxy stays live, so no staleness to manage.
+        """
+        return types.MappingProxyType(self._assignment)
 
     def size(self, pid):
         """Current number of vertices in partition ``pid``."""

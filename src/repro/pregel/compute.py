@@ -30,6 +30,32 @@ Because every effect flows through the host, a block's outcome is a pure
 function of (host state, inbox, superstep) — the property the cluster layer
 relies on for bit-identical results across executors.
 
+**The batched kernel path.**  When the program is a
+:class:`~repro.pregel.vertex.BatchedVertexProgram`, numpy is importable and
+``REPRO_BATCH_KERNEL`` does not disable it, :func:`compute_block` evaluates
+the whole block through ``program.compute_batch`` instead of the scalar
+loop: pack slot-indexed value/degree/inbox arrays, run the kernel, reduce
+its three-column outbox in the canonical (first-send) order and commit —
+values, halt votes, router absorption, cost accounting — exactly as the
+scalar loop would have, bit for bit.  The packing stage is read-only, so
+any mismatch (non-numeric values or ids-as-labels, an exotic combiner, a
+kernel that declines by returning None) falls back to the scalar loop with
+no state touched.  Batching hosts extend the contract with four optional
+members (hosts without them simply never batch):
+
+==========================  =============================================
+``batch_table``              a :class:`~repro.core.sweep.BlockTable` local
+                             CSR (or None to rebuild topology per block)
+``batch_workers(ids)``       per-row source worker ids, or None to decline
+``note_costs(ids, costs)``   vectorised ``note_cost`` over the block
+``note_batched_block()``     count one batched block (observability)
+==========================  =============================================
+
+Known caveat, by design: the canonical reductions start sums at ``+0.0``
+and take numpy minima, so a program whose messages include ``-0.0`` or
+NaN payloads is outside the bit-identity contract (every shipped batched
+program emits strictly positive finite messages).
+
 :func:`decide_block` is the matching *decision step* of the paper's
 background partitioner: heuristic evaluation plus the vertex-local
 willingness coin over one block of candidate vertices, against a frozen
@@ -46,10 +72,31 @@ how the blocks are split.  The host contract adds two members:
 ==================  =====================================================
 """
 
-from repro.pregel.vertex import VertexContext
+import os
+from itertools import chain as _chain
+
+from repro.pregel.messages import min_combiner, sum_combiner
+from repro.pregel.vertex import BlockContext, VertexContext
 from repro.utils.rng import WillingnessSource
 
-__all__ = ["compute_block", "decide_block"]
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is optional
+    _np = None
+
+__all__ = ["batch_kernel_enabled", "compute_block", "decide_block"]
+
+
+def batch_kernel_enabled():
+    """True unless ``REPRO_BATCH_KERNEL`` disables the batched path.
+
+    Read per compute call (not cached) so test suites and the CI matrix
+    leg can flip the gate between runs of one process.  Any of ``off``,
+    ``0``, ``false`` or ``no`` (case-insensitive) disables; everything
+    else — including unset — leaves the kernel on.
+    """
+    value = os.environ.get("REPRO_BATCH_KERNEL", "")
+    return value.strip().lower() not in {"off", "0", "false", "no"}
 
 
 def compute_block(host, vertex_ids, inbox, superstep):
@@ -59,8 +106,20 @@ def compute_block(host, vertex_ids, inbox, superstep):
     vertices without mail are skipped unless the host is ``continuous``;
     mail wakes a halted vertex.  ``host.note_cost`` is called exactly once
     per computed vertex.  Returns the number of vertices computed.
+
+    Programs that declare ``compute_batch`` take the batched kernel path
+    when it applies (see the module docstring); the scalar loop below is
+    the reference semantics and the universal fallback.
     """
     program = host.program
+    if (
+        program.compute_batch is not None
+        and _np is not None
+        and batch_kernel_enabled()
+    ):
+        computed = _batched_block(host, vertex_ids, inbox, superstep)
+        if computed is not None:
+            return computed
     continuous = host.continuous
     halted = host.halted
     computed = 0
@@ -75,6 +134,239 @@ def compute_block(host, vertex_ids, inbox, superstep):
         host.note_cost(v, program.compute_cost(ctx, messages))
         computed += 1
     return computed
+
+
+def _batched_block(host, vertex_ids, inbox, superstep):
+    """Attempt the batched path; returns the computed count or None.
+
+    None means "decline": nothing was mutated (packing is read-only and
+    the outbox reduction happens before any commit), so the caller simply
+    runs the scalar loop instead.
+    """
+    program = host.program
+    combiner = program.combiner()
+    if not (
+        combiner is None or combiner is sum_combiner or combiner is min_combiner
+    ):
+        return None
+    batch_workers = getattr(host, "batch_workers", None)
+    note_costs = getattr(host, "note_costs", None)
+    if batch_workers is None or note_costs is None:
+        return None
+    try:
+        dtype = _np.dtype(program.batch_dtype)
+    except TypeError:
+        return None
+    if combiner is sum_combiner and dtype.kind != "f":
+        return None  # the bincount reduction accumulates in float64
+    halted = host.halted
+    continuous = host.continuous
+    # Row selection: exactly the scalar loop's skip rule, in its order.
+    if continuous:
+        row_ids = list(vertex_ids)
+    else:
+        row_ids = [v for v in vertex_ids if v not in halted or inbox.get(v)]
+    if not row_ids:
+        return 0
+    block, mailed, slot_ids = _pack_block(host, row_ids, inbox, superstep, dtype)
+    if block is None:
+        return None
+    result = program.compute_batch(block)
+    if result is None:
+        return None  # the kernel declined (a shape it cannot reproduce)
+    out = None
+    if result.out is not None:
+        out = _reduce_outbox(host, row_ids, slot_ids, result.out, combiner)
+        if out is None:
+            return None
+    # ---- commit: from here on, mirror the scalar loop's effects ----
+    host.values.update(zip(row_ids, result.values.tolist()))
+    halted.difference_update(mailed)
+    halt = result.halt
+    if halt is True:
+        halted.update(row_ids)
+    elif halt is not False:
+        halted.update(row_ids[i] for i in _np.flatnonzero(halt).tolist())
+    if out is not None:
+        host.router.absorb_columns(*out)
+    costs = result.costs
+    if costs is None:
+        costs = 1.0 + block.msg_counts
+    note_costs(row_ids, costs)
+    note_batched = getattr(host, "note_batched_block", None)
+    if note_batched is not None:
+        note_batched()
+    return len(row_ids)
+
+
+def _pack_block(host, row_ids, inbox, superstep, dtype):
+    """Build the read-only ``(block, mailed, slot_ids)`` triple, or Nones.
+
+    Strict about types: every value and message must be exactly the Python
+    scalar type the kernel dtype round-trips losslessly (``float`` for
+    ``f``-kind, non-bool ``int`` for ``i``-kind) — anything else (string
+    labels, mixed int/float values, ints beyond int64) declines, because a
+    lossy cast would leak into digests on write-back.
+    """
+    decline = (None, None, None)
+    if dtype.kind == "f":
+        py_type = float
+    elif dtype.kind == "i":
+        py_type = int
+    else:
+        return decline
+    values_map = host.values
+    raw = [values_map[v] for v in row_ids]
+    if set(map(type, raw)) - {py_type}:
+        return decline
+    n = len(row_ids)
+    inbox_get = inbox.get
+    boxes = list(map(inbox_get, row_ids))
+    if all(boxes):
+        # Steady-state fast path (every row has mail — e.g. PageRank past
+        # superstep 1): no Python-level loop at all.  ``len`` reports the
+        # logical (pre-combining) count, ``list.__len__`` the physical one
+        # (a ``CombinedMessages`` mailbox differs in the two).
+        mailed = row_ids
+        counts = _np.fromiter(map(len, boxes), dtype=_np.int64, count=n)
+        phys = _np.fromiter(map(list.__len__, boxes), dtype=_np.int64, count=n)
+        msg_vals = list(_chain.from_iterable(boxes))
+        msg_rows = _np.repeat(_np.arange(n, dtype=_np.int64), phys)
+    else:
+        counts_list = []
+        msg_vals = []
+        mailed = []
+        mailed_rows = []
+        phys = []
+        extend_vals = msg_vals.extend
+        for i, msgs in enumerate(boxes):
+            if not msgs:
+                counts_list.append(0)
+                continue
+            mailed.append(row_ids[i])
+            mailed_rows.append(i)
+            counts_list.append(len(msgs))  # logical (CombinedMessages) count
+            before = len(msg_vals)
+            extend_vals(msgs)  # iteration sees the physical (folded) entries
+            phys.append(len(msg_vals) - before)
+        counts = _np.fromiter(counts_list, dtype=_np.int64, count=n)
+        msg_rows = _np.repeat(
+            _np.fromiter(mailed_rows, dtype=_np.int64, count=len(mailed_rows)),
+            _np.fromiter(phys, dtype=_np.int64, count=len(phys)),
+        )
+    if set(map(type, msg_vals)) - {py_type}:
+        return decline
+    try:
+        values = _np.array(raw, dtype=dtype)
+        msg_values = _np.array(msg_vals, dtype=dtype)
+    except (OverflowError, ValueError):
+        return decline
+    topology = _block_topology(host, row_ids)
+    if topology is None:
+        return decline
+    degrees, indptr, targets, slot_ids = topology
+    block = BlockContext(
+        superstep=superstep,
+        num_vertices=host.graph.num_vertices,
+        values=values,
+        degrees=degrees,
+        indptr=indptr,
+        targets=targets,
+        msg_values=msg_values,
+        msg_row=msg_rows,
+        msg_counts=counts,
+    )
+    return block, mailed, slot_ids
+
+
+def _block_topology(host, row_ids):
+    """``(degrees, indptr, targets, slot_ids)`` for the block's rows.
+
+    A host with a live :class:`~repro.core.sweep.BlockTable` answers from
+    its incremental local CSR; otherwise the topology is rebuilt from the
+    host's graph each block — same arrays, linear in edges, no amortised
+    state.  ``targets`` holds block indices into ``slot_ids`` (rows first,
+    then every non-computed neighbour), in adjacency order per row.
+    """
+    table = getattr(host, "batch_table", None)
+    if table is not None:
+        return table.gather(row_ids)
+    neighbors = host.graph.neighbors
+    n = len(row_ids)
+    index = {}
+    for i, v in enumerate(row_ids):
+        index[v] = i
+    if len(index) != n:
+        return None  # duplicate ids cannot be indexed positionally
+    slot_ids = list(row_ids)
+    degs = []
+    flat = []
+    for v in row_ids:
+        ns = list(neighbors(v))
+        degs.append(len(ns))
+        for w in ns:
+            j = index.get(w)
+            if j is None:
+                j = len(slot_ids)
+                index[w] = j
+                slot_ids.append(w)
+            flat.append(j)
+    degrees = _np.fromiter(degs, dtype=_np.int64, count=n)
+    indptr = _np.zeros(n + 1, dtype=_np.int64)
+    _np.cumsum(degrees, out=indptr[1:])
+    targets = _np.fromiter(flat, dtype=_np.int64, count=len(flat))
+    return degrees, indptr, targets, slot_ids
+
+
+def _reduce_outbox(host, row_ids, slot_ids, out, combiner):
+    """Reduce kernel outbox columns to router-ready unique-key columns.
+
+    Folds duplicate ``(source_worker, target)`` keys with the program's
+    combiner in the emission order the arrays carry — which the block
+    context built to match the scalar loop's send order — and returns the
+    keys in first-send order, so the router's outbox dict ends byte-equal
+    with the scalar path's.  Returns ``(workers, targets, payloads)``
+    columns of Python scalars, or None to decline (an unplaced source).
+    """
+    src, dst, payloads = out
+    if not len(src):
+        return [], [], []
+    workers = host.batch_workers(row_ids)
+    if workers is None:
+        return None
+    worker_of_row = _np.asarray(workers, dtype=_np.int64)
+    stride = len(slot_ids)
+    codes = worker_of_row[src] * stride + dst
+    # Dense-code reduction: key space is (max worker + 1) × stride, small
+    # enough to scatter into directly — O(E) bincounts instead of an
+    # O(E log E) unique over every emitted message.  The reversed scatter
+    # leaves each key's *first* emission index, giving first-send order.
+    size = int(codes[0]) + 1 if len(codes) == 1 else int(codes.max()) + 1
+    occupied = _np.flatnonzero(_np.bincount(codes, minlength=size))
+    first = _np.empty(size, dtype=_np.int64)
+    first[codes[::-1]] = _np.arange(len(codes) - 1, -1, -1)
+    order = _np.argsort(first[occupied])  # first-send order, distinct keys
+    keys = occupied[order]
+    if combiner is sum_combiner:
+        # Per-key accumulation happens in emission order from +0.0, the
+        # same addition sequence the scalar combiner fold performs.
+        sums = _np.bincount(codes, weights=payloads, minlength=size)
+        reduced = sums[keys].tolist()
+    elif combiner is min_combiner:
+        by_key = _np.argsort(codes, kind="stable")
+        bounds = _np.searchsorted(codes[by_key], occupied)
+        mins = _np.minimum.reduceat(_np.asarray(payloads)[by_key], bounds)
+        reduced = mins[order].tolist()
+    else:  # no combiner: per-key message lists, emission order within key
+        by_key = _np.argsort(codes, kind="stable")
+        splits = _np.searchsorted(codes[by_key], occupied[1:])
+        groups = [
+            g.tolist() for g in _np.split(_np.asarray(payloads)[by_key], splits)
+        ]
+        reduced = [groups[i] for i in order.tolist()]
+    out_workers = (keys // stride).tolist()
+    out_targets = [slot_ids[i] for i in (keys % stride).tolist()]
+    return out_workers, out_targets, reduced
 
 
 def decide_block(host, context, candidates):

@@ -11,12 +11,19 @@ Combiners fold messages addressed to the same destination *on the sending
 worker*, reducing remote traffic the way Pregel combiners do.
 """
 
-__all__ = ["MessageRouter", "sum_combiner"]
+from operator import eq as _eq
+
+__all__ = ["MessageRouter", "min_combiner", "sum_combiner"]
 
 
 def sum_combiner(a, b):
     """The classic combiner for numeric messages."""
     return a + b
+
+
+def min_combiner(a, b):
+    """Keep the smaller message (min-label flood, shortest paths)."""
+    return a if a <= b else b
 
 
 class MessageRouter:
@@ -69,6 +76,20 @@ class MessageRouter:
         for key, payload in entries:
             outbox[key] = payload
 
+    def absorb_columns(self, workers, targets, payloads):
+        """Merge a batched kernel's reduced outbox columns.
+
+        Column layout mirrors the wire codec's outbox frame: parallel
+        ``source_worker`` / ``target_id`` / ``payload`` sequences, one entry
+        per *distinct* outbox key, already reduced in the canonical order
+        (the batched reducer folded duplicate keys before handing them
+        over, so no per-message Python objects exist to iterate).  Plain
+        inserts — same contract as :meth:`absorb`: keys arrive in the
+        producing block's first-send order and never collide with keys
+        already present.
+        """
+        self._outbox.update(zip(zip(workers, targets), payloads))
+
     def deliver(self):
         """Flush outboxes into inboxes, counting local vs remote traffic.
 
@@ -76,17 +97,68 @@ class MessageRouter:
         remote/local classification reflects the destination's new worker.
         Returns the inbox map {vertex_id: [messages]}.
         """
+        # One C-level dict probe per entry instead of a Python method call
+        # chain; the ``bulk`` view is live, so classification still sees
+        # post-migration placements.  Traffic counters accumulate locally
+        # and post once — integer sums, so the totals are unchanged.
+        bulk = getattr(self._placement, "bulk", None)
+        placement_get = self._placement.get if bulk is None else bulk().get
+        outbox = self._outbox
+        local = remote = 0
+        if self._combiner is not None and outbox:
+            # Collision-free bulk path: when no target hears from two
+            # workers and nothing vanished, the inbox is a straight
+            # re-keying of the outbox — built with C-level iteration only.
+            targets = [t for _, t in outbox]
+            target_workers = list(map(placement_get, targets))
+            if None not in target_workers and len(set(targets)) == len(
+                targets
+            ):
+                inbox = dict(
+                    zip(targets, [[p] for p in outbox.values()])
+                )
+                local = sum(
+                    map(_eq, [w for w, _ in outbox], target_workers)
+                )
+                self._network.count_local(local)
+                self._network.count_remote(len(targets) - local)
+                self._outbox = {}
+                self._inbox = inbox
+                return inbox
         inbox = {}
-        for (source_worker, target_id), payload in self._outbox.items():
-            target_worker = self._placement.get(target_id)
-            if target_worker is None:
-                continue  # destination vanished (vertex removed mid-flight)
-            messages = [payload] if self._combiner is not None else payload
-            if source_worker == target_worker:
-                self._network.count_local(len(messages))
-            else:
-                self._network.count_remote(len(messages))
-            inbox.setdefault(target_id, []).extend(messages)
+        inbox_get = inbox.get
+        if self._combiner is not None:
+            for (source_worker, target_id), payload in self._outbox.items():
+                target_worker = placement_get(target_id)
+                if target_worker is None:
+                    continue  # destination vanished (removed mid-flight)
+                box = inbox_get(target_id)
+                if box is None:
+                    inbox[target_id] = [payload]
+                else:
+                    box.append(payload)
+                if source_worker == target_worker:
+                    local += 1
+                else:
+                    remote += 1
+        else:
+            for (source_worker, target_id), payload in self._outbox.items():
+                target_worker = placement_get(target_id)
+                if target_worker is None:
+                    continue  # destination vanished (removed mid-flight)
+                box = inbox_get(target_id)
+                if box is None:
+                    inbox[target_id] = list(payload)
+                else:
+                    box.extend(payload)
+                if source_worker == target_worker:
+                    local += len(payload)
+                else:
+                    remote += len(payload)
+        if local:
+            self._network.count_local(local)
+        if remote:
+            self._network.count_remote(remote)
         self._outbox = {}
         self._inbox = inbox
         return inbox

@@ -182,6 +182,10 @@ class _PlacementView:
         pid = self._state.partition_of_or_none(vertex_id)
         return default if pid is None else pid
 
+    def bulk(self):
+        """Read-only mapping view for bulk lookups (delivery loop)."""
+        return self._state.assignment_view()
+
 
 class PregelSystem:
     """A simulated Pregel cluster running one vertex program continuously."""
@@ -208,6 +212,9 @@ class PregelSystem:
         self._barrier_counter = registry.counter("phase.barrier.seconds")
         self._ingest_counter = registry.counter("ingest.events")
         self._migrations_counter = registry.counter("migrations.announced")
+        # Which compute path ran: blocks evaluated through the batched
+        # vertex-kernel path (the shard layer reports per-delta counts).
+        self._batched_counter = registry.counter("kernel.batched_blocks")
         k = self.config.num_workers
         capacities = self.config.balance.capacities(graph, k)
         self.state = self.config.initial_partitioner.partition(
@@ -414,6 +421,43 @@ class PregelSystem:
         if pid is not None:
             self._per_worker_costs[pid] += cost
         self.network.count_compute(cost)
+
+    # The single-process system keeps no incremental CSR; the batched path
+    # rebuilds block topology from the live graph each superstep.  (The
+    # sharded Coordinator's shards override this with real BlockTables.)
+    batch_table = None
+
+    def batch_workers(self, vertex_ids):
+        """Per-row source worker ids for a batched block (or None).
+
+        Mirrors what :meth:`MessageRouter.send` would look up per message;
+        an unplaced vertex declines the whole block — the scalar loop is
+        the reference for that edge case.
+        """
+        partition_of = self.state.partition_of_or_none
+        workers = []
+        for v in vertex_ids:
+            pid = partition_of(v)
+            if pid is None:
+                return None
+            workers.append(pid)
+        return workers
+
+    def note_costs(self, vertex_ids, costs):
+        """Per-block cost accounting: the per-vertex hook, in row order.
+
+        Deliberately a loop over :meth:`note_cost`: the single-process
+        system's per-worker accumulation and traffic counting are
+        per-vertex float operations, and replaying them in the exact
+        scalar order is what keeps digests bit-identical.
+        """
+        note = self.note_cost
+        for v, c in zip(vertex_ids, costs.tolist()):
+            note(v, c)
+
+    def note_batched_block(self, count=1):
+        """Observability hook: one block ran through the batched kernel."""
+        self._batched_counter.add(count)
 
     def _compute_phase(self, inbox):
         """Run the user program; returns (computed_count, per_worker_cost)."""

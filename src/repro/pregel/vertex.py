@@ -6,9 +6,28 @@ window onto the system: its value, its neighbours, message sending,
 aggregators and halting.  The same API hosts the user applications *and*
 the background partitioning algorithm, mirroring the paper's layered
 architecture (Fig. 2) where both sit on the Pregel API.
+
+:class:`BatchedVertexProgram` is the optional fast path: a program that
+*additionally* implements :meth:`~BatchedVertexProgram.compute_batch`,
+evaluating a whole block of vertices as array operations over a
+:class:`BlockContext`.  ``compute`` stays mandatory — it is the reference
+semantics, the numpy-free fallback, and what non-numeric graphs run — and
+the two must agree bit for bit (the batch-kernel property suite pins
+this for every shipped program).
 """
 
-__all__ = ["VertexContext", "VertexProgram"]
+try:  # numpy is optional everywhere in this repo
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the numpy-free CI leg
+    _np = None
+
+__all__ = [
+    "BatchedVertexProgram",
+    "BlockContext",
+    "BlockResult",
+    "VertexContext",
+    "VertexProgram",
+]
 
 
 class VertexProgram:
@@ -23,6 +42,11 @@ class VertexProgram:
     """
 
     name = "abstract"
+
+    #: Batched fast path, or None.  :class:`BatchedVertexProgram`
+    #: overrides this with a real method; the dispatcher's whole
+    #: "does this program batch?" check is this one attribute load.
+    compute_batch = None
 
     def initial_value(self, vertex_id, graph):
         """Value a vertex starts with (and restarts with after recovery)."""
@@ -106,3 +130,152 @@ class VertexContext:
     def messages_sent(self):
         """Messages this context sent during the current compute call."""
         return self._sent
+
+
+class BlockContext:
+    """Slot-indexed view of one block of computed vertices.
+
+    All arrays are positional over the block's ``n`` computed rows, in the
+    exact order the scalar loop would have visited them.  Vertex ids never
+    appear — rows and neighbour entries are *slots* (row indices into the
+    block), which is what lets a kernel run without touching Python
+    objects.  Row ``i`` sees:
+
+    - ``values[i]`` — current value (dtype = program's ``batch_dtype``)
+    - ``degrees[i]`` — neighbour count
+    - ``targets[indptr[i]:indptr[i + 1]]`` — neighbour slots, adjacency
+      order (slots index ``slot_ids``; a slot ≥ ``n`` is a vertex that is
+      present in the graph but not computed this superstep)
+    - ``msg_values[msg_row == i]`` — inbox payloads (combiner-folded, so
+      at most one physical entry per sender group); ``msg_counts[i]`` is
+      the *logical* message count the scalar cost model would see.
+
+    ``superstep`` and ``num_vertices`` mirror :class:`VertexContext`.
+    """
+
+    __slots__ = (
+        "superstep",
+        "num_vertices",
+        "values",
+        "degrees",
+        "indptr",
+        "targets",
+        "msg_values",
+        "msg_row",
+        "msg_counts",
+    )
+
+    def __init__(
+        self,
+        superstep,
+        num_vertices,
+        values,
+        degrees,
+        indptr,
+        targets,
+        msg_values,
+        msg_row,
+        msg_counts,
+    ):
+        self.superstep = superstep
+        self.num_vertices = num_vertices
+        self.values = values
+        self.degrees = degrees
+        self.indptr = indptr
+        self.targets = targets
+        self.msg_values = msg_values
+        self.msg_row = msg_row
+        self.msg_counts = msg_counts
+
+    def __len__(self):
+        """Number of computed rows in the block."""
+        return len(self.values)
+
+    def emit_to_neighbors(self, payloads, rows=None):
+        """Build the (src, dst, payload) outbox columns for a broadcast.
+
+        ``payloads`` carries one payload per selected row — length ``n``
+        when ``rows`` is None, length ``len(rows)`` otherwise (``rows``
+        must be ascending, which ``np.flatnonzero``-style masks give for
+        free).  Every selected row sends its payload to each of its
+        neighbours in the same row-major × adjacency order the scalar
+        loop's ``send_to_neighbors`` produces — which is what keeps the
+        reduced outbox byte-identical.
+        """
+        payloads = _np.asarray(payloads)
+        counts = _np.diff(self.indptr)
+        if rows is None:
+            src = _np.repeat(_np.arange(len(counts), dtype=_np.int64), counts)
+            return src, self.targets, _np.repeat(payloads, counts)
+        rows = _np.asarray(rows, dtype=_np.int64)
+        counts = counts[rows]
+        keep = counts > 0  # zero-degree rows emit nothing
+        if not keep.all():
+            rows, payloads, counts = rows[keep], payloads[keep], counts[keep]
+        src = _np.repeat(rows, counts)
+        payload = _np.repeat(payloads, counts)
+        if not len(rows):
+            return src, self.targets[:0], payload
+        # Gather each selected row's contiguous target extent: a cumsum
+        # over per-element deltas that step by 1 inside a row and jump to
+        # the next row's indptr start at each boundary.
+        starts = self.indptr[rows]
+        deltas = _np.ones(int(counts.sum()), dtype=_np.int64)
+        deltas[0] = starts[0]
+        bounds = _np.cumsum(counts)[:-1]
+        deltas[bounds] = starts[1:] - starts[:-1] - counts[:-1] + 1
+        return src, self.targets[_np.cumsum(deltas)], payload
+
+
+class BlockResult:
+    """What a batched kernel hands back for one block.
+
+    ``values`` — new per-row values (same length/order as the block).
+    ``out`` — outbox columns ``(src_rows, dst_slots, payloads)`` or None.
+    ``halt`` — halt votes: True (all rows vote), False (none do), or a
+    per-row bool array.
+    ``costs`` — per-row modelled CPU units, or None for the default
+    ``1 + logical message count`` (matching ``compute_cost``).
+    """
+
+    __slots__ = ("values", "out", "halt", "costs")
+
+    def __init__(self, values, out=None, halt=False, costs=None):
+        self.values = values
+        self.out = out
+        self.halt = halt
+        self.costs = costs
+
+
+class BatchedVertexProgram(VertexProgram):
+    """A :class:`VertexProgram` with an additional whole-block fast path.
+
+    Subclasses implement :meth:`compute_batch` as pure array operations
+    over a :class:`BlockContext` (reprolint ``KER001`` rejects per-vertex
+    Python loops inside it) and declare ``batch_dtype`` — the numpy dtype
+    the block's value/message arrays are built with.  The scalar
+    :meth:`~VertexProgram.compute` remains mandatory and authoritative:
+    the dispatcher falls back to it whenever numpy is missing, the gate
+    env var disables the kernel, or the live values/messages don't fit
+    ``batch_dtype`` exactly (e.g. string labels) — and the batched path
+    must reproduce it bit for bit.
+    """
+
+    #: numpy dtype name for the value/message arrays ("float64"/"int64").
+    batch_dtype = "float64"
+
+    def __init_subclass__(cls, **kwargs):
+        """Disable an inherited kernel when only ``compute`` is overridden.
+
+        A kernel is only valid paired with the ``compute`` it mirrors: a
+        subclass that redefines the scalar semantics without redefining
+        ``compute_batch`` would silently keep running the parent's kernel,
+        so it drops back to the scalar loop instead.
+        """
+        super().__init_subclass__(**kwargs)
+        if "compute" in cls.__dict__ and "compute_batch" not in cls.__dict__:
+            cls.compute_batch = None
+
+    def compute_batch(self, block):
+        """Evaluate a whole block; returns a :class:`BlockResult`."""
+        raise NotImplementedError

@@ -1,0 +1,58 @@
+"""KER001 fixture: vectorised, looping, and pragma-suppressed kernels."""
+
+import numpy as np
+
+
+class VectorisedKernel:
+    """Pure array operations: clean."""
+
+    def compute_batch(self, block):
+        """Sum incoming mail per row with a single scatter-add."""
+        incoming = np.bincount(
+            block.msg_row, weights=block.msg_values, minlength=len(block)
+        )
+        return incoming * 0.85
+
+    def compute(self, ctx, messages):
+        """The scalar reference loop is allowed to iterate."""
+        total = 0.0
+        for message in messages:
+            total += message
+        return total
+
+
+class LoopingKernel:
+    """Per-vertex Python iteration inside the kernel: four findings."""
+
+    def compute_batch(self, block):
+        """Every loop form the rule must catch."""
+        totals = [sum(box) for box in block.boxes]
+        folded = {row: t for row, t in enumerate(totals)}
+        for row in range(len(block)):
+            folded[row] += 1.0
+        while folded:
+            folded.popitem()
+        return totals
+
+
+class NestedLoopKernel:
+    """Hiding the loop in a nested helper does not vectorise it."""
+
+    def compute_batch(self, block):
+        """One finding: the generator inside the helper."""
+
+        def fold(boxes):
+            return sum(sum(box) for box in boxes)
+
+        return fold(block.boxes)
+
+
+class DecliningKernel:
+    """A bounded, explained loop under a pragma: clean."""
+
+    def compute_batch(self, block):
+        """Three label classes, never block rows."""
+        for bucket in (0, 1, 2):  # reprolint: allow-KER001 fixture shows a bounded non-row loop under pragma
+            if bucket in block.classes:
+                return None
+        return block.values

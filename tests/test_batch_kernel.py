@@ -1,0 +1,172 @@
+"""Batched-kernel equivalence suite: batched == scalar, bit for bit.
+
+The numpy block kernel (:meth:`BatchedVertexProgram.compute_batch`) is an
+optimisation, never semantics: every observable — superstep reports,
+final values *and their Python types*, halted transitions, traffic
+counters — must replay the scalar reference loop exactly.  The suite
+drives each batched app through the situations where a vectorised
+rewrite classically drifts:
+
+* mixed halted/woken vertices (components converging at different
+  supersteps, label propagation's adopt-nothing rounds);
+* empty inboxes and isolated vertices (TunkRank's kernel *declines* the
+  block there — scalar ``sum(())`` is an int, digest-visible);
+* adaptive churn (migrations re-slot vertices between blocks mid-run);
+* string vertex ids (object-dtype-free packing must still engage);
+* a numpy-free interpreter (the dispatch gate falls back to scalar);
+* the committed golden timelines with the kernel *forced* on (CI's
+  ``REPRO_BATCH_KERNEL=off`` matrix leg pins the scalar side).
+
+``decision_seconds`` is wall-clock and excluded from comparisons, the
+same as the golden digests do.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.pregel.compute as compute_mod
+from repro.apps import ConnectedComponents, PageRank, TunkRank
+from repro.apps.label_propagation import LabelPropagation
+from repro.cluster import Coordinator
+from repro.generators import erdos_renyi_graph
+from repro.graph import Graph
+from repro.obs import MetricsRegistry
+from repro.pregel.system import PregelConfig, PregelSystem
+from repro.scenarios import get_scenario, play_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_SCENARIOS = ["mesh-growth", "grid-rewire", "cdr-weekly"]
+APPS = [PageRank, TunkRank, LabelPropagation, ConnectedComponents]
+HOSTS = [PregelSystem, Coordinator]
+
+
+def _app_id(app):
+    return app.__name__
+
+
+def _sparse_graph():
+    """Random graph with isolated vertices and uneven degrees.
+
+    Isolated vertices never receive mail (TunkRank's decline path, empty
+    inboxes in the packer); the sparse components converge at different
+    supersteps, so later rounds mix halted and woken vertices.
+    """
+    return erdos_renyi_graph(220, 0.02, seed=11)
+
+
+def _string_id_graph():
+    """The sparse graph re-keyed onto string vertex ids."""
+    base = _sparse_graph()
+    graph = Graph()
+    for v in base.vertices():
+        graph.add_vertex(f"u{v:03d}")
+    for u, v in base.edges():
+        graph.add_edge(f"u{u:03d}", f"u{v:03d}")
+    return graph
+
+
+def _run(host_cls, graph, program, monkeypatch, enabled, supersteps=8):
+    """Replay ``supersteps`` supersteps; return (reports, values, blocks).
+
+    Adaptive partitioning stays on so migrations re-slot vertices between
+    kernel blocks mid-run — the churn case.  Reports are normalised by
+    zeroing ``decision_seconds`` (wall-clock, not digest-pinned).
+    ``blocks`` is the ``kernel.batched_blocks`` counter — proof the fast
+    path actually engaged rather than silently declining everywhere.
+    """
+    monkeypatch.setenv("REPRO_BATCH_KERNEL", "on" if enabled else "off")
+    registry = MetricsRegistry()
+    config = PregelConfig(num_workers=4, seed=3, adaptive=True)
+    host = host_cls(graph, program, config, metrics_registry=registry)
+    try:
+        reports = [
+            dataclasses.replace(host.run_superstep(), decision_seconds=0.0)
+            for _ in range(supersteps)
+        ]
+        values = dict(host.values)
+    finally:
+        close = getattr(host, "close", None)
+        if close is not None:
+            close()
+    return reports, values, registry.counter("kernel.batched_blocks").value
+
+
+def _assert_equivalent(host_cls, graph_factory, app, monkeypatch,
+                       expect_kernel=True):
+    batched = _run(host_cls, graph_factory(), app(), monkeypatch, True)
+    scalar = _run(host_cls, graph_factory(), app(), monkeypatch, False)
+    assert batched[0] == scalar[0], "superstep reports diverged"
+    assert batched[1] == scalar[1], "final values diverged"
+    for key, value in batched[1].items():
+        assert type(value) is type(scalar[1][key]), (
+            f"value type drifted for {key!r}: "
+            f"{type(value).__name__} != {type(scalar[1][key]).__name__}"
+        )
+    if expect_kernel and compute_mod._np is not None:
+        assert batched[2] > 0, "batched leg never took the kernel"
+    assert scalar[2] == 0, "scalar leg took the kernel despite the gate"
+
+
+@pytest.mark.parametrize("host_cls", HOSTS, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("app", APPS, ids=_app_id)
+def test_batched_matches_scalar(host_cls, app, monkeypatch):
+    """Sparse churn graph: reports, values and value types are identical."""
+    _assert_equivalent(host_cls, _sparse_graph, app, monkeypatch)
+
+
+@pytest.mark.parametrize("app", APPS, ids=_app_id)
+def test_string_id_graphs(app, monkeypatch):
+    """String vertex ids replay identically.
+
+    The float-valued apps still take the kernel (values are numeric
+    regardless of id type); the label-flood apps carry the *ids* as
+    values, so their int64 packers decline every block and the scalar
+    loop must cover — both sides of the decline protocol, same digest.
+    """
+    _assert_equivalent(
+        Coordinator,
+        _string_id_graph,
+        app,
+        monkeypatch,
+        expect_kernel=app in (PageRank, TunkRank),
+    )
+
+
+@pytest.mark.parametrize("app", APPS, ids=_app_id)
+def test_numpy_free_fallback(app, monkeypatch):
+    """Without numpy the dispatch gate must fall back to the scalar loop."""
+    scalar = _run(Coordinator, _sparse_graph(), app(), monkeypatch, False)
+    monkeypatch.setattr(compute_mod, "_np", None)
+    fallback = _run(Coordinator, _sparse_graph(), app(), monkeypatch, True)
+    assert fallback[:2] == scalar[:2]
+    assert fallback[2] == 0, "kernel engaged without numpy"
+
+
+def test_kernel_declines_partial_inboxes(monkeypatch):
+    """TunkRank's decline path engages and still replays the scalar run.
+
+    On the sparse graph some mailed blocks contain vertices whose inbox
+    is empty at superstep 2+; the kernel returns ``None`` there and the
+    scalar loop must take over for the whole block.
+    """
+    _assert_equivalent(Coordinator, _sparse_graph, TunkRank, monkeypatch)
+
+
+@pytest.mark.parametrize("name", GOLDEN_SCENARIOS)
+def test_golden_replay_with_kernel_forced_on(name, monkeypatch):
+    """The committed pregel fixtures replay exactly with the kernel on."""
+    monkeypatch.setenv("REPRO_BATCH_KERNEL", "on")
+    digest = (
+        play_scenario(get_scenario(name), engine="pregel")
+        .superstep_digest()
+    )
+    expected = json.loads(
+        (GOLDEN_DIR / f"pregel-{name}.json").read_text(encoding="utf-8")
+    )
+    assert digest == expected, (
+        f"{name} diverged from its golden timeline with the batched "
+        "kernel forced on"
+    )

@@ -42,7 +42,7 @@ def sites(findings, code=None):
 
 
 # ----------------------------------------------------------------------
-# The six checkers, against their fixture subtrees
+# The seven checkers, against their fixture subtrees
 # ----------------------------------------------------------------------
 
 
@@ -173,6 +173,37 @@ class TestObs001:
         }
 
 
+class TestKer001:
+    def test_loops_in_kernels_are_flagged(self):
+        findings = lint("ker001")
+        assert sites(findings) == {
+            ("KER001", "kernels.py", 29),  # list comprehension
+            ("KER001", "kernels.py", 30),  # dict comprehension
+            ("KER001", "kernels.py", 31),  # for loop
+            ("KER001", "kernels.py", 33),  # while loop
+            ("KER001", "kernels.py", 45),  # genexp in a nested helper
+        }
+        for finding in findings:
+            assert "compute_batch" in finding.message
+
+    def test_scalar_reference_loops_stay_legal(self):
+        """Only ``compute_batch`` bodies are scanned; ``compute`` loops,
+        vectorised kernels and the pragma'd bounded loop are clean."""
+        findings = lint("ker001")
+        assert all(f.line not in (19, 20, 56) for f in findings)
+
+    def test_outside_kernel_packages_is_out_of_scope(self, tmp_path):
+        target = tmp_path / "repro" / "analysis" / "loose.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            (FIXTURES / "ker001/repro/apps/kernels.py").read_text()
+        )
+        findings = lint_paths([tmp_path], DEFAULT_CONFIG)
+        # the bounded-loop pragma goes stale out of scope (PRAGMA002);
+        # what matters is that no kernel-loop finding fires
+        assert not any(f.code == "KER001" for f in findings)
+
+
 # ----------------------------------------------------------------------
 # The pragma engine
 # ----------------------------------------------------------------------
@@ -247,6 +278,20 @@ class TestRepoGate:
         )
         findings = lint_paths([tmp_path], DEFAULT_CONFIG)
         assert [f.code for f in findings] == ["CAP001"]
+
+    def test_seeded_ker001_violation_trips_the_gate(self, tmp_path):
+        seeded = tmp_path / "repro" / "apps" / "seeded.py"
+        seeded.parent.mkdir(parents=True)
+        seeded.write_text(
+            '"""Seeded violation."""\n\n\n'
+            "class Kernel:\n"
+            '    """A kernel that loops over its rows."""\n\n'
+            "    def compute_batch(self, block):\n"
+            '        """Per-vertex loop: the thing KER001 exists for."""\n'
+            "        return [sum(box) for box in block.boxes]\n"
+        )
+        findings = lint_paths([tmp_path], DEFAULT_CONFIG)
+        assert [f.code for f in findings] == ["KER001"]
 
 
 # ----------------------------------------------------------------------

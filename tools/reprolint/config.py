@@ -102,6 +102,10 @@ class LintConfig:
     )
     #: The checked-in span/metric name registry (OBS001).
     obs_registry_suffix: str = "repro/obs/names.py"
+    #: Packages holding batched vertex kernels, and the kernel method
+    #: whose body must stay loop-free (KER001).
+    kernel_paths: tuple = ("repro/apps/", "repro/pregel/")
+    kernel_method: str = "compute_batch"
 
 
 #: The repo's own configuration — what ``python -m tools.reprolint`` uses.

@@ -10,6 +10,7 @@ from tools.reprolint.rules.cap001 import CapabilityHonestyRule
 from tools.reprolint.rules.det001 import UnorderedIterationRule
 from tools.reprolint.rules.det002 import UnseededRandomRule
 from tools.reprolint.rules.det003 import WallClockRule
+from tools.reprolint.rules.ker001 import BatchedKernelLoopRule
 from tools.reprolint.rules.obs001 import ObservabilityNamesRule
 from tools.reprolint.rules.wire001 import WireContractRule
 
@@ -23,6 +24,7 @@ ALL_RULES = (
     WireContractRule,
     CapabilityHonestyRule,
     ObservabilityNamesRule,
+    BatchedKernelLoopRule,
 )
 
 

@@ -1,0 +1,80 @@
+"""KER001 — batched kernels must stay vectorised.
+
+``compute_batch`` exists for exactly one reason: to replace the
+per-vertex Python reference loop with array operations.  A Python
+``for``/``while`` or a comprehension inside a kernel silently reverts to
+interpreter-speed per-vertex work while still *reporting* as the fast
+path (``kernel.batched_blocks`` keeps counting) — the worst failure
+mode, because the benchmarks' scalar leg no longer measures the thing
+the batched leg avoids.  The honest alternatives are both loop-free:
+vectorise with numpy, or **decline** (``return None``) and let the
+dispatcher run the scalar reference loop, which is allowed to iterate.
+
+KER001 flags every loop or comprehension node lexically inside a
+function named ``compute_batch`` (method or free function) within the
+kernel packages.  Nested helper ``def``/``lambda`` bodies are still
+flagged — hiding the loop one frame down does not vectorise it.  A
+genuinely-bounded loop (e.g. over a handful of label classes, not block
+rows) can be suppressed with an inline pragma::
+
+    for bucket in buckets:  # reprolint: allow-KER001 loop over <=3 buckets, not rows
+"""
+
+import ast
+
+from tools.reprolint.core import Rule
+
+__all__ = ["BatchedKernelLoopRule"]
+
+#: Loop statements and the expression forms that desugar to loops.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+_LOOP_LABEL = {
+    ast.For: "for loop",
+    ast.AsyncFor: "async for loop",
+    ast.While: "while loop",
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+
+class BatchedKernelLoopRule(Rule):
+    """Flag per-vertex Python loops inside ``compute_batch`` kernels."""
+
+    code = "KER001"
+    title = (
+        "Python loop inside a compute_batch kernel — vectorise it or "
+        "decline to the scalar path"
+    )
+
+    def check_module(self, module, ctx):
+        """Scan every ``compute_batch`` definition in kernel packages."""
+        config = ctx.config
+        if not module.in_any(config.kernel_paths):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or node.name != config.kernel_method
+            ):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, _LOOP_NODES):
+                    label = _LOOP_LABEL[type(inner)]
+                    yield self.finding(
+                        module, inner.lineno, inner.col_offset,
+                        f"{label} inside {config.kernel_method}(); the "
+                        "batched kernel must use array operations — "
+                        "vectorise this, or return None and let the "
+                        "scalar reference loop handle the block",
+                    )
